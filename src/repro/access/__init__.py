@@ -1,0 +1,50 @@
+"""Core's attachment architecture: access methods and integrity constraints.
+
+Starburst's data management extension architecture ([LIND87]) lets a DBC add
+new kinds of *attachments* to tables.  An attachment observes every insert,
+delete and update on its table; access-method attachments additionally offer
+lookup capabilities that the optimizer can exploit ("Corona must recognize
+when this access method is useful for a query and when to invoke it").
+
+Built-in attachment kinds:
+
+- ``btree`` — B+-tree, equality + range probes, ordered scans,
+- ``hash`` — hash index, equality probes only,
+- ``rtree`` — R-tree for 2-D spatial data (the paper's [GUTT84] example),
+- ``unique`` / ``check`` / ``foreign_key`` — integrity constraints.
+"""
+
+from repro.access.attachment import (
+    AccessMethod,
+    AccessMethodRegistry,
+    Attachment,
+    IntegrityConstraint,
+    default_access_registry,
+)
+from repro.access.btree import BPlusTree, BTreeIndex
+from repro.access.hashindex import HashIndex
+from repro.access.rtree import Rect, RTree, RTreeIndex
+from repro.access.constraints import (
+    CheckConstraint,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    UniqueConstraint,
+)
+
+__all__ = [
+    "Attachment",
+    "AccessMethod",
+    "IntegrityConstraint",
+    "AccessMethodRegistry",
+    "default_access_registry",
+    "BPlusTree",
+    "BTreeIndex",
+    "HashIndex",
+    "RTree",
+    "RTreeIndex",
+    "Rect",
+    "UniqueConstraint",
+    "CheckConstraint",
+    "NotNullConstraint",
+    "ForeignKeyConstraint",
+]

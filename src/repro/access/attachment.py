@@ -1,0 +1,159 @@
+"""Attachment base classes and the access-method registry.
+
+An :class:`Attachment` is notified of every change to its table.  Integrity
+constraints validate the change *before* it is applied (and may veto it by
+raising); access methods maintain auxiliary structures *after* it is applied
+and expose probe/scan capabilities to the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import IndexDef, TableDef
+from repro.errors import ExtensionError
+from repro.storage.record import RID
+
+
+class Attachment:
+    """Base class: observes inserts, deletes and updates on one table."""
+
+    def __init__(self, table: TableDef):
+        self.table = table
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        """Validate an insert; integrity constraints raise to veto."""
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        """Validate an update."""
+
+    def before_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        """Validate a delete (e.g. referential integrity)."""
+
+    def on_insert(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        """Maintain auxiliary state after a successful insert."""
+
+    def on_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        """Maintain auxiliary state after a successful delete."""
+
+    def on_update(self, old_rid: RID, new_rid: RID,
+                  old_row: Tuple[Any, ...], new_row: Tuple[Any, ...]) -> None:
+        """Maintain auxiliary state after a successful update.
+
+        Default: delete + insert.
+        """
+        self.on_delete(old_rid, old_row)
+        self.on_insert(new_rid, new_row)
+
+    def rebuild(self, rows: Iterator[Tuple[RID, Tuple[Any, ...]]]) -> None:
+        """Rebuild from scratch (index creation on a populated table).
+
+        Existing rows are validated too, so creating a unique index on a
+        table that already contains duplicates fails.
+        """
+        for rid, row in rows:
+            self.before_insert(row)
+            self.on_insert(rid, row)
+
+
+class AccessMethod(Attachment):
+    """An attachment that can also *find* rows: an index.
+
+    The capability flags below are what the optimizer's STARs consult when
+    deciding whether an index-scan alternative is applicable.
+    """
+
+    #: Registry kind name, e.g. ``"btree"``.
+    kind = "abstract"
+
+    def __init__(self, table: TableDef, index: IndexDef):
+        super().__init__(table)
+        self.index = index
+        self.key_positions = [table.column_index(c) for c in index.column_names]
+
+    # -- capabilities --------------------------------------------------------
+
+    @property
+    def key_columns(self) -> List[str]:
+        return list(self.index.column_names)
+
+    @property
+    def supports_range(self) -> bool:
+        """Can this index answer <, <=, >, >= probes on its first column?"""
+        return False
+
+    @property
+    def provides_order(self) -> bool:
+        """Does a full scan of this index yield key order?"""
+        return False
+
+    # -- probes ---------------------------------------------------------------
+
+    def key_of(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        return tuple(row[p] for p in self.key_positions)
+
+    def probe(self, key: Tuple[Any, ...]) -> List[RID]:
+        """RIDs whose key equals ``key`` exactly."""
+        raise NotImplementedError
+
+    def range_scan(self, low: Optional[Tuple[Any, ...]] = None,
+                   high: Optional[Tuple[Any, ...]] = None,
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[Tuple[Tuple[Any, ...], RID]]:
+        """Yield (key, RID) in key order within the bounds (if supported)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class IntegrityConstraint(Attachment):
+    """An attachment that exists to veto invalid changes."""
+
+    kind = "constraint"
+
+
+AccessFactory = Callable[[TableDef, IndexDef], AccessMethod]
+
+
+class AccessMethodRegistry:
+    """Maps access-method kind names to factories (DBC extension point)."""
+
+    def __init__(self):
+        self._factories: Dict[str, AccessFactory] = {}
+
+    def register(self, kind: str, factory: AccessFactory,
+                 replace: bool = False) -> None:
+        key = kind.lower()
+        if not replace and key in self._factories:
+            raise ExtensionError("access method %s already registered" % kind)
+        self._factories[key] = factory
+
+    def create(self, table: TableDef, index: IndexDef) -> AccessMethod:
+        factory = self._factories.get(index.kind.lower())
+        if factory is None:
+            raise ExtensionError(
+                "index %s names unknown access method kind %s"
+                % (index.name, index.kind)
+            )
+        return factory(table, index)
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind.lower() in self._factories
+
+
+def default_access_registry() -> AccessMethodRegistry:
+    """Registry with the built-in access methods (btree, hash, rtree)."""
+    from repro.access.btree import BTreeIndex
+    from repro.access.hashindex import HashIndex
+    from repro.access.rtree import RTreeIndex
+
+    registry = AccessMethodRegistry()
+    registry.register("btree", BTreeIndex)
+    registry.register("hash", HashIndex)
+    registry.register("rtree", RTreeIndex)
+    return registry

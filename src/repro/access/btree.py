@@ -1,0 +1,294 @@
+"""B+-tree access method.
+
+A textbook in-memory B+-tree: interior nodes hold separator keys and
+children; leaves hold (key, [RID, ...]) pairs and are chained for range
+scans.  Duplicate keys share one leaf entry.  The order (max children per
+interior node) is configurable; the default of 32 gives realistic depth on
+benchmark-sized tables.
+
+Keys are tuples of column values.  NULLs sort after every non-NULL value
+(SQL-ish; NULL keys are indexed so deletes can find them, but equality
+probes never match NULL).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.access.attachment import AccessMethod
+from repro.catalog.schema import IndexDef, TableDef
+from repro.errors import AccessMethodError, ConstraintError
+from repro.storage.record import RID
+
+Key = Tuple[Any, ...]
+
+
+def _sortable(key: Key) -> Tuple:
+    """Map a key to a tuple that orders NULLs after all non-NULL values."""
+    return tuple((1, 0) if v is None else (0, v) for v in key)
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List[Tuple] = []          # sortable forms
+        self.children: List["_Node"] = []    # interior only
+        self.values: List[Tuple[Key, List[RID]]] = []  # leaf only: (raw key, rids)
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BPlusTree:
+    """The tree structure itself, independent of the attachment protocol."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise AccessMethodError("B+-tree order must be at least 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0  # number of (key, rid) pairs
+
+    # -- search -----------------------------------------------------------------
+
+    def _find_leaf(self, skey: Tuple) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, skey)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Key) -> List[RID]:
+        """RIDs stored under exactly ``key`` (empty list when absent)."""
+        skey = _sortable(key)
+        leaf = self._find_leaf(skey)
+        index = bisect.bisect_left(leaf.keys, skey)
+        if index < len(leaf.keys) and leaf.keys[index] == skey:
+            return list(leaf.values[index][1])
+        return []
+
+    def items(self, low: Optional[Key] = None, high: Optional[Key] = None,
+              low_inclusive: bool = True,
+              high_inclusive: bool = True) -> Iterator[Tuple[Key, RID]]:
+        """Yield (raw key, RID) pairs in key order within the bounds.
+
+        A partial ``low``/``high`` (prefix of the full key) bounds only the
+        leading columns, matching how a multi-column index is probed.
+        """
+        slow = _sortable(low) if low is not None else None
+        shigh = _sortable(high) if high is not None else None
+        if slow is not None:
+            # Bisecting with a prefix tuple positions at the first full key
+            # whose leading columns are >= the prefix (tuple comparison is
+            # lexicographic, and a shorter tuple sorts before its extensions).
+            leaf = self._find_leaf(slow)
+            index = bisect.bisect_left(leaf.keys, slow)
+        else:
+            leaf = self._leftmost_leaf()
+            index = 0
+        while leaf is not None:
+            while index < len(leaf.keys):
+                skey = leaf.keys[index]
+                if slow is not None and not low_inclusive:
+                    if skey[: len(slow)] == slow:
+                        index += 1
+                        continue
+                if shigh is not None:
+                    prefix = skey[: len(shigh)]
+                    if prefix > shigh or (prefix == shigh and not high_inclusive):
+                        return
+                raw_key, rids = leaf.values[index]
+                for rid in rids:
+                    yield raw_key, rid
+                index += 1
+            leaf = leaf.next_leaf
+            index = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    # -- insert -----------------------------------------------------------------
+
+    def insert(self, key: Key, rid: RID) -> None:
+        skey = _sortable(key)
+        split = self._insert_into(self._root, skey, key, rid)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._size += 1
+
+    def _insert_into(self, node: _Node, skey: Tuple, key: Key,
+                     rid: RID) -> Optional[Tuple[Tuple, _Node]]:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, skey)
+            if index < len(node.keys) and node.keys[index] == skey:
+                node.values[index][1].append(rid)
+                return None
+            node.keys.insert(index, skey)
+            node.values.insert(index, (key, [rid]))
+            if len(node.keys) >= self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, skey)
+        split = self._insert_into(node.children[index], skey, key, rid)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(index, sep)
+        node.children.insert(index + 1, right)
+        if len(node.children) > self.order:
+            return self._split_interior(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> Tuple[Tuple, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_interior(self, node: _Node) -> Tuple[Tuple, _Node]:
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # -- delete ------------------------------------------------------------------
+
+    def delete(self, key: Key, rid: RID) -> bool:
+        """Remove one (key, rid) pair.  Returns False when absent.
+
+        Underfull leaves are tolerated (lazy deletion): range scans skip
+        empty entries and the structural invariants checked by
+        :meth:`check_invariants` still hold.
+        """
+        skey = _sortable(key)
+        leaf = self._find_leaf(skey)
+        index = bisect.bisect_left(leaf.keys, skey)
+        if index >= len(leaf.keys) or leaf.keys[index] != skey:
+            return False
+        rids = leaf.values[index][1]
+        try:
+            rids.remove(rid)
+        except ValueError:
+            return False
+        if not rids:
+            del leaf.keys[index]
+            del leaf.values[index]
+        self._size -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- invariants (for property-based tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AccessMethodError if any B+-tree invariant is violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain must be sorted and cover all keys left-to-right.
+        previous = None
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for skey in leaf.keys:
+                if previous is not None and skey <= previous:
+                    raise AccessMethodError("leaf chain out of order")
+                previous = skey
+            leaf = leaf.next_leaf
+
+    def _check_node(self, node: _Node, low, high, is_root: bool = False) -> int:
+        if sorted(node.keys) != node.keys:
+            raise AccessMethodError("node keys unsorted")
+        for skey in node.keys:
+            if low is not None and skey < low:
+                raise AccessMethodError("key below subtree bound")
+            if high is not None and skey >= high:
+                raise AccessMethodError("key above subtree bound")
+        if node.is_leaf:
+            if len(node.keys) != len(node.values):
+                raise AccessMethodError("leaf keys/values mismatch")
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise AccessMethodError("interior fan-out mismatch")
+        if not is_root and len(node.children) < 2:
+            raise AccessMethodError("interior node underfull")
+        depths = set()
+        for index, child in enumerate(node.children):
+            child_low = node.keys[index - 1] if index > 0 else low
+            child_high = node.keys[index] if index < len(node.keys) else high
+            depths.add(self._check_node(child, child_low, child_high))
+        if len(depths) != 1:
+            raise AccessMethodError("leaves at different depths")
+        return depths.pop() + 1
+
+
+class BTreeIndex(AccessMethod):
+    """Attachment wrapper: maintains a BPlusTree under DML."""
+
+    kind = "btree"
+
+    def __init__(self, table: TableDef, index: IndexDef, order: int = 32):
+        super().__init__(table, index)
+        self.tree = BPlusTree(order=order)
+
+    @property
+    def supports_range(self) -> bool:
+        return True
+
+    @property
+    def provides_order(self) -> bool:
+        return True
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        if self.index.unique:
+            key = self.key_of(row)
+            if None not in key and self.tree.search(key):
+                raise ConstraintError(
+                    "unique index %s rejects duplicate key %r"
+                    % (self.index.name, key)
+                )
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        if self.index.unique:
+            old_key = self.key_of(old_row)
+            new_key = self.key_of(new_row)
+            if new_key != old_key and None not in new_key and self.tree.search(new_key):
+                raise ConstraintError(
+                    "unique index %s rejects duplicate key %r"
+                    % (self.index.name, new_key)
+                )
+
+    def on_insert(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        self.tree.insert(self.key_of(row), rid)
+
+    def on_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        self.tree.delete(self.key_of(row), rid)
+
+    def probe(self, key: Key) -> List[RID]:
+        if None in key:
+            return []  # SQL equality never matches NULL
+        return self.tree.search(key)
+
+    def range_scan(self, low: Optional[Key] = None, high: Optional[Key] = None,
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[Tuple[Key, RID]]:
+        return self.tree.items(low, high, low_inclusive, high_inclusive)
+
+    def __len__(self) -> int:
+        return len(self.tree)

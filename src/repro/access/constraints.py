@@ -1,0 +1,158 @@
+"""Integrity-constraint attachments.
+
+Constraints use the same attachment protocol as access methods (the paper's
+point: attachments generalize both).  They validate changes in their
+``before_*`` hooks and raise :class:`ConstraintError` to veto.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.access.attachment import IntegrityConstraint
+from repro.catalog.schema import TableDef
+from repro.errors import ConstraintError
+from repro.storage.record import RID
+
+
+class NotNullConstraint(IntegrityConstraint):
+    """Rejects NULL in the named columns."""
+
+    kind = "not_null"
+
+    def __init__(self, table: TableDef, column_names: Sequence[str]):
+        super().__init__(table)
+        self.column_names = list(column_names)
+        self._positions = [table.column_index(c) for c in column_names]
+
+    def _check(self, row: Tuple[Any, ...]) -> None:
+        for name, position in zip(self.column_names, self._positions):
+            if row[position] is None:
+                raise ConstraintError(
+                    "column %s of table %s may not be NULL"
+                    % (name, self.table.name)
+                )
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        self._check(row)
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        self._check(new_row)
+
+
+class UniqueConstraint(IntegrityConstraint):
+    """Enforces uniqueness of a column combination with its own lookup table.
+
+    (Unique *indexes* also enforce uniqueness; this attachment exists for
+    tables without an index on the key.)
+    """
+
+    kind = "unique"
+
+    def __init__(self, table: TableDef, column_names: Sequence[str],
+                 name: Optional[str] = None):
+        super().__init__(table)
+        self.name = name or "uniq_%s_%s" % (table.name, "_".join(column_names))
+        self.column_names = list(column_names)
+        self._positions = [table.column_index(c) for c in column_names]
+        self._keys: Dict[Tuple[Any, ...], int] = {}
+
+    def _key_of(self, row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        return tuple(row[p] for p in self._positions)
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        key = self._key_of(row)
+        if None not in key and self._keys.get(key, 0) > 0:
+            raise ConstraintError(
+                "%s: duplicate key %r" % (self.name, key)
+            )
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        old_key = self._key_of(old_row)
+        new_key = self._key_of(new_row)
+        if new_key != old_key and None not in new_key and self._keys.get(new_key, 0) > 0:
+            raise ConstraintError(
+                "%s: duplicate key %r" % (self.name, new_key)
+            )
+
+    def on_insert(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        key = self._key_of(row)
+        self._keys[key] = self._keys.get(key, 0) + 1
+
+    def on_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        key = self._key_of(row)
+        count = self._keys.get(key, 0)
+        if count <= 1:
+            self._keys.pop(key, None)
+        else:
+            self._keys[key] = count - 1
+
+
+class CheckConstraint(IntegrityConstraint):
+    """Arbitrary row predicate supplied by the DBC as a Python callable.
+
+    The callable receives the row as a dict keyed by column name and must
+    return truthy for acceptable rows.  NULL-involving checks follow SQL:
+    a check that returns None (unknown) does not reject the row.
+    """
+
+    kind = "check"
+
+    def __init__(self, table: TableDef,
+                 predicate: Callable[[Dict[str, Any]], Any],
+                 name: Optional[str] = None):
+        super().__init__(table)
+        self.name = name or "check_%s" % table.name
+        self.predicate = predicate
+        self._names = table.column_names()
+
+    def _check(self, row: Tuple[Any, ...]) -> None:
+        named = dict(zip(self._names, row))
+        verdict = self.predicate(named)
+        if verdict is not None and not verdict:
+            raise ConstraintError("%s violated by row %r" % (self.name, row))
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        self._check(row)
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        self._check(new_row)
+
+
+class ForeignKeyConstraint(IntegrityConstraint):
+    """Referential integrity: child columns must match some parent row.
+
+    The parent side is consulted through a callable so the constraint does
+    not depend on the storage engine directly (the engine wires it up with
+    a probe against the parent's storage or index).
+    """
+
+    kind = "foreign_key"
+
+    def __init__(self, table: TableDef, column_names: Sequence[str],
+                 parent_lookup: Callable[[Tuple[Any, ...]], bool],
+                 name: Optional[str] = None):
+        super().__init__(table)
+        self.name = name or "fk_%s_%s" % (table.name, "_".join(column_names))
+        self.column_names = list(column_names)
+        self._positions = [table.column_index(c) for c in column_names]
+        self._parent_lookup = parent_lookup
+
+    def _check(self, row: Tuple[Any, ...]) -> None:
+        key = tuple(row[p] for p in self._positions)
+        if None in key:
+            return  # SQL: NULL FK values are not checked
+        if not self._parent_lookup(key):
+            raise ConstraintError(
+                "%s: no parent row for key %r" % (self.name, key)
+            )
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        self._check(row)
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        self._check(new_row)

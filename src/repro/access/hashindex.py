@@ -1,0 +1,88 @@
+"""Hash index access method: equality probes only, no order.
+
+Exists mainly to exercise the optimizer's capability checks — a STAR whose
+condition requires a range-capable index must not pick a hash index, and
+the glue machinery must add a SORT when order is required above it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.access.attachment import AccessMethod
+from repro.catalog.schema import IndexDef, TableDef
+from repro.errors import AccessMethodError, ConstraintError
+from repro.storage.record import RID
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex(AccessMethod):
+    """Bucketed equality index over full key tuples."""
+
+    kind = "hash"
+
+    def __init__(self, table: TableDef, index: IndexDef):
+        super().__init__(table, index)
+        self._buckets: Dict[Key, List[RID]] = {}
+        self._size = 0
+
+    @property
+    def supports_range(self) -> bool:
+        return False
+
+    @property
+    def provides_order(self) -> bool:
+        return False
+
+    def before_insert(self, row: Tuple[Any, ...]) -> None:
+        if self.index.unique:
+            key = self.key_of(row)
+            if None not in key and self._buckets.get(key):
+                raise ConstraintError(
+                    "unique index %s rejects duplicate key %r"
+                    % (self.index.name, key)
+                )
+
+    def before_update(self, rid: RID, old_row: Tuple[Any, ...],
+                      new_row: Tuple[Any, ...]) -> None:
+        if self.index.unique:
+            old_key = self.key_of(old_row)
+            new_key = self.key_of(new_row)
+            if new_key != old_key and None not in new_key and self._buckets.get(new_key):
+                raise ConstraintError(
+                    "unique index %s rejects duplicate key %r"
+                    % (self.index.name, new_key)
+                )
+
+    def on_insert(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        self._buckets.setdefault(self.key_of(row), []).append(rid)
+        self._size += 1
+
+    def on_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        key = self.key_of(row)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(rid)
+            self._size -= 1
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def probe(self, key: Key) -> List[RID]:
+        if None in key:
+            return []
+        return list(self._buckets.get(key, []))
+
+    def range_scan(self, low: Optional[Key] = None, high: Optional[Key] = None,
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[Tuple[Key, RID]]:
+        raise AccessMethodError(
+            "hash index %s cannot answer range scans" % self.index.name
+        )
+
+    def __len__(self) -> int:
+        return self._size

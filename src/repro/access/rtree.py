@@ -1,0 +1,242 @@
+"""R-tree access method for 2-D spatial data ([GUTT84] in the paper).
+
+The paper's example of a DBC-added access method is an R-tree; this module
+provides one (quadratic-split Guttman R-tree) plus the attachment wrapper
+that indexes a pair of numeric columns (x, y) as points and answers window
+queries.  Externally defined point types can also be indexed by supplying a
+``key_extractor``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.access.attachment import AccessMethod
+from repro.catalog.schema import IndexDef, TableDef
+from repro.errors import AccessMethodError
+from repro.storage.record import RID
+
+
+class Rect(NamedTuple):
+    """An axis-aligned rectangle (min x, min y, max x, max y)."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        return cls(x, y, x, y)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(min(self.x_min, other.x_min), min(self.y_min, other.y_min),
+                    max(self.x_max, other.x_max), max(self.y_max, other.y_max))
+
+    def area(self) -> float:
+        return (self.x_max - self.x_min) * (self.y_max - self.y_min)
+
+    def enlargement(self, other: "Rect") -> float:
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return (self.x_min <= other.x_max and other.x_min <= self.x_max and
+                self.y_min <= other.y_max and other.y_min <= self.y_max)
+
+    def contains(self, other: "Rect") -> bool:
+        return (self.x_min <= other.x_min and other.x_max <= self.x_max and
+                self.y_min <= other.y_min and other.y_max <= self.y_max)
+
+
+class _RNode:
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        #: leaf: (Rect, RID); interior: (Rect, _RNode)
+        self.entries: List[Tuple[Rect, Any]] = []
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0][0]
+        for other, _ in self.entries[1:]:
+            rect = rect.union(other)
+        return rect
+
+
+class RTree:
+    """Guttman R-tree with quadratic split."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise AccessMethodError("R-tree needs max_entries >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 2)
+        self._root = _RNode(is_leaf=True)
+        self._size = 0
+
+    def insert(self, rect: Rect, rid: RID) -> None:
+        split = self._insert(self._root, rect, rid)
+        if split is not None:
+            left, right = split
+            new_root = _RNode(is_leaf=False)
+            new_root.entries = [(left.mbr(), left), (right.mbr(), right)]
+            self._root = new_root
+        self._size += 1
+
+    def _choose_child(self, node: _RNode, rect: Rect) -> int:
+        best_index = 0
+        best = (float("inf"), float("inf"))
+        for index, (mbr, _) in enumerate(node.entries):
+            candidate = (mbr.enlargement(rect), mbr.area())
+            if candidate < best:
+                best = candidate
+                best_index = index
+        return best_index
+
+    def _insert(self, node: _RNode, rect: Rect,
+                payload: Any) -> Optional[Tuple[_RNode, _RNode]]:
+        if node.is_leaf:
+            node.entries.append((rect, payload))
+        else:
+            index = self._choose_child(node, rect)
+            mbr, child = node.entries[index]
+            split = self._insert(child, rect, payload)
+            if split is None:
+                node.entries[index] = (mbr.union(rect), child)
+            else:
+                left, right = split
+                node.entries[index] = (left.mbr(), left)
+                node.entries.append((right.mbr(), right))
+        if len(node.entries) > self.max_entries:
+            return self._quadratic_split(node)
+        return None
+
+    def _quadratic_split(self, node: _RNode) -> Tuple[_RNode, _RNode]:
+        entries = node.entries
+        # Pick the two seeds wasting the most area if grouped together.
+        worst = -1.0
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (entries[i][0].union(entries[j][0]).area()
+                         - entries[i][0].area() - entries[j][0].area())
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        left = _RNode(node.is_leaf)
+        right = _RNode(node.is_leaf)
+        left.entries.append(entries[seeds[0]])
+        right.entries.append(entries[seeds[1]])
+        remaining = [e for k, e in enumerate(entries) if k not in seeds]
+        for position, entry in enumerate(remaining):
+            still_unassigned = len(remaining) - position
+            # Honour the minimum fill: if one group needs every remaining
+            # entry to reach min_entries, it takes them all.
+            if self.min_entries - len(left.entries) >= still_unassigned:
+                left.entries.append(entry)
+                continue
+            if self.min_entries - len(right.entries) >= still_unassigned:
+                right.entries.append(entry)
+                continue
+            grow_left = left.mbr().enlargement(entry[0])
+            grow_right = right.mbr().enlargement(entry[0])
+            if grow_left <= grow_right:
+                left.entries.append(entry)
+            else:
+                right.entries.append(entry)
+        node.entries = left.entries
+        node.is_leaf = left.is_leaf
+        # Reuse `node` as the left node to keep the parent's reference valid.
+        right_node = right
+        return node, right_node
+
+    def search(self, window: Rect) -> Iterator[Tuple[Rect, RID]]:
+        """Yield (rect, RID) for every entry intersecting the window."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for rect, payload in node.entries:
+                if not window.intersects(rect):
+                    continue
+                if node.is_leaf:
+                    yield rect, payload
+                else:
+                    stack.append(payload)
+
+    def delete(self, rect: Rect, rid: RID) -> bool:
+        """Remove one entry (exact rect + RID match).  No re-balancing."""
+        found = self._delete(self._root, rect, rid)
+        if found:
+            self._size -= 1
+        return found
+
+    def _delete(self, node: _RNode, rect: Rect, rid: RID) -> bool:
+        if node.is_leaf:
+            for index, (entry_rect, payload) in enumerate(node.entries):
+                if entry_rect == rect and payload == rid:
+                    del node.entries[index]
+                    return True
+            return False
+        for index, (mbr, child) in enumerate(node.entries):
+            if mbr.intersects(rect) and self._delete(child, rect, rid):
+                if child.entries:
+                    node.entries[index] = (child.mbr(), child)
+                else:
+                    del node.entries[index]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class RTreeIndex(AccessMethod):
+    """Attachment wrapper indexing two numeric columns as points.
+
+    ``key_extractor`` may be supplied to index externally defined types
+    (e.g. a POINT column) — it maps a row to a :class:`Rect`.
+    """
+
+    kind = "rtree"
+
+    def __init__(self, table: TableDef, index: IndexDef,
+                 key_extractor: Optional[Callable[[Tuple], Rect]] = None):
+        super().__init__(table, index)
+        if key_extractor is None and len(index.column_names) != 2:
+            raise AccessMethodError(
+                "rtree index %s needs exactly two numeric columns (x, y) "
+                "or a key_extractor" % index.name
+            )
+        self._extract = key_extractor
+        self.tree = RTree()
+
+    def _rect_of(self, row: Tuple[Any, ...]) -> Optional[Rect]:
+        if self._extract is not None:
+            return self._extract(row)
+        x, y = (row[p] for p in self.key_positions)
+        if x is None or y is None:
+            return None
+        return Rect.point(float(x), float(y))
+
+    def on_insert(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        rect = self._rect_of(row)
+        if rect is not None:
+            self.tree.insert(rect, rid)
+
+    def on_delete(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        rect = self._rect_of(row)
+        if rect is not None:
+            self.tree.delete(rect, rid)
+
+    def probe(self, key: Tuple[Any, ...]) -> List[RID]:
+        if None in key:
+            return []
+        window = Rect.point(float(key[0]), float(key[1]))
+        return [rid for _, rid in self.tree.search(window)]
+
+    def window_query(self, window: Rect) -> List[RID]:
+        """All RIDs whose point lies in the window (the R-tree speciality)."""
+        return [rid for _, rid in self.tree.search(window)]
+
+    def __len__(self) -> int:
+        return len(self.tree)

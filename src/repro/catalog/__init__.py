@@ -1,0 +1,22 @@
+"""Catalog: the schema metadata Corona consults during compilation.
+
+Starburst's Corona includes extensible data definition, authorization and
+catalog management ([HAAS88]).  This package provides the pieces the query
+processor needs: table, column, view, index and site definitions plus
+per-table statistics for the cost model.
+"""
+
+from repro.catalog.schema import ColumnDef, IndexDef, TableDef, ViewDef
+from repro.catalog.statistics import ColumnStatistics, TableStatistics
+from repro.catalog.catalog import Catalog, DEFAULT_SITE
+
+__all__ = [
+    "Catalog",
+    "ColumnDef",
+    "TableDef",
+    "IndexDef",
+    "ViewDef",
+    "ColumnStatistics",
+    "TableStatistics",
+    "DEFAULT_SITE",
+]

@@ -1,0 +1,156 @@
+"""The catalog proper: tables, views, indexes, sites and statistics.
+
+The catalog is the compile-time face of Core's metadata.  Corona's semantic
+analysis resolves names against it, the rewrite phase fetches view bodies
+from it, and the optimizer reads statistics and access-method attachments
+through it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.schema import IndexDef, TableDef, ViewDef, normalize_name
+from repro.catalog.statistics import TableStatistics
+from repro.errors import CatalogError
+
+#: Site name used for tables created without an explicit site (the local
+#: node in the simulated distributed configuration).
+DEFAULT_SITE = "local"
+
+
+class Catalog:
+    """In-memory catalog for one database instance."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableDef] = {}
+        self._views: Dict[str, ViewDef] = {}
+        self._indexes: Dict[str, IndexDef] = {}
+        self._indexes_by_table: Dict[str, List[IndexDef]] = {}
+        self._statistics: Dict[str, TableStatistics] = {}
+        self._sites: Dict[str, float] = {DEFAULT_SITE: 0.0}
+        self._next_table_id = 1
+
+    # -- tables ------------------------------------------------------------
+
+    def create_table(self, table: TableDef) -> TableDef:
+        """Register a table definition.  Name clashes (with tables or views)
+        raise :class:`CatalogError`."""
+        if table.name in self._tables or table.name in self._views:
+            raise CatalogError("name %s already exists" % table.name)
+        if table.site not in self._sites:
+            raise CatalogError(
+                "unknown site %s (register it with add_site first)" % table.site
+            )
+        table.table_id = self._next_table_id
+        self._next_table_id += 1
+        self._tables[table.name] = table
+        self._statistics[table.name] = TableStatistics(table.column_names())
+        self._indexes_by_table.setdefault(table.name, [])
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = normalize_name(name)
+        if key not in self._tables:
+            raise CatalogError("no table %s" % name)
+        del self._tables[key]
+        del self._statistics[key]
+        for index in self._indexes_by_table.pop(key, []):
+            self._indexes.pop(index.name, None)
+
+    def table(self, name: str) -> TableDef:
+        key = normalize_name(name)
+        try:
+            return self._tables[key]
+        except KeyError:
+            raise CatalogError("no table %s" % name) from None
+
+    def has_table(self, name: str) -> bool:
+        return normalize_name(name) in self._tables
+
+    def tables(self) -> List[TableDef]:
+        return list(self._tables.values())
+
+    # -- views ---------------------------------------------------------------
+
+    def create_view(self, view: ViewDef) -> ViewDef:
+        if view.name in self._views or view.name in self._tables:
+            raise CatalogError("name %s already exists" % view.name)
+        self._views[view.name] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        key = normalize_name(name)
+        if key not in self._views:
+            raise CatalogError("no view %s" % name)
+        del self._views[key]
+
+    def view(self, name: str) -> ViewDef:
+        key = normalize_name(name)
+        try:
+            return self._views[key]
+        except KeyError:
+            raise CatalogError("no view %s" % name) from None
+
+    def has_view(self, name: str) -> bool:
+        return normalize_name(name) in self._views
+
+    def views(self) -> List[ViewDef]:
+        return list(self._views.values())
+
+    # -- indexes (access-method attachments) ---------------------------------
+
+    def create_index(self, index: IndexDef) -> IndexDef:
+        if index.name in self._indexes:
+            raise CatalogError("index %s already exists" % index.name)
+        table = self.table(index.table_name)
+        for column_name in index.column_names:
+            table.column(column_name)  # raises on unknown column
+        self._indexes[index.name] = index
+        self._indexes_by_table.setdefault(table.name, []).append(index)
+        return index
+
+    def drop_index(self, name: str) -> None:
+        key = normalize_name(name)
+        index = self._indexes.pop(key, None)
+        if index is None:
+            raise CatalogError("no index %s" % name)
+        self._indexes_by_table[index.table_name].remove(index)
+
+    def index(self, name: str) -> IndexDef:
+        key = normalize_name(name)
+        try:
+            return self._indexes[key]
+        except KeyError:
+            raise CatalogError("no index %s" % name) from None
+
+    def indexes_on(self, table_name: str) -> List[IndexDef]:
+        return list(self._indexes_by_table.get(normalize_name(table_name), []))
+
+    # -- statistics -----------------------------------------------------------
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        key = normalize_name(table_name)
+        try:
+            return self._statistics[key]
+        except KeyError:
+            raise CatalogError("no table %s" % table_name) from None
+
+    # -- sites (simulated distribution) ----------------------------------------
+
+    def add_site(self, name: str, ship_cost_per_row: float = 0.01) -> None:
+        """Register a site.  ``ship_cost_per_row`` feeds the SHIP LOLEPOP's
+        cost function; the default site has cost zero."""
+        self._sites[name] = ship_cost_per_row
+
+    def sites(self) -> List[str]:
+        return list(self._sites)
+
+    def ship_cost(self, site: str) -> float:
+        try:
+            return self._sites[site]
+        except KeyError:
+            raise CatalogError("unknown site %s" % site) from None
+
+    def has_site(self, name: str) -> bool:
+        return name in self._sites

@@ -1,0 +1,138 @@
+"""Schema objects stored in the catalog.
+
+These are plain data holders; behaviour (storage, access paths, statistics)
+lives in the subsystems that consume them.  Names are case-insensitive and
+normalized to lower case, matching Hydrogen's identifier rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.datatypes.types import DataType
+from repro.errors import CatalogError
+
+
+def normalize_name(name: str) -> str:
+    """Normalize an identifier (tables, columns, indexes) to lower case."""
+    return name.lower()
+
+
+class ColumnDef:
+    """A column of a base table or view."""
+
+    __slots__ = ("name", "dtype", "nullable", "position")
+
+    def __init__(self, name: str, dtype: DataType, nullable: bool = True,
+                 position: int = -1):
+        self.name = normalize_name(name)
+        self.dtype = dtype
+        self.nullable = nullable
+        #: Ordinal position within the table; filled in by TableDef.
+        self.position = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        null = "" if self.nullable else " NOT NULL"
+        return "<Column %s %s%s>" % (self.name, self.dtype.name, null)
+
+
+class TableDef:
+    """A base table: columns, storage manager, home site, primary key."""
+
+    def __init__(self, name: str, columns: Sequence[ColumnDef],
+                 storage_manager: str = "heap", site: str = "local",
+                 primary_key: Optional[Sequence[str]] = None):
+        self.name = normalize_name(name)
+        self.columns: List[ColumnDef] = list(columns)
+        if not self.columns:
+            raise CatalogError("table %s must have at least one column" % name)
+        seen = set()
+        for position, column in enumerate(self.columns):
+            if column.name in seen:
+                raise CatalogError(
+                    "duplicate column %s in table %s" % (column.name, name)
+                )
+            seen.add(column.name)
+            column.position = position
+        self.storage_manager = storage_manager
+        self.site = site
+        self.primary_key: List[str] = [normalize_name(c) for c in (primary_key or [])]
+        for key_col in self.primary_key:
+            if key_col not in seen:
+                raise CatalogError(
+                    "primary key column %s not in table %s" % (key_col, name)
+                )
+        #: Assigned by the catalog on registration.
+        self.table_id: int = -1
+
+    def column(self, name: str) -> ColumnDef:
+        """Look up a column by name, raising :class:`CatalogError`."""
+        wanted = normalize_name(name)
+        for column in self.columns:
+            if column.name == wanted:
+                return column
+        raise CatalogError("no column %s in table %s" % (name, self.name))
+
+    def has_column(self, name: str) -> bool:
+        wanted = normalize_name(name)
+        return any(column.name == wanted for column in self.columns)
+
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column_index(self, name: str) -> int:
+        return self.column(name).position
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Table %s (%d columns, sm=%s, site=%s)>" % (
+            self.name, len(self.columns), self.storage_manager, self.site)
+
+
+class IndexDef:
+    """An access-method attachment registered on a table.
+
+    ``kind`` selects the attachment implementation ('btree', 'hash',
+    'rtree', or any DBC-registered kind); ``unique`` asks the attachment to
+    enforce uniqueness of the key.
+    """
+
+    def __init__(self, name: str, table_name: str, column_names: Sequence[str],
+                 kind: str = "btree", unique: bool = False):
+        self.name = normalize_name(name)
+        self.table_name = normalize_name(table_name)
+        self.column_names: List[str] = [normalize_name(c) for c in column_names]
+        if not self.column_names:
+            raise CatalogError("index %s must cover at least one column" % name)
+        self.kind = kind
+        self.unique = unique
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Index %s ON %s(%s) kind=%s%s>" % (
+            self.name, self.table_name, ", ".join(self.column_names),
+            self.kind, " UNIQUE" if self.unique else "")
+
+
+class ViewDef:
+    """A view: a named Hydrogen query.
+
+    The view body is stored both as source text and as a parsed AST; the
+    translator expands the AST into the referencing query's QGM, after which
+    the *view merging* rewrite rules may merge it into the consumer
+    (section 5 of the paper).
+    """
+
+    def __init__(self, name: str, text: str, ast=None,
+                 column_names: Optional[Sequence[str]] = None):
+        self.name = normalize_name(name)
+        self.text = text
+        self.ast = ast
+        self.column_names: Optional[List[str]] = (
+            [normalize_name(c) for c in column_names] if column_names else None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<View %s>" % self.name

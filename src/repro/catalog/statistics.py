@@ -1,0 +1,107 @@
+"""Table and column statistics for the optimizer's cost model.
+
+The Starburst plan generator starts property evaluation "with statistics on
+stored tables" (section 6).  We keep the System-R-style statistics that the
+selectivity formulas in ``repro.optimizer.cost`` consume:
+
+- table cardinality and page count,
+- per-column distinct-value count, min/max (for numeric interpolation) and
+  null count.
+
+Statistics are maintained incrementally on DML and can be recomputed exactly
+with :meth:`TableStatistics.recompute` (the moral equivalent of RUNSTATS).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+
+class ColumnStatistics:
+    """Statistics for a single column."""
+
+    __slots__ = ("n_distinct", "min_value", "max_value", "null_count")
+
+    def __init__(self, n_distinct: int = 0, min_value: Any = None,
+                 max_value: Any = None, null_count: int = 0):
+        self.n_distinct = n_distinct
+        self.min_value = min_value
+        self.max_value = max_value
+        self.null_count = null_count
+
+    def observe(self, value: Any) -> None:
+        """Cheap incremental update on insert (distinct count is a bound)."""
+        if value is None:
+            self.null_count += 1
+            return
+        try:
+            if self.min_value is None or value < self.min_value:
+                self.min_value = value
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
+        except TypeError:
+            # Externally defined types without an order: keep counts only.
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ColStats distinct=%d range=[%r, %r] nulls=%d>" % (
+            self.n_distinct, self.min_value, self.max_value, self.null_count)
+
+
+class TableStatistics:
+    """Statistics for one table, keyed by column name."""
+
+    def __init__(self, column_names: Sequence[str]):
+        self.row_count: int = 0
+        self.page_count: int = 1
+        self.columns: Dict[str, ColumnStatistics] = {
+            name: ColumnStatistics() for name in column_names
+        }
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns.setdefault(name, ColumnStatistics())
+
+    def on_insert(self, named_row: Dict[str, Any]) -> None:
+        """Incrementally account for one inserted row."""
+        self.row_count += 1
+        for name, value in named_row.items():
+            self.column(name).observe(value)
+
+    def on_delete(self) -> None:
+        """Incrementally account for one deleted row (ranges are kept)."""
+        if self.row_count > 0:
+            self.row_count -= 1
+
+    def recompute(self, rows: Iterable[Tuple[Any, ...]],
+                  column_names: Sequence[str],
+                  page_count: Optional[int] = None) -> None:
+        """Exact statistics from a full scan (RUNSTATS equivalent)."""
+        distinct = {name: set() for name in column_names}
+        stats = {name: ColumnStatistics() for name in column_names}
+        count = 0
+        for row in rows:
+            count += 1
+            for name, value in zip(column_names, row):
+                stats[name].observe(value)
+                if value is not None:
+                    try:
+                        distinct[name].add(value)
+                    except TypeError:
+                        pass
+        for name in column_names:
+            stats[name].n_distinct = len(distinct[name])
+        self.row_count = count
+        self.columns = stats
+        if page_count is not None:
+            self.page_count = max(1, page_count)
+
+    def n_distinct(self, column_name: str) -> int:
+        """Distinct count with a sane fallback when stats are missing."""
+        stat = self.columns.get(column_name)
+        if stat is None or stat.n_distinct <= 0:
+            # Default guess: a tenth of the rows are distinct, at least 1.
+            return max(1, self.row_count // 10)
+        return stat.n_distinct
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TableStats rows=%d pages=%d>" % (self.row_count, self.page_count)

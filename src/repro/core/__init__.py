@@ -1,0 +1,12 @@
+"""Corona: the language processor facade.
+
+:class:`~repro.core.database.Database` is the public entry point: it owns
+the catalog, the Core storage engine, the registries for every DBC
+extension point, and the compile pipeline (parse → QGM → rewrite → optimize
+→ execute) of the paper's Figure 1.
+"""
+
+from repro.core.database import Database, Result
+from repro.core.pipeline import CompiledStatement, PhaseTimings
+
+__all__ = ["Database", "Result", "CompiledStatement", "PhaseTimings"]

@@ -1,0 +1,353 @@
+"""The Database facade: Corona + Core wired together.
+
+Creates the registries for every extension point the paper names:
+
+- data types (``register_type``),
+- scalar / aggregate / table / set-predicate functions,
+- storage managers and access methods (Core's attachment architecture),
+- table operations (e.g. enabling LEFT OUTER JOIN),
+- query rewrite rules and rule classes,
+- STARs / plan-generator alternatives,
+- join kinds for the execution system.
+
+``execute`` runs one Hydrogen statement (autocommit unless a transaction is
+supplied); ``compile`` returns a reusable compiled statement; ``explain``
+renders QGM (before/after rewrite) and the chosen plan.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.access.attachment import Attachment
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnDef, IndexDef, TableDef, ViewDef
+from repro.datatypes.registry import TypeRegistry
+from repro.datatypes.types import DataType
+from repro.errors import ExecutionError, SemanticError
+from repro.executor.context import ExecutionContext
+from repro.executor.kinds import default_join_kinds
+from repro.executor.run import execute_plan
+from repro.functions.builtins import register_builtins
+from repro.functions.registry import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    SetPredicateFunction,
+    TableFunction,
+)
+from repro.language import ast
+from repro.language.parser import parse_statement
+from repro.optimizer.boxopt import OptimizerSettings
+from repro.optimizer.stars import STAR, Alternative, default_star_array
+from repro.core.pipeline import CompiledStatement, compile_statement
+from repro.storage.engine import StorageEngine
+
+
+class Settings:
+    """Per-database behaviour switches."""
+
+    def __init__(self):
+        #: Query rewrite can be "bypassed for faster query compilation at
+        #: the expense of potentially lower runtime performance" (Fig. 1).
+        self.rewrite_enabled = True
+        self.optimizer = OptimizerSettings()
+        #: Validate QGM after parse and rewrite (debug aid; cheap).
+        self.validate_qgm = True
+        #: Plan refinement compiles subquery-free expressions to closures.
+        self.compile_expressions = True
+
+
+class Result:
+    """The outcome of one statement."""
+
+    def __init__(self, columns: Sequence[str],
+                 rows: List[Tuple[Any, ...]],
+                 rowcount: Optional[int] = None,
+                 timings=None, stats=None):
+        self.columns = list(columns)
+        self.rows = rows
+        self.rowcount = rowcount if rowcount is not None else len(rows)
+        self.timings = timings
+        self.stats = stats
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                "scalar() needs exactly one row and one column, got %dx%d"
+                % (len(self.rows), len(self.columns)))
+        return self.rows[0][0]
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        return self.rows[0] if self.rows else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Result %d row(s), columns=%s>" % (len(self.rows),
+                                                   self.columns)
+
+
+class Database:
+    """One Starburst-reproduction database instance."""
+
+    def __init__(self, pool_capacity: int = 256):
+        self.catalog = Catalog()
+        self.types = TypeRegistry.with_builtins()
+        self.functions = register_builtins(FunctionRegistry())
+        self.engine = StorageEngine(self.catalog, pool_capacity=pool_capacity)
+        self.join_kinds = default_join_kinds()
+        #: Enabled table operations (DBC extensions, e.g. left_outer_join).
+        self.operations: set = set()
+        self.settings = Settings()
+        self.stars = default_star_array()
+        # The rewrite engine is attached lazily to avoid a hard dependency
+        # cycle; repro.rewrite installs the default rule set.
+        from repro.rewrite.engine import RewriteEngine
+        from repro.rewrite.rules import install_default_rules
+
+        self.rewrite_engine = RewriteEngine(self)
+        install_default_rules(self.rewrite_engine)
+
+    # ==== statement execution ===================================================
+
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                txn=None) -> Result:
+        """Parse, compile and run one Hydrogen statement."""
+        stripped = sql.strip()
+        statement = parse_statement(stripped)
+        if isinstance(statement, ast.ExplainStmt):
+            return self._explain_text(stripped)
+        if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
+                                  ast.CreateViewStmt, ast.DropStmt)):
+            return self._execute_ddl(statement)
+        compiled = compile_statement(self, stripped,
+                                     validate=self.settings.validate_qgm)
+        return self.run_compiled(compiled, params, txn)
+
+    def compile(self, sql: str) -> CompiledStatement:
+        """Compile without executing (compilation is storable/reusable)."""
+        return compile_statement(self, sql.strip(),
+                                 validate=self.settings.validate_qgm)
+
+    def run_compiled(self, compiled: CompiledStatement,
+                     params: Sequence[Any] = (), txn=None) -> Result:
+        started = time.perf_counter()
+        ctx = ExecutionContext(self.engine, self.functions, params, txn)
+        ctx.join_kinds = self.join_kinds
+        own_txn = None
+        if txn is None and not compiled.is_query:
+            own_txn = self.engine.begin()
+            ctx.txn = own_txn
+        try:
+            rows = list(execute_plan(compiled.plan, ctx))
+        except BaseException:
+            if own_txn is not None:
+                self.engine.abort(own_txn)
+            raise
+        if own_txn is not None:
+            self.engine.commit(own_txn)
+        compiled.timings.execute = time.perf_counter() - started
+        visible = compiled.qgm.visible_columns if compiled.qgm else None
+        if visible is not None:
+            rows = [row[:visible] for row in rows]
+        return Result(compiled.output_columns(), rows,
+                      rowcount=ctx.rowcount, timings=compiled.timings,
+                      stats=ctx.stats)
+
+    def begin(self):
+        """Start an explicit transaction (pass it to execute)."""
+        return self.engine.begin()
+
+    def commit(self, txn) -> None:
+        self.engine.commit(txn)
+
+    def rollback(self, txn) -> None:
+        self.engine.abort(txn)
+
+    # ==== EXPLAIN ==================================================================
+
+    def explain(self, sql: str) -> str:
+        """QGM before/after rewrite plus the chosen plan, as text."""
+        from repro.qgm.display import render_qgm
+
+        compiled = self.compile(sql)
+        parts = []
+        if compiled.qgm_before_rewrite:
+            parts.append("=== QGM (before rewrite) ===")
+            parts.append(compiled.qgm_before_rewrite.rstrip())
+        parts.append("=== QGM ===")
+        parts.append(render_qgm(compiled.qgm).rstrip())
+        if compiled.rewrite_report is not None:
+            parts.append("=== rewrite: %s ===" % compiled.rewrite_report)
+        parts.append("=== plan ===")
+        parts.append(compiled.plan.explain())
+        return "\n".join(parts) + "\n"
+
+    def _explain_text(self, sql: str) -> Result:
+        inner = sql.strip()
+        # strip the leading EXPLAIN keyword
+        inner = inner[len("explain"):].lstrip()
+        text = self.explain(inner)
+        rows = [(line,) for line in text.rstrip("\n").split("\n")]
+        return Result(["plan"], rows)
+
+    # ==== DDL =========================================================================
+
+    def _execute_ddl(self, statement: ast.Statement) -> Result:
+        if isinstance(statement, ast.CreateTableStmt):
+            self._create_table(statement)
+        elif isinstance(statement, ast.CreateIndexStmt):
+            self.engine.create_index(IndexDef(
+                statement.name, statement.table_name, statement.column_names,
+                kind=statement.kind, unique=statement.unique))
+        elif isinstance(statement, ast.CreateViewStmt):
+            self._create_view(statement)
+        elif isinstance(statement, ast.DropStmt):
+            if statement.kind == "table":
+                self.engine.drop_table(statement.name)
+            elif statement.kind == "view":
+                self.catalog.drop_view(statement.name)
+            else:
+                self.engine.drop_index(statement.name)
+        return Result([], [], rowcount=0)
+
+    def _create_table(self, statement: ast.CreateTableStmt) -> None:
+        columns = []
+        primary_key = list(statement.primary_key or [])
+        for spec in statement.columns:
+            dtype = self.types.lookup(spec.type_name, spec.type_length)
+            columns.append(ColumnDef(spec.name, dtype,
+                                     nullable=not spec.not_null))
+            if spec.primary_key:
+                primary_key.append(spec.name)
+        table = TableDef(statement.name, columns,
+                         storage_manager=statement.storage_manager or "heap",
+                         site=statement.site or "local",
+                         primary_key=primary_key or None)
+        self.engine.create_table(table)
+        if primary_key:
+            self.engine.create_index(IndexDef(
+                "pk_%s" % table.name, table.name, primary_key,
+                kind="btree", unique=True))
+        for index, check in enumerate(statement.checks +
+                                      [s.check for s in statement.columns
+                                       if s.check is not None]):
+            self._attach_check(table, check, index)
+
+    def _attach_check(self, table: TableDef, check_ast: ast.Expr,
+                      number: int) -> None:
+        """Compile a CHECK expression into a constraint attachment."""
+        from repro.access.constraints import CheckConstraint
+        from repro.executor.evaluator import Evaluator
+        from repro.language.translator import Scope, SourceBinding, Translator
+        from repro.qgm.model import QGM as QGMGraph
+
+        translator = Translator(self)
+        translator.qgm = QGMGraph()
+        base = translator.qgm.base_table(table)
+        quantifier = translator.qgm.new_quantifier("F", base,
+                                                   name=table.name)
+        scope = Scope()
+        scope.define(table.name, SourceBinding(quantifier))
+        expr = translator._translate_expr(check_ast, None, scope,
+                                          allow_aggregates=False)
+
+        def predicate(named_row: dict) -> Optional[bool]:
+            ctx = ExecutionContext(self.engine, self.functions)
+            row = tuple(named_row[c.name] for c in table.columns)
+            return Evaluator(ctx).eval_bool(expr, {quantifier: row})
+
+        self.engine.add_constraint(
+            table.name,
+            CheckConstraint(table, predicate,
+                            name="check_%s_%d" % (table.name, number)))
+
+    def _create_view(self, statement: ast.CreateViewStmt) -> None:
+        # Validate the view body now (names, types) by translating it once.
+        from repro.language.translator import translate
+
+        translate(statement.query, self)
+        self.catalog.create_view(ViewDef(
+            statement.name, statement.text, ast=statement.query,
+            column_names=statement.column_names))
+
+    # ==== DBC extension API ==============================================================
+
+    def register_type(self, dtype: DataType, replace: bool = False) -> DataType:
+        """Externally defined column type."""
+        return self.types.register(dtype, replace=replace)
+
+    def register_scalar_function(self, name: str, fn, return_type,
+                                 arity: Optional[int] = None,
+                                 min_arity: Optional[int] = None,
+                                 max_arity: Optional[int] = None,
+                                 handles_null: bool = False) -> ScalarFunction:
+        return self.functions.register_scalar(ScalarFunction(
+            name, fn, return_type, arity=arity, min_arity=min_arity,
+            max_arity=max_arity, handles_null=handles_null))
+
+    def register_aggregate_function(self, name: str, factory,
+                                    return_type) -> AggregateFunction:
+        return self.functions.register_aggregate(
+            AggregateFunction(name, factory, return_type))
+
+    def register_table_function(self, name: str, fn,
+                                table_inputs: int = 1) -> TableFunction:
+        return self.functions.register_table_function(
+            TableFunction(name, fn, table_inputs=table_inputs))
+
+    def register_set_predicate(self, name: str, combine,
+                               quantifier_type: Optional[str] = None
+                               ) -> SetPredicateFunction:
+        return self.functions.register_set_predicate(
+            SetPredicateFunction(name, combine,
+                                 quantifier_type=quantifier_type))
+
+    def register_storage_manager(self, name: str, factory,
+                                 replace: bool = False) -> None:
+        self.engine.storage_managers.register(name, factory, replace=replace)
+
+    def register_access_method(self, kind: str, factory,
+                               replace: bool = False) -> None:
+        self.engine.access_methods_registry.register(kind, factory,
+                                                     replace=replace)
+
+    def add_constraint(self, table_name: str,
+                       constraint: Attachment) -> Attachment:
+        return self.engine.add_constraint(table_name, constraint)
+
+    def enable_operation(self, name: str) -> None:
+        """Enable a DBC table operation (e.g. 'left_outer_join')."""
+        self.operations.add(name)
+
+    def register_rewrite_rule(self, rule, rule_class: str = "user") -> None:
+        self.rewrite_engine.add_rule(rule, rule_class)
+
+    def register_star(self, star: STAR, replace: bool = False) -> None:
+        if star.name in self.stars and not replace:
+            raise SemanticError("STAR %s already defined" % star.name)
+        self.stars[star.name] = star
+
+    def add_star_alternative(self, star_name: str,
+                             alternative: Alternative) -> None:
+        self.stars[star_name].alternatives.append(alternative)
+
+    def register_join_kind(self, kind, replace: bool = False) -> None:
+        self.join_kinds.register(kind, replace=replace)
+
+    # ==== maintenance ====================================================================
+
+    def analyze(self, table_name: Optional[str] = None) -> None:
+        """Recompute exact statistics (RUNSTATS)."""
+        if table_name is not None:
+            self.engine.recompute_statistics(table_name)
+            return
+        for table in self.catalog.tables():
+            self.engine.recompute_statistics(table.name)

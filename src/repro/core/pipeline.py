@@ -1,0 +1,156 @@
+"""The compile pipeline: the phases of Figure 1.
+
+    query text → tokens → parse (+ semantic analysis) → QGM
+               → query rewrite → plan optimization → plan refinement
+               → execution
+
+Compilation and execution are separate stages: a
+:class:`CompiledStatement` can be kept and executed many times with
+different parameters ("the result of the compilation stage can be stored
+for future use").  ``PhaseTimings`` records per-phase wall-clock time so
+benchmark F1 can regenerate the figure as a measured table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.errors import SemanticError
+from repro.language import ast
+from repro.language.parser import parse_statement
+from repro.language.translator import translate
+from repro.optimizer.boxopt import Optimizer
+from repro.optimizer.plans import PlanOp
+from repro.qgm.model import QGM
+from repro.qgm.validate import validate_qgm
+
+
+class PhaseTimings:
+    """Seconds spent in each compile phase (Figure 1 reproduction)."""
+
+    __slots__ = ("parse", "rewrite", "optimize", "refine", "execute")
+
+    def __init__(self):
+        self.parse = 0.0
+        self.rewrite = 0.0
+        self.optimize = 0.0
+        self.refine = 0.0
+        self.execute = 0.0
+
+    def compile_total(self) -> float:
+        return self.parse + self.rewrite + self.optimize + self.refine
+
+    def as_dict(self) -> dict:
+        return {
+            "parse": self.parse,
+            "rewrite": self.rewrite,
+            "optimize": self.optimize,
+            "refine": self.refine,
+            "execute": self.execute,
+        }
+
+
+class CompiledStatement:
+    """A compiled query: QGM snapshots, the plan, and phase timings."""
+
+    def __init__(self, text: str, statement: ast.Statement,
+                 qgm: Optional[QGM], plan: Optional[PlanOp],
+                 timings: PhaseTimings,
+                 qgm_before_rewrite: Optional[str] = None,
+                 rewrite_report=None):
+        self.text = text
+        self.statement = statement
+        self.qgm = qgm
+        self.plan = plan
+        self.timings = timings
+        self.qgm_before_rewrite = qgm_before_rewrite
+        self.rewrite_report = rewrite_report
+
+    @property
+    def is_query(self) -> bool:
+        from repro.qgm.model import DeleteBox, InsertBox, UpdateBox
+
+        if self.qgm is None or self.qgm.root is None:
+            return False
+        return not isinstance(self.qgm.root,
+                              (InsertBox, UpdateBox, DeleteBox))
+
+    def output_columns(self) -> List[str]:
+        if self.qgm is None or self.qgm.root is None:
+            return []
+        names = self.qgm.root.head.column_names()
+        if self.qgm.visible_columns is not None:
+            names = names[: self.qgm.visible_columns]
+        return names
+
+
+def compile_statement(db, text: str,
+                      validate: bool = True) -> CompiledStatement:
+    """Run the compile-time phases against a database's registries."""
+    from repro.qgm.display import render_qgm
+
+    timings = PhaseTimings()
+
+    started = time.perf_counter()
+    statement = parse_statement(text)
+    if isinstance(statement, ast.ExplainStmt):
+        raise SemanticError("EXPLAIN must be handled by Database.execute")
+    if _is_ddl(statement):
+        timings.parse = time.perf_counter() - started
+        return CompiledStatement(text, statement, None, None, timings)
+    qgm = translate(statement, db)
+    if validate:
+        validate_qgm(qgm)
+    timings.parse = time.perf_counter() - started
+
+    qgm_before = None
+    rewrite_report = None
+    started = time.perf_counter()
+    if db.settings.rewrite_enabled and db.rewrite_engine is not None:
+        qgm_before = render_qgm(qgm)
+        rewrite_report = db.rewrite_engine.run(qgm)
+        if validate:
+            validate_qgm(qgm)
+    timings.rewrite = time.perf_counter() - started
+
+    started = time.perf_counter()
+    optimizer = Optimizer(db.catalog, engine=db.engine,
+                          settings=db.settings.optimizer,
+                          functions=db.functions,
+                          stars=db.stars)
+    plan = optimizer.optimize(qgm)
+    timings.optimize = time.perf_counter() - started
+
+    # Plan refinement (QEP → executable QEP): verify every operator has an
+    # interpreter and compile subquery-free expressions to closures (the
+    # [FREY86] compilation the paper points at).
+    started = time.perf_counter()
+    _refine_check(plan)
+    refiner = None
+    if db.settings.compile_expressions:
+        from repro.executor.compiled import refine_plan
+
+        refiner = refine_plan(plan, db.functions)
+    timings.refine = time.perf_counter() - started
+
+    compiled = CompiledStatement(text, statement, qgm, plan, timings,
+                                 qgm_before, rewrite_report)
+    compiled._optimizer = optimizer  # for EXPLAIN / benchmarks
+    compiled.refiner = refiner
+    return compiled
+
+
+def _refine_check(plan: PlanOp) -> None:
+    """Verify every operator in the plan has an interpreter (QEP → QEP)."""
+    from repro.executor.run import _ENV_OPS, _ROW_OPS
+
+    for node in plan.walk():
+        if type(node) not in _ROW_OPS and type(node) not in _ENV_OPS:
+            raise SemanticError(
+                "plan operator %s has no interpreter" % node.op_name)
+
+
+def _is_ddl(statement: ast.Statement) -> bool:
+    return isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
+                                  ast.CreateViewStmt, ast.DropStmt))

@@ -1,0 +1,53 @@
+"""Extensible data-type system (Starburst externally defined types).
+
+Starburst lets a database customizer (DBC) define almost any column type;
+externally defined types may appear anywhere a built-in type can, and
+functions may be defined over them ([WILM88] in the paper).  This package
+provides:
+
+- :class:`~repro.datatypes.types.DataType` — the behaviour a type must
+  implement (validation, byte (de)serialization, comparison, width),
+- the built-in types ``INTEGER``, ``DOUBLE``, ``VARCHAR``, ``BOOLEAN``,
+- :class:`~repro.datatypes.registry.TypeRegistry` — the DBC registration
+  point, pre-populated with the built-ins,
+- coercion/promotion rules used by the type checker.
+"""
+
+from repro.datatypes.types import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+    VarcharType,
+)
+from repro.datatypes.registry import TypeRegistry, builtin_registry
+from repro.datatypes.coercion import (
+    can_coerce,
+    coerce_value,
+    common_type,
+    is_comparable,
+    is_numeric,
+)
+
+__all__ = [
+    "DataType",
+    "IntegerType",
+    "DoubleType",
+    "VarcharType",
+    "BooleanType",
+    "INTEGER",
+    "DOUBLE",
+    "VARCHAR",
+    "BOOLEAN",
+    "TypeRegistry",
+    "builtin_registry",
+    "can_coerce",
+    "coerce_value",
+    "common_type",
+    "is_comparable",
+    "is_numeric",
+]

@@ -1,0 +1,78 @@
+"""Type coercion and comparability rules used by the Hydrogen type checker.
+
+The rules are deliberately small and SQL-like:
+
+- INTEGER widens to DOUBLE (never the reverse, implicitly),
+- every type is comparable with itself,
+- externally defined types are only comparable with themselves, unless the
+  DBC provides functions that take mixed arguments (functions do their own
+  argument checking).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.datatypes.types import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    DataType,
+    DoubleType,
+    IntegerType,
+    VarcharType,
+)
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """True for INTEGER and DOUBLE."""
+    return isinstance(dtype, (IntegerType, DoubleType))
+
+
+def can_coerce(source: DataType, target: DataType) -> bool:
+    """Can a value of ``source`` be implicitly converted to ``target``?"""
+    if source == target:
+        return True
+    if isinstance(source, VarcharType) and isinstance(target, VarcharType):
+        return True
+    if isinstance(source, IntegerType) and isinstance(target, DoubleType):
+        return True
+    return False
+
+
+def coerce_value(value: Any, source: DataType, target: DataType) -> Any:
+    """Convert ``value`` from ``source`` to ``target`` (must be coercible)."""
+    if value is None:
+        return None
+    if isinstance(source, IntegerType) and isinstance(target, DoubleType):
+        return float(value)
+    return value
+
+
+def common_type(left: DataType, right: DataType) -> Optional[DataType]:
+    """The promoted type of a binary expression, or None if incompatible."""
+    if left == right:
+        return left
+    if isinstance(left, VarcharType) and isinstance(right, VarcharType):
+        # Merge to the looser bound.
+        return left if left.max_length is None else right
+    if is_numeric(left) and is_numeric(right):
+        return DOUBLE
+    return None
+
+
+def is_comparable(left: DataType, right: DataType) -> bool:
+    """Can values of the two types appear on either side of a comparison?"""
+    return common_type(left, right) is not None
+
+
+__all__ = [
+    "is_numeric",
+    "can_coerce",
+    "coerce_value",
+    "common_type",
+    "is_comparable",
+    "INTEGER",
+    "DOUBLE",
+    "BOOLEAN",
+]

@@ -1,0 +1,86 @@
+"""Type registry — the DBC registration point for externally defined types.
+
+Each :class:`~repro.core.database.Database` owns a registry seeded from the
+built-ins, so extensions registered in one database do not leak into another
+(the paper's concern about independent extensions interfering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.datatypes.types import BOOLEAN, DOUBLE, INTEGER, VARCHAR, DataType, VarcharType
+from repro.errors import DataTypeError
+
+
+class TypeRegistry:
+    """Maps type names to :class:`DataType` instances.
+
+    Lookup understands the ``VARCHAR(n)`` spelling and produces a bounded
+    :class:`VarcharType` on the fly; all other parameterized types must be
+    registered explicitly by the DBC.
+    """
+
+    def __init__(self, seed: Optional[Dict[str, DataType]] = None):
+        self._types: Dict[str, DataType] = dict(seed or {})
+
+    @classmethod
+    def with_builtins(cls) -> "TypeRegistry":
+        """Return a fresh registry containing the built-in SQL types."""
+        registry = cls()
+        for dtype in (INTEGER, DOUBLE, VARCHAR, BOOLEAN):
+            registry.register(dtype)
+        # Common aliases accepted by the parser.
+        registry._types["INT"] = INTEGER
+        registry._types["BIGINT"] = INTEGER
+        registry._types["FLOAT"] = DOUBLE
+        registry._types["REAL"] = DOUBLE
+        registry._types["TEXT"] = VARCHAR
+        registry._types["STRING"] = VARCHAR
+        registry._types["BOOL"] = BOOLEAN
+        return registry
+
+    def register(self, dtype: DataType, replace: bool = False) -> DataType:
+        """Register an externally defined type.
+
+        Raises :class:`DataTypeError` if the name is taken, unless
+        ``replace`` is given (the paper's DBCs are trusted but deliberate).
+        """
+        name = dtype.name.upper()
+        if not replace and name in self._types:
+            raise DataTypeError("type %s is already registered" % name)
+        self._types[name] = dtype
+        return dtype
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered type.  Unknown names raise."""
+        try:
+            del self._types[name.upper()]
+        except KeyError:
+            raise DataTypeError("type %s is not registered" % name) from None
+
+    def lookup(self, name: str, length: Optional[int] = None) -> DataType:
+        """Resolve a type name (optionally parameterized) to a DataType."""
+        key = name.upper()
+        base = self._types.get(key)
+        if base is None:
+            raise DataTypeError("unknown type %s" % name)
+        if length is not None:
+            if isinstance(base, VarcharType):
+                return VarcharType(length)
+            raise DataTypeError("type %s does not take a length" % name)
+        return base
+
+    def __contains__(self, name: str) -> bool:
+        return name.upper() in self._types
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._types)
+
+    def names(self):
+        """Return the registered type names (including aliases)."""
+        return sorted(self._types)
+
+
+#: Shared read-only default registry (convenience for tests and examples).
+builtin_registry = TypeRegistry.with_builtins()

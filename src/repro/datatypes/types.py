@@ -1,0 +1,175 @@
+"""Data types: built-in and the base class for externally defined types.
+
+A :class:`DataType` bundles everything the rest of the system needs to know
+about a column type:
+
+- ``validate`` — is a Python value acceptable for this type?
+- ``serialize`` / ``deserialize`` — fixed- or variable-length byte encoding
+  used by the slotted-page record format (``repro.storage.record``),
+- ``compare`` — total order used by sorting, merge join and B+-trees,
+- ``fixed_width`` — byte width when the encoding is fixed length, else None
+  (the fixed-length storage manager only accepts fixed-width columns),
+- ``estimated_width`` — average width used by the optimizer's cost model.
+
+SQL ``NULL`` is represented by Python ``None`` and is handled *outside* the
+type (record null bitmap, three-valued logic in the expression evaluator);
+``DataType`` methods never see ``None``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional
+
+from repro.errors import DataTypeError
+
+
+class DataType:
+    """Behaviour of a column type.  Subclass to define an external type.
+
+    Subclasses must set :attr:`name` (unique, upper-case by convention) and
+    implement :meth:`validate`, :meth:`serialize` and :meth:`deserialize`.
+    ``compare`` defaults to Python ordering, which suffices for most types.
+    """
+
+    #: Unique type name as it appears in Hydrogen DDL, e.g. ``"INTEGER"``.
+    name: str = "ABSTRACT"
+
+    #: Byte width when the serialized form is fixed length, else ``None``.
+    fixed_width: Optional[int] = None
+
+    #: Average serialized width in bytes, for cost estimation.
+    estimated_width: int = 8
+
+    def validate(self, value: Any) -> bool:
+        """Return True when ``value`` is a legal non-null value of this type."""
+        raise NotImplementedError
+
+    def serialize(self, value: Any) -> bytes:
+        """Encode a validated value to bytes."""
+        raise NotImplementedError
+
+    def deserialize(self, data: bytes) -> Any:
+        """Decode bytes previously produced by :meth:`serialize`."""
+        raise NotImplementedError
+
+    def compare(self, left: Any, right: Any) -> int:
+        """Three-way comparison: negative, zero or positive."""
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+
+    def check(self, value: Any) -> Any:
+        """Validate ``value`` and return it, raising :class:`DataTypeError`."""
+        if not self.validate(value):
+            raise DataTypeError(
+                "value %r is not a valid %s" % (value, self.name)
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DataType %s>" % self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DataType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class IntegerType(DataType):
+    """64-bit signed integer."""
+
+    name = "INTEGER"
+    fixed_width = 8
+    estimated_width = 8
+
+    _STRUCT = struct.Struct("<q")
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def serialize(self, value: int) -> bytes:
+        return self._STRUCT.pack(value)
+
+    def deserialize(self, data: bytes) -> int:
+        return self._STRUCT.unpack(data)[0]
+
+
+class DoubleType(DataType):
+    """IEEE-754 double-precision float.  Integers are accepted and widened."""
+
+    name = "DOUBLE"
+    fixed_width = 8
+    estimated_width = 8
+
+    _STRUCT = struct.Struct("<d")
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def serialize(self, value: float) -> bytes:
+        return self._STRUCT.pack(float(value))
+
+    def deserialize(self, data: bytes) -> float:
+        return self._STRUCT.unpack(data)[0]
+
+
+class VarcharType(DataType):
+    """Variable-length UTF-8 string, optionally bounded by ``max_length``.
+
+    All VARCHARs are mutually compatible regardless of declared length;
+    the declared bound is enforced on insert.
+    """
+
+    name = "VARCHAR"
+    fixed_width = None
+    estimated_width = 16
+
+    def __init__(self, max_length: Optional[int] = None):
+        self.max_length = max_length
+
+    def validate(self, value: Any) -> bool:
+        if not isinstance(value, str):
+            return False
+        if self.max_length is not None and len(value) > self.max_length:
+            return False
+        return True
+
+    def serialize(self, value: str) -> bytes:
+        return value.encode("utf-8")
+
+    def deserialize(self, data: bytes) -> str:
+        return data.decode("utf-8")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.max_length is None:
+            return "<DataType VARCHAR>"
+        return "<DataType VARCHAR(%d)>" % self.max_length
+
+
+class BooleanType(DataType):
+    """SQL BOOLEAN."""
+
+    name = "BOOLEAN"
+    fixed_width = 1
+    estimated_width = 1
+
+    def validate(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def serialize(self, value: bool) -> bytes:
+        return b"\x01" if value else b"\x00"
+
+    def deserialize(self, data: bytes) -> bool:
+        return data != b"\x00"
+
+
+#: Singleton instances of the built-in types.  ``VARCHAR`` is the unbounded
+#: instance; bounded instances are created per column as ``VarcharType(n)``.
+INTEGER = IntegerType()
+DOUBLE = DoubleType()
+VARCHAR = VarcharType()
+BOOLEAN = BooleanType()

@@ -1,0 +1,70 @@
+"""Execution context and statistics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class ExecutionStats:
+    """Counters exposed to tests and benchmarks."""
+
+    def __init__(self):
+        self.rows_scanned = 0
+        self.rows_emitted = 0
+        self.index_probes = 0
+        self.subquery_evaluations = 0
+        self.subquery_cache_hits = 0
+        self.recursion_iterations = 0
+        self.sorts = 0
+        self.or_branch_shortcuts = 0
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("<ExecStats scanned=%d emitted=%d probes=%d subq=%d "
+                "cache_hits=%d rec_iters=%d>"
+                % (self.rows_scanned, self.rows_emitted, self.index_probes,
+                   self.subquery_evaluations, self.subquery_cache_hits,
+                   self.recursion_iterations))
+
+
+class ExecutionContext:
+    """Everything a running plan needs.
+
+    - ``engine`` — the storage engine (scans, index probes, DML),
+    - ``functions`` — the function registry (scalar, aggregate, table,
+      set-predicate),
+    - ``params`` — host-variable values,
+    - ``txn`` — the surrounding transaction (may be None for read-only
+      autocommit execution),
+    - ``subplan_bindings`` — subquery quantifier → SubplanBinding, pushed
+      into scope by the operators that own them,
+    - ``recursion_deltas`` — per recursive box, the current delta rows
+      visible to DELTA scans,
+    - ``subquery_cache`` — evaluate-on-demand memo keyed by (binding id,
+      correlation values).
+    """
+
+    def __init__(self, engine, functions, params: Sequence[Any] = (),
+                 txn=None):
+        self.engine = engine
+        self.functions = functions
+        self.params = list(params)
+        self.txn = txn
+        self.stats = ExecutionStats()
+        self.subplan_bindings: Dict[Any, Any] = {}
+        self.recursion_deltas: Dict[Any, List[Tuple[Any, ...]]] = {}
+        self.subquery_cache: Dict[Tuple, List[Tuple[Any, ...]]] = {}
+        #: Set by DML operators: number of affected rows.
+        self.rowcount: Optional[int] = None
+        #: When False, correlation caching is disabled (benchmark E8).
+        self.cache_subqueries = True
+
+    def bind_subplans(self, bindings) -> None:
+        for binding in bindings:
+            self.subplan_bindings[binding.quantifier] = binding
+
+    def unbind_subplans(self, bindings) -> None:
+        for binding in bindings:
+            self.subplan_bindings.pop(binding.quantifier, None)

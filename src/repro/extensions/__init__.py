@@ -1,0 +1,17 @@
+"""Contrib extensions: complete DBC extension modules.
+
+Each module here plays the role of the paper's *database customizer*: it
+adds function to the system exclusively through the public extension
+registries — new LOLEPOPs with interpreters, new STARs, new rewrite rules
+— without modifying any base-system module.  They double as worked
+examples of the extension API and as test subjects for the "independent
+extensions must not conflict" question the paper raises.
+
+- :mod:`repro.extensions.bloomjoin` — Bloom-join filtration (§6 names
+  "filtration methods such as semi-joins and Bloom-joins [MACK86]" among
+  the strategies STARs can express).
+"""
+
+from repro.extensions.bloomjoin import BloomFilter, BloomJoin, install_bloom_join
+
+__all__ = ["BloomFilter", "BloomJoin", "install_bloom_join"]

@@ -1,0 +1,36 @@
+"""Externally defined functions (section 2 of the paper).
+
+Hydrogen lets a DBC add four kinds of functions:
+
+- **scalar** functions (``Area(width, length)``) — usable wherever a column
+  can be referenced; evaluated at the lowest levels of the system (inside
+  the predicate evaluator) so irrelevant data is filtered early,
+- **aggregate** functions (``StandardDeviation(salary)``) — range over a
+  group of tuples and produce one value; usable wherever built-in
+  aggregates are,
+- **set-predicate** functions (``MAJORITY``) — take a set of tuples and a
+  predicate and decide the predicate's truth over the set; the built-ins
+  are SQL's ANY/SOME and ALL,
+- **table** functions (``SAMPLE(table, n)``) — take tables and parameters,
+  produce a table; usable wherever a table expression can appear.
+
+:class:`FunctionRegistry` is the registration point for all four.
+"""
+
+from repro.functions.registry import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    SetPredicateFunction,
+    TableFunction,
+)
+from repro.functions.builtins import register_builtins
+
+__all__ = [
+    "FunctionRegistry",
+    "ScalarFunction",
+    "AggregateFunction",
+    "TableFunction",
+    "SetPredicateFunction",
+    "register_builtins",
+]

@@ -1,0 +1,213 @@
+"""Built-in functions registered into every fresh database.
+
+Scalars: ABS, MOD, SQRT, POWER, ROUND, FLOOR, CEIL, SIGN, UPPER, LOWER,
+LENGTH, SUBSTR, CONCAT, TRIM, COALESCE, NULLIF.
+Aggregates: COUNT, SUM, AVG, MIN, MAX.
+Set predicates: ANY/SOME, ALL.
+Table functions: SAMPLE (the paper's example), SERIES (a row generator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.datatypes.types import DOUBLE, INTEGER, VARCHAR, DataType
+from repro.errors import SemanticError
+from repro.functions.registry import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    SetPredicateFunction,
+    TableFunction,
+)
+
+
+def _numeric_passthrough(arg_types: Sequence[DataType]) -> DataType:
+    """INTEGER stays INTEGER, anything else numeric becomes DOUBLE."""
+    if arg_types and all(t.name == "INTEGER" for t in arg_types if t is not None):
+        return INTEGER
+    return DOUBLE
+
+
+def _same_as_first(arg_types: Sequence[DataType]) -> DataType:
+    return arg_types[0] if arg_types else VARCHAR
+
+
+# -- aggregate accumulators ------------------------------------------------------
+
+
+class _Count:
+    def __init__(self):
+        self.count = 0
+
+    def step(self, value: Any) -> None:
+        self.count += 1
+
+    def final(self) -> int:
+        return self.count
+
+
+class _Sum:
+    def __init__(self):
+        self.total = None
+
+    def step(self, value: Any) -> None:
+        self.total = value if self.total is None else self.total + value
+
+    def final(self) -> Any:
+        return self.total
+
+
+class _Avg:
+    def __init__(self):
+        self.total = 0.0
+        self.count = 0
+
+    def step(self, value: Any) -> None:
+        self.total += value
+        self.count += 1
+
+    def final(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+class _Min:
+    def __init__(self):
+        self.best = None
+
+    def step(self, value: Any) -> None:
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def final(self) -> Any:
+        return self.best
+
+
+class _Max:
+    def __init__(self):
+        self.best = None
+
+    def step(self, value: Any) -> None:
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def final(self) -> Any:
+        return self.best
+
+
+# -- set-predicate combinators -----------------------------------------------------
+
+
+def combine_any(outcomes: Iterable[Optional[bool]]) -> Optional[bool]:
+    """SQL ANY/SOME: true if any element satisfies; unknown beats false."""
+    saw_unknown = False
+    for outcome in outcomes:
+        if outcome is True:
+            return True
+        if outcome is None:
+            saw_unknown = True
+    return None if saw_unknown else False
+
+
+def combine_all(outcomes: Iterable[Optional[bool]]) -> Optional[bool]:
+    """SQL ALL: true if every element satisfies (vacuously true on empty)."""
+    saw_unknown = False
+    for outcome in outcomes:
+        if outcome is False:
+            return False
+        if outcome is None:
+            saw_unknown = True
+    return None if saw_unknown else True
+
+
+# -- table functions ---------------------------------------------------------------
+
+
+def _sample(args: Sequence[Any], inputs: List[Tuple]) -> Tuple:
+    """SAMPLE(table, n): the first n rows of the input table (paper §2).
+
+    Deterministic (a prefix) so tests and benchmarks are repeatable.
+    """
+    if len(args) != 1:
+        raise SemanticError("SAMPLE takes one scalar argument (the size)")
+    if len(inputs) != 1:
+        raise SemanticError("SAMPLE takes exactly one table input")
+    n = args[0]
+    names, types, rows = inputs[0]
+    return names, types, list(rows)[: max(0, int(n))]
+
+
+def _series(args: Sequence[Any], inputs: List[Tuple]) -> Tuple:
+    """SERIES(start, stop[, step]): integer row generator (source function)."""
+    if len(args) not in (2, 3):
+        raise SemanticError("SERIES takes (start, stop[, step])")
+    start, stop = int(args[0]), int(args[1])
+    step = int(args[2]) if len(args) == 3 else 1
+    if step == 0:
+        raise SemanticError("SERIES step must be non-zero")
+    rows = [(value,) for value in range(start, stop + (1 if step > 0 else -1), step)]
+    return ["n"], [INTEGER], rows
+
+
+# -- registration -------------------------------------------------------------------
+
+
+def register_builtins(registry: FunctionRegistry) -> FunctionRegistry:
+    """Populate a registry with every built-in function."""
+    scalars = [
+        ScalarFunction("abs", abs, _numeric_passthrough, arity=1),
+        ScalarFunction("mod", lambda a, b: a % b, _numeric_passthrough, arity=2),
+        ScalarFunction("sqrt", math.sqrt, DOUBLE, arity=1),
+        ScalarFunction("power", lambda a, b: float(a) ** b, DOUBLE, arity=2),
+        ScalarFunction("round", lambda v, n=0: round(v, int(n)), DOUBLE,
+                       min_arity=1, max_arity=2),
+        ScalarFunction("floor", lambda v: int(math.floor(v)), INTEGER, arity=1),
+        ScalarFunction("ceil", lambda v: int(math.ceil(v)), INTEGER, arity=1),
+        ScalarFunction("sign", lambda v: (v > 0) - (v < 0), INTEGER, arity=1),
+        ScalarFunction("upper", lambda s: s.upper(), VARCHAR, arity=1),
+        ScalarFunction("lower", lambda s: s.lower(), VARCHAR, arity=1),
+        ScalarFunction("length", len, INTEGER, arity=1),
+        ScalarFunction("substr",
+                       lambda s, start, length=None:
+                       s[int(start) - 1: (int(start) - 1 + int(length))
+                         if length is not None else None],
+                       VARCHAR, min_arity=2, max_arity=3),
+        ScalarFunction("concat", lambda *parts: "".join(str(p) for p in parts),
+                       VARCHAR, min_arity=1, max_arity=None),
+        ScalarFunction("trim", lambda s: s.strip(), VARCHAR, arity=1),
+        ScalarFunction("coalesce",
+                       lambda *values: next((v for v in values if v is not None),
+                                            None),
+                       _same_as_first, min_arity=1, max_arity=None,
+                       handles_null=True),
+        ScalarFunction("nullif",
+                       lambda a, b: None if a == b else a,
+                       _same_as_first, arity=2, handles_null=True),
+    ]
+    for function in scalars:
+        registry.register_scalar(function)
+
+    registry.register_aggregate(AggregateFunction("count", _Count, INTEGER,
+                                                  handles_null=False))
+    registry.register_aggregate(AggregateFunction("sum", _Sum,
+                                                  _numeric_passthrough))
+    registry.register_aggregate(AggregateFunction("avg", _Avg, DOUBLE))
+    registry.register_aggregate(AggregateFunction("min", _Min, _same_as_first))
+    registry.register_aggregate(AggregateFunction("max", _Max, _same_as_first))
+
+    registry.register_set_predicate(
+        SetPredicateFunction("any", combine_any, quantifier_type="E")
+    )
+    registry.register_set_predicate(
+        SetPredicateFunction("some", combine_any, quantifier_type="E")
+    )
+    registry.register_set_predicate(
+        SetPredicateFunction("all", combine_all, quantifier_type="A")
+    )
+
+    registry.register_table_function(TableFunction("sample", _sample,
+                                                   table_inputs=1))
+    registry.register_table_function(TableFunction("series", _series,
+                                                   table_inputs=0))
+    return registry

@@ -1,0 +1,196 @@
+"""Function objects and the per-database function registry."""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.datatypes.types import DataType
+from repro.errors import ExtensionError, SemanticError
+
+#: A return-type spec: a fixed DataType, or a callable mapping the argument
+#: types to the result type.
+ReturnSpec = Union[DataType, Callable[[Sequence[DataType]], DataType]]
+
+
+class ScalarFunction:
+    """A scalar function: N values in, one value out.
+
+    ``fn`` receives already-evaluated argument values.  It is never called
+    with a NULL argument unless ``handles_null`` is set (SQL convention:
+    strict functions return NULL on NULL input).
+    """
+
+    def __init__(self, name: str, fn: Callable[..., Any],
+                 return_type: ReturnSpec, arity: Optional[int] = None,
+                 min_arity: Optional[int] = None,
+                 max_arity: Optional[int] = None,
+                 handles_null: bool = False):
+        self.name = name.lower()
+        self.fn = fn
+        self._return = return_type
+        if arity is not None:
+            min_arity = max_arity = arity
+        self.min_arity = min_arity if min_arity is not None else 0
+        self.max_arity = max_arity  # None = variadic
+        self.handles_null = handles_null
+
+    def check_arity(self, count: int) -> None:
+        if count < self.min_arity or (self.max_arity is not None
+                                      and count > self.max_arity):
+            raise SemanticError(
+                "function %s called with %d arguments" % (self.name, count)
+            )
+
+    def return_type(self, arg_types: Sequence[DataType]) -> DataType:
+        if callable(self._return) and not isinstance(self._return, DataType):
+            return self._return(arg_types)
+        return self._return
+
+    def invoke(self, args: Sequence[Any]) -> Any:
+        if not self.handles_null and any(a is None for a in args):
+            return None
+        return self.fn(*args)
+
+
+class AggregateFunction:
+    """An aggregate: ``factory()`` yields a fresh accumulator per group.
+
+    The accumulator protocol is ``step(value)`` / ``final() -> value``.
+    NULL inputs are skipped before ``step`` unless ``handles_null``.
+    """
+
+    def __init__(self, name: str, factory: Callable[[], Any],
+                 return_type: ReturnSpec, handles_null: bool = False):
+        self.name = name.lower()
+        self.factory = factory
+        self._return = return_type
+        self.handles_null = handles_null
+
+    def return_type(self, arg_types: Sequence[DataType]) -> DataType:
+        if callable(self._return) and not isinstance(self._return, DataType):
+            return self._return(arg_types)
+        return self._return
+
+
+class TableFunction:
+    """A table function: tables/values in, a table out (paper's SAMPLE).
+
+    ``fn(args, inputs)`` receives the evaluated scalar arguments and a list
+    of input tables, each as ``(column_names, column_types, rows)``; it
+    returns the same triple for its output.
+    """
+
+    def __init__(self, name: str,
+                 fn: Callable[[Sequence[Any], List[Tuple]], Tuple],
+                 table_inputs: int = 1):
+        self.name = name.lower()
+        self.fn = fn
+        self.table_inputs = table_inputs
+
+    def invoke(self, args: Sequence[Any], inputs: List[Tuple]) -> Tuple:
+        return self.fn(args, inputs)
+
+
+class SetPredicateFunction:
+    """A set-predicate function: decides a predicate's truth over a set.
+
+    ``combine`` receives the per-element predicate outcomes (True / False /
+    None-for-unknown, in input order) as an iterable and returns the overall
+    three-valued verdict.  SQL's ANY and ALL are instances; the paper's
+    example extension is MAJORITY.
+
+    The ``quantifier_type`` is the QGM iterator-type tag the translator
+    attaches to the subquery quantifier so the rewrite rules and the
+    executor know how to interpret it.
+    """
+
+    def __init__(self, name: str,
+                 combine: Callable[[Iterable[Optional[bool]]], Optional[bool]],
+                 quantifier_type: Optional[str] = None):
+        self.name = name.lower()
+        self.combine = combine
+        self.quantifier_type = quantifier_type or self.name.upper()
+
+
+class FunctionRegistry:
+    """All four function kinds for one database instance."""
+
+    def __init__(self):
+        self._scalars: Dict[str, ScalarFunction] = {}
+        self._aggregates: Dict[str, AggregateFunction] = {}
+        self._table_functions: Dict[str, TableFunction] = {}
+        self._set_predicates: Dict[str, SetPredicateFunction] = {}
+
+    # -- registration (DBC API) -------------------------------------------------
+
+    def register_scalar(self, function: ScalarFunction,
+                        replace: bool = False) -> ScalarFunction:
+        self._register(self._scalars, function.name, function, replace,
+                       "scalar function")
+        return function
+
+    def register_aggregate(self, function: AggregateFunction,
+                           replace: bool = False) -> AggregateFunction:
+        self._register(self._aggregates, function.name, function, replace,
+                       "aggregate function")
+        return function
+
+    def register_table_function(self, function: TableFunction,
+                                replace: bool = False) -> TableFunction:
+        self._register(self._table_functions, function.name, function,
+                       replace, "table function")
+        return function
+
+    def register_set_predicate(self, function: SetPredicateFunction,
+                               replace: bool = False) -> SetPredicateFunction:
+        self._register(self._set_predicates, function.name, function,
+                       replace, "set-predicate function")
+        return function
+
+    @staticmethod
+    def _register(table: Dict[str, Any], name: str, function: Any,
+                  replace: bool, kind: str) -> None:
+        if not replace and name in table:
+            raise ExtensionError("%s %s already registered" % (kind, name))
+        table[name] = function
+
+    # -- lookup -------------------------------------------------------------------
+
+    def scalar(self, name: str) -> Optional[ScalarFunction]:
+        return self._scalars.get(name.lower())
+
+    def aggregate(self, name: str) -> Optional[AggregateFunction]:
+        return self._aggregates.get(name.lower())
+
+    def table_function(self, name: str) -> Optional[TableFunction]:
+        return self._table_functions.get(name.lower())
+
+    def set_predicate(self, name: str) -> Optional[SetPredicateFunction]:
+        return self._set_predicates.get(name.lower())
+
+    def set_predicate_for_qtype(self, qtype: str) -> Optional[SetPredicateFunction]:
+        for function in self._set_predicates.values():
+            if function.quantifier_type == qtype:
+                return function
+        return None
+
+    def is_aggregate(self, name: str) -> bool:
+        return name.lower() in self._aggregates
+
+    def names(self) -> Dict[str, List[str]]:
+        return {
+            "scalar": sorted(self._scalars),
+            "aggregate": sorted(self._aggregates),
+            "table": sorted(self._table_functions),
+            "set_predicate": sorted(self._set_predicates),
+        }

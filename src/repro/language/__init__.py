@@ -1,0 +1,27 @@
+"""Hydrogen, Starburst's query language (section 2 of the paper).
+
+Hydrogen is SQL-based but more orthogonal: views and set operations can
+appear anywhere a table can, table expressions (``WITH``, optionally
+recursive) factor out common subexpressions and express recursion, and the
+language is extensible with new functions, operations and types.
+
+This package contains the compile-time front end:
+
+- :mod:`~repro.language.lexer` — tokenizer,
+- :mod:`~repro.language.ast` — abstract syntax,
+- :mod:`~repro.language.parser` — recursive-descent parser,
+- :mod:`~repro.language.translator` — semantic analysis and translation to
+  the Query Graph Model (parsing "produces QGM that is guaranteed valid").
+"""
+
+from repro.language.lexer import Lexer, Token, TokenType, tokenize
+from repro.language.parser import Parser, parse_statement
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "Parser",
+    "parse_statement",
+]

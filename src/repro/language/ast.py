@@ -1,0 +1,519 @@
+"""Abstract syntax for Hydrogen statements and expressions.
+
+These nodes are the parser's output and the translator's input.  They carry
+no resolved semantic information (that appears only in QGM); ``repr`` forms
+are SQL-ish to ease debugging.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class Literal(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class ColumnRef(Expr):
+    """``column`` or ``qualifier.column`` (qualifier = table name or alias)."""
+
+    __slots__ = ("qualifier", "name")
+
+    def __init__(self, name: str, qualifier: Optional[str] = None):
+        self.qualifier = qualifier
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "%s.%s" % (self.qualifier, self.name) if self.qualifier else self.name
+
+
+class Star(Expr):
+    """``*`` or ``qualifier.*`` in a select list or COUNT(*)."""
+
+    __slots__ = ("qualifier",)
+
+    def __init__(self, qualifier: Optional[str] = None):
+        self.qualifier = qualifier
+
+    def __repr__(self) -> str:
+        return "%s.*" % self.qualifier if self.qualifier else "*"
+
+
+class Param(Expr):
+    """Host-variable placeholder: ``?`` (positional) or ``:name``."""
+
+    __slots__ = ("index", "name")
+
+    def __init__(self, index: int, name: Optional[str] = None):
+        self.index = index
+        self.name = name
+
+    def __repr__(self) -> str:
+        return ":%s" % self.name if self.name else "?%d" % self.index
+
+
+class BinaryOp(Expr):
+    """Arithmetic, comparison, AND/OR, string concat (``||``)."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.op, self.right)
+
+
+class UnaryOp(Expr):
+    """NOT and unary minus."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr):
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return "(%s %r)" % (self.op, self.operand)
+
+
+class IsNull(Expr):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expr, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return "(%r IS %sNULL)" % (self.operand, "NOT " if self.negated else "")
+
+
+class Between(Expr):
+    __slots__ = ("operand", "low", "high", "negated")
+
+    def __init__(self, operand: Expr, low: Expr, high: Expr,
+                 negated: bool = False):
+        self.operand = operand
+        self.low = low
+        self.high = high
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return "(%r %sBETWEEN %r AND %r)" % (
+            self.operand, "NOT " if self.negated else "", self.low, self.high)
+
+
+class Like(Expr):
+    __slots__ = ("operand", "pattern", "negated")
+
+    def __init__(self, operand: Expr, pattern: Expr, negated: bool = False):
+        self.operand = operand
+        self.pattern = pattern
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return "(%r %sLIKE %r)" % (self.operand, "NOT " if self.negated else "",
+                                   self.pattern)
+
+
+class FunctionCall(Expr):
+    """Scalar or aggregate call; which one is decided during translation."""
+
+    __slots__ = ("name", "args", "distinct")
+
+    def __init__(self, name: str, args: Sequence[Expr],
+                 distinct: bool = False):
+        self.name = name.lower()
+        self.args = list(args)
+        self.distinct = distinct
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return "%s(%s)" % (self.name, inner)
+
+
+class CaseExpr(Expr):
+    """Searched CASE: WHEN cond THEN value ... [ELSE value] END."""
+
+    __slots__ = ("whens", "else_value")
+
+    def __init__(self, whens: Sequence[Tuple[Expr, Expr]],
+                 else_value: Optional[Expr] = None):
+        self.whens = list(whens)
+        self.else_value = else_value
+
+    def __repr__(self) -> str:
+        parts = ["CASE"]
+        for cond, value in self.whens:
+            parts.append("WHEN %r THEN %r" % (cond, value))
+        if self.else_value is not None:
+            parts.append("ELSE %r" % (self.else_value,))
+        parts.append("END")
+        return " ".join(parts)
+
+
+class CastExpr(Expr):
+    __slots__ = ("operand", "type_name", "type_length")
+
+    def __init__(self, operand: Expr, type_name: str,
+                 type_length: Optional[int] = None):
+        self.operand = operand
+        self.type_name = type_name
+        self.type_length = type_length
+
+    def __repr__(self) -> str:
+        return "CAST(%r AS %s)" % (self.operand, self.type_name)
+
+
+class InExpr(Expr):
+    """``x [NOT] IN (subquery)`` or ``x [NOT] IN (v1, v2, ...)``."""
+
+    __slots__ = ("operand", "subquery", "values", "negated")
+
+    def __init__(self, operand: Expr, subquery: Optional["SelectStmt"] = None,
+                 values: Optional[Sequence[Expr]] = None,
+                 negated: bool = False):
+        self.operand = operand
+        self.subquery = subquery
+        self.values = list(values) if values is not None else None
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        target = "<subquery>" if self.subquery is not None else repr(self.values)
+        return "(%r %sIN %s)" % (self.operand, "NOT " if self.negated else "",
+                                 target)
+
+
+class ExistsExpr(Expr):
+    __slots__ = ("subquery", "negated")
+
+    def __init__(self, subquery: "SelectStmt", negated: bool = False):
+        self.subquery = subquery
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return "(%sEXISTS <subquery>)" % ("NOT " if self.negated else "",)
+
+
+class QuantifiedComparison(Expr):
+    """``x op ANY (subquery)``, ``x op ALL (subquery)``, or a DBC-defined
+    set-predicate function such as ``x op MAJORITY (subquery)``."""
+
+    __slots__ = ("operand", "op", "function", "subquery")
+
+    def __init__(self, operand: Expr, op: str, function: str,
+                 subquery: "SelectStmt"):
+        self.operand = operand
+        self.op = op
+        self.function = function.lower()
+        self.subquery = subquery
+
+    def __repr__(self) -> str:
+        return "(%r %s %s <subquery>)" % (self.operand, self.op,
+                                          self.function.upper())
+
+
+class ScalarSubquery(Expr):
+    __slots__ = ("subquery",)
+
+    def __init__(self, subquery: "SelectStmt"):
+        self.subquery = subquery
+
+    def __repr__(self) -> str:
+        return "(<scalar subquery>)"
+
+
+# ---------------------------------------------------------------------------
+# FROM items
+# ---------------------------------------------------------------------------
+
+
+class FromItem(Node):
+    __slots__ = ("alias",)
+
+    def __init__(self, alias: Optional[str]):
+        self.alias = alias
+
+
+class TableRef(FromItem):
+    """Base table, view or named table expression (resolved later)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, alias: Optional[str] = None):
+        super().__init__(alias)
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "%s %s" % (self.name, self.alias) if self.alias else self.name
+
+
+class SubquerySource(FromItem):
+    """Derived table: ``(SELECT ...) AS alias [(col, ...)]``."""
+
+    __slots__ = ("query", "column_names")
+
+    def __init__(self, query: "SelectStmt", alias: Optional[str] = None,
+                 column_names: Optional[Sequence[str]] = None):
+        super().__init__(alias)
+        self.query = query
+        self.column_names = list(column_names) if column_names else None
+
+    def __repr__(self) -> str:
+        return "(<subquery>) %s" % (self.alias or "")
+
+
+class TableFunctionSource(FromItem):
+    """Table-function invocation in FROM: ``SAMPLE(t, 10) AS s``.
+
+    Arguments may be scalar expressions or nested table sources.
+    """
+
+    __slots__ = ("name", "scalar_args", "table_args", "column_names")
+
+    def __init__(self, name: str, scalar_args: Sequence[Expr],
+                 table_args: Sequence[FromItem],
+                 alias: Optional[str] = None,
+                 column_names: Optional[Sequence[str]] = None):
+        super().__init__(alias)
+        self.name = name.lower()
+        self.scalar_args = list(scalar_args)
+        self.table_args = list(table_args)
+        self.column_names = list(column_names) if column_names else None
+
+    def __repr__(self) -> str:
+        return "%s(...) %s" % (self.name, self.alias or "")
+
+
+class JoinSource(FromItem):
+    """Explicit join: ``left [INNER | LEFT OUTER] JOIN right ON cond``.
+
+    INNER joins are base-system; LEFT OUTER is the paper's worked DBC
+    extension and is rejected at translation time unless enabled.
+    """
+
+    __slots__ = ("left", "right", "join_type", "condition")
+
+    def __init__(self, left: FromItem, right: FromItem, join_type: str,
+                 condition: Optional[Expr]):
+        super().__init__(None)
+        self.left = left
+        self.right = right
+        self.join_type = join_type  # 'inner' | 'left_outer'
+        self.condition = condition
+
+    def __repr__(self) -> str:
+        return "(%r %s JOIN %r)" % (self.left, self.join_type.upper(),
+                                    self.right)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    __slots__ = ()
+
+
+class SelectItem(Node):
+    __slots__ = ("expr", "alias")
+
+    def __init__(self, expr: Expr, alias: Optional[str] = None):
+        self.expr = expr
+        self.alias = alias
+
+    def __repr__(self) -> str:
+        return "%r AS %s" % (self.expr, self.alias) if self.alias else repr(self.expr)
+
+
+class OrderItem(Node):
+    __slots__ = ("expr", "ascending")
+
+    def __init__(self, expr: Expr, ascending: bool = True):
+        self.expr = expr
+        self.ascending = ascending
+
+    def __repr__(self) -> str:
+        return "%r %s" % (self.expr, "ASC" if self.ascending else "DESC")
+
+
+class CommonTableExpr(Node):
+    """One WITH element: ``name [(cols)] AS (query)``."""
+
+    __slots__ = ("name", "column_names", "query")
+
+    def __init__(self, name: str, query: "SelectStmt",
+                 column_names: Optional[Sequence[str]] = None):
+        self.name = name
+        self.column_names = list(column_names) if column_names else None
+        self.query = query
+
+
+class SelectStmt(Statement):
+    """A query expression, possibly with set operations and WITH clause.
+
+    ``set_op``/``set_all``/``set_right`` chain set operations left-deep:
+    ``a UNION b UNION c`` parses as ``(a UNION b) UNION c``.
+    """
+
+    __slots__ = ("items", "from_items", "where", "group_by", "having",
+                 "order_by", "distinct", "limit", "ctes", "recursive",
+                 "set_op", "set_all", "set_right")
+
+    def __init__(self, items: Sequence[SelectItem],
+                 from_items: Sequence[FromItem],
+                 where: Optional[Expr] = None,
+                 group_by: Optional[Sequence[Expr]] = None,
+                 having: Optional[Expr] = None,
+                 order_by: Optional[Sequence[OrderItem]] = None,
+                 distinct: bool = False,
+                 limit: Optional[int] = None,
+                 ctes: Optional[Sequence[CommonTableExpr]] = None,
+                 recursive: bool = False):
+        self.items = list(items)
+        self.from_items = list(from_items)
+        self.where = where
+        self.group_by = list(group_by) if group_by else []
+        self.having = having
+        self.order_by = list(order_by) if order_by else []
+        self.distinct = distinct
+        self.limit = limit
+        self.ctes = list(ctes) if ctes else []
+        self.recursive = recursive
+        self.set_op: Optional[str] = None       # 'union'|'intersect'|'except'
+        self.set_all: bool = False
+        self.set_right: Optional["SelectStmt"] = None
+
+    def __repr__(self) -> str:
+        return "<SelectStmt %d items, %d sources>" % (
+            len(self.items), len(self.from_items))
+
+
+class InsertStmt(Statement):
+    __slots__ = ("table_name", "column_names", "rows", "query")
+
+    def __init__(self, table_name: str,
+                 column_names: Optional[Sequence[str]] = None,
+                 rows: Optional[Sequence[Sequence[Expr]]] = None,
+                 query: Optional[SelectStmt] = None):
+        self.table_name = table_name
+        self.column_names = list(column_names) if column_names else None
+        self.rows = [list(r) for r in rows] if rows else None
+        self.query = query
+
+
+class UpdateStmt(Statement):
+    __slots__ = ("table_name", "assignments", "where")
+
+    def __init__(self, table_name: str,
+                 assignments: Sequence[Tuple[str, Expr]],
+                 where: Optional[Expr] = None):
+        self.table_name = table_name
+        self.assignments = list(assignments)
+        self.where = where
+
+
+class DeleteStmt(Statement):
+    __slots__ = ("table_name", "where")
+
+    def __init__(self, table_name: str, where: Optional[Expr] = None):
+        self.table_name = table_name
+        self.where = where
+
+
+class ColumnSpec(Node):
+    __slots__ = ("name", "type_name", "type_length", "not_null",
+                 "primary_key", "check")
+
+    def __init__(self, name: str, type_name: str,
+                 type_length: Optional[int] = None, not_null: bool = False,
+                 primary_key: bool = False, check: Optional[Expr] = None):
+        self.name = name
+        self.type_name = type_name
+        self.type_length = type_length
+        self.not_null = not_null
+        self.primary_key = primary_key
+        self.check = check
+
+
+class CreateTableStmt(Statement):
+    __slots__ = ("name", "columns", "primary_key", "storage_manager", "site",
+                 "checks")
+
+    def __init__(self, name: str, columns: Sequence[ColumnSpec],
+                 primary_key: Optional[Sequence[str]] = None,
+                 storage_manager: Optional[str] = None,
+                 site: Optional[str] = None,
+                 checks: Optional[Sequence[Expr]] = None):
+        self.name = name
+        self.columns = list(columns)
+        self.primary_key = list(primary_key) if primary_key else None
+        self.storage_manager = storage_manager
+        self.site = site
+        self.checks = list(checks) if checks else []
+
+
+class CreateIndexStmt(Statement):
+    __slots__ = ("name", "table_name", "column_names", "kind", "unique")
+
+    def __init__(self, name: str, table_name: str,
+                 column_names: Sequence[str], kind: Optional[str] = None,
+                 unique: bool = False):
+        self.name = name
+        self.table_name = table_name
+        self.column_names = list(column_names)
+        self.kind = kind or "btree"
+        self.unique = unique
+
+
+class CreateViewStmt(Statement):
+    __slots__ = ("name", "column_names", "query", "text")
+
+    def __init__(self, name: str, query: SelectStmt,
+                 column_names: Optional[Sequence[str]] = None,
+                 text: str = ""):
+        self.name = name
+        self.column_names = list(column_names) if column_names else None
+        self.query = query
+        self.text = text
+
+
+class DropStmt(Statement):
+    __slots__ = ("kind", "name")
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind  # 'table' | 'view' | 'index'
+        self.name = name
+
+
+class ExplainStmt(Statement):
+    __slots__ = ("statement",)
+
+    def __init__(self, statement: Statement):
+        self.statement = statement

@@ -1,0 +1,721 @@
+"""Recursive-descent parser for Hydrogen.
+
+The grammar follows SQL with Hydrogen's orthogonality extensions:
+
+- a query expression (including set operations and WITH) is accepted
+  anywhere a table is: in FROM, in subqueries, in view definitions,
+- table functions may appear in FROM with table-valued arguments,
+- quantified comparisons accept DBC-defined set-predicate function names
+  (``x > MAJORITY (SELECT ...)``) in addition to ANY/SOME/ALL,
+- LEFT OUTER JOIN parses here but is *enabled* only when the DBC has
+  registered the operation (checked by the translator).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.language import ast
+from repro.language.lexer import Token, TokenType, tokenize
+
+
+class Parser:
+    """One-statement parser over a token list."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self._param_count = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, token=self._peek())
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._next()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._accept_keyword(word)
+        if token is None:
+            raise self._error("expected %s" % word.upper())
+        return token
+
+    def _accept_punct(self, mark: str) -> Optional[Token]:
+        if self._peek().is_punct(mark):
+            return self._next()
+        return None
+
+    def _expect_punct(self, mark: str) -> Token:
+        token = self._accept_punct(mark)
+        if token is None:
+            raise self._error("expected %r" % mark)
+        return token
+
+    def _accept_op(self, *ops: str) -> Optional[Token]:
+        if self._peek().is_op(*ops):
+            return self._next()
+        return None
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._next()
+            return str(token.value)
+        raise self._error("expected %s" % what)
+
+    # -- entry points ----------------------------------------------------------------
+
+    def parse(self) -> ast.Statement:
+        statement = self._statement()
+        self._accept_punct(";")
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def _statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("explain"):
+            self._next()
+            return ast.ExplainStmt(self._statement())
+        if token.is_keyword("select", "with") or token.is_punct("("):
+            return self._query_expression()
+        if token.is_keyword("insert"):
+            return self._insert()
+        if token.is_keyword("update"):
+            return self._update()
+        if token.is_keyword("delete"):
+            return self._delete()
+        if token.is_keyword("create"):
+            return self._create()
+        if token.is_keyword("drop"):
+            return self._drop()
+        raise self._error("expected a statement")
+
+    # -- queries ---------------------------------------------------------------------
+
+    def _query_expression(self) -> ast.SelectStmt:
+        """[WITH ...] body (UNION|INTERSECT|EXCEPT [ALL] body)* [ORDER BY] [LIMIT]"""
+        ctes: List[ast.CommonTableExpr] = []
+        recursive = False
+        if self._accept_keyword("with"):
+            recursive = self._accept_keyword("recursive") is not None
+            ctes.append(self._cte())
+            while self._accept_punct(","):
+                ctes.append(self._cte())
+
+        query = self._query_body()
+        while True:
+            token = self._peek()
+            if token.is_keyword("union", "intersect", "except"):
+                self._next()
+                set_all = self._accept_keyword("all") is not None
+                right = self._query_body()
+                query = self._fold_setop(query, token.text, set_all, right)
+            else:
+                break
+
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            query.order_by = self._order_items()
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise self._error("LIMIT expects an integer")
+            query.limit = token.value
+        query.ctes = ctes + query.ctes
+        query.recursive = recursive or query.recursive
+        return query
+
+    @staticmethod
+    def _fold_setop(left: ast.SelectStmt, op: str, set_all: bool,
+                    right: ast.SelectStmt) -> ast.SelectStmt:
+        """Attach a set operation left-deep on the outermost select.
+
+        A parenthesized right operand carrying its own set-operation chain
+        is wrapped as a derived table so the user's grouping is preserved.
+        """
+        if right.set_right is not None or right.ctes:
+            right = ast.SelectStmt(
+                items=[ast.SelectItem(ast.Star())],
+                from_items=[ast.SubquerySource(right, alias=None)],
+            )
+        node = left
+        while node.set_right is not None:
+            node = node.set_right
+        node.set_op = op
+        node.set_all = set_all
+        node.set_right = right
+        return left
+
+    def _cte(self) -> ast.CommonTableExpr:
+        name = self._expect_ident("table-expression name")
+        column_names = None
+        if self._accept_punct("("):
+            column_names = self._name_list()
+            self._expect_punct(")")
+        self._expect_keyword("as")
+        self._expect_punct("(")
+        query = self._query_expression()
+        self._expect_punct(")")
+        return ast.CommonTableExpr(name, query, column_names)
+
+    def _query_body(self) -> ast.SelectStmt:
+        """A SELECT core or a parenthesized query expression."""
+        if self._accept_punct("("):
+            query = self._query_expression()
+            self._expect_punct(")")
+            return query
+        return self._select_core()
+
+    def _select_core(self) -> ast.SelectStmt:
+        self._expect_keyword("select")
+        distinct = False
+        if self._accept_keyword("distinct"):
+            distinct = True
+        else:
+            self._accept_keyword("all")
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        from_items: List[ast.FromItem] = []
+        if self._accept_keyword("from"):
+            from_items.append(self._from_item())
+            while self._accept_punct(","):
+                from_items.append(self._from_item())
+        where = self._expression() if self._accept_keyword("where") else None
+        group_by: List[ast.Expr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._expression())
+            while self._accept_punct(","):
+                group_by.append(self._expression())
+        having = self._expression() if self._accept_keyword("having") else None
+        return ast.SelectStmt(items=items, from_items=from_items, where=where,
+                              group_by=group_by, having=having,
+                              distinct=distinct)
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._peek().is_op("*"):
+            self._next()
+            return ast.SelectItem(ast.Star())
+        # qualified star: ident . *
+        if (self._peek().type is TokenType.IDENT and self._peek(1).is_punct(".")
+                and self._peek(2).is_op("*")):
+            qualifier = self._expect_ident()
+            self._next()  # .
+            self._next()  # *
+            return ast.SelectItem(ast.Star(qualifier))
+        expr = self._expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident("column alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _order_items(self) -> List[ast.OrderItem]:
+        items = [self._order_item()]
+        while self._accept_punct(","):
+            items.append(self._order_item())
+        return items
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self._expression()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr, ascending)
+
+    # -- FROM items -------------------------------------------------------------------
+
+    def _from_item(self) -> ast.FromItem:
+        item = self._from_primary()
+        while True:
+            join_type = self._join_type()
+            if join_type is None:
+                return item
+            right = self._from_primary()
+            condition = None
+            if self._accept_keyword("on"):
+                condition = self._expression()
+            item = ast.JoinSource(item, right, join_type, condition)
+
+    def _join_type(self) -> Optional[str]:
+        token = self._peek()
+        if token.is_keyword("join"):
+            self._next()
+            return "inner"
+        if token.is_keyword("inner") and self._peek(1).is_keyword("join"):
+            self._next()
+            self._next()
+            return "inner"
+        if token.is_keyword("left"):
+            self._next()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return "left_outer"
+        if token.is_keyword("right") or token.is_keyword("full"):
+            raise self._error("only INNER and LEFT OUTER joins are supported")
+        return None
+
+    def _from_primary(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            query = self._query_expression()
+            self._expect_punct(")")
+            alias, column_names = self._source_alias()
+            return ast.SubquerySource(query, alias, column_names)
+        name = self._expect_ident("table name")
+        if self._peek().is_punct("("):
+            return self._table_function(name)
+        alias, _ = self._source_alias(allow_columns=False)
+        return ast.TableRef(name, alias)
+
+    def _table_function(self, name: str) -> ast.TableFunctionSource:
+        self._expect_punct("(")
+        scalar_args: List[ast.Expr] = []
+        table_args: List[ast.FromItem] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                argument = self._table_function_arg()
+                if isinstance(argument, ast.FromItem):
+                    table_args.append(argument)
+                else:
+                    scalar_args.append(argument)
+                if not self._accept_punct(","):
+                    break
+        self._expect_punct(")")
+        alias, column_names = self._source_alias()
+        return ast.TableFunctionSource(name, scalar_args, table_args, alias,
+                                       column_names)
+
+    def _table_function_arg(self):
+        """An argument is a table input (table name / nested query / nested
+        table function) or a scalar expression; tables win on ambiguity."""
+        token = self._peek()
+        if token.is_keyword("select", "with"):
+            query = self._query_expression()
+            return ast.SubquerySource(query, None)
+        if token.is_punct("(") and self._peek(1).is_keyword("select", "with"):
+            self._next()
+            query = self._query_expression()
+            self._expect_punct(")")
+            return ast.SubquerySource(query, None)
+        if token.type is TokenType.IDENT:
+            # A bare identifier is a table input; ident( starts a nested
+            # table function.  Expressions over columns make no sense here.
+            if self._peek(1).is_punct("("):
+                name = self._expect_ident()
+                return self._table_function(name)
+            if self._peek(1).is_punct(",") or self._peek(1).is_punct(")"):
+                return ast.TableRef(self._expect_ident(), None)
+        return self._expression()
+
+    def _source_alias(self, allow_columns: bool = True
+                      ) -> Tuple[Optional[str], Optional[List[str]]]:
+        alias = None
+        column_names = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident("alias")
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        if allow_columns and alias is not None and self._accept_punct("("):
+            column_names = self._name_list()
+            self._expect_punct(")")
+        return alias, column_names
+
+    def _name_list(self) -> List[str]:
+        names = [self._expect_ident("column name")]
+        while self._accept_punct(","):
+            names.append(self._expect_ident("column name"))
+        return names
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _insert(self) -> ast.InsertStmt:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table_name = self._expect_ident("table name")
+        column_names = None
+        if self._accept_punct("("):
+            column_names = self._name_list()
+            self._expect_punct(")")
+        if self._accept_keyword("values"):
+            rows = [self._value_row()]
+            while self._accept_punct(","):
+                rows.append(self._value_row())
+            return ast.InsertStmt(table_name, column_names, rows=rows)
+        query = self._query_expression()
+        return ast.InsertStmt(table_name, column_names, query=query)
+
+    def _value_row(self) -> List[ast.Expr]:
+        self._expect_punct("(")
+        row = [self._expression()]
+        while self._accept_punct(","):
+            row.append(self._expression())
+        self._expect_punct(")")
+        return row
+
+    def _update(self) -> ast.UpdateStmt:
+        self._expect_keyword("update")
+        table_name = self._expect_ident("table name")
+        self._expect_keyword("set")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = self._expression() if self._accept_keyword("where") else None
+        return ast.UpdateStmt(table_name, assignments, where)
+
+    def _assignment(self) -> Tuple[str, ast.Expr]:
+        name = self._expect_ident("column name")
+        if self._accept_op("=") is None:
+            raise self._error("expected = in assignment")
+        return name, self._expression()
+
+    def _delete(self) -> ast.DeleteStmt:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table_name = self._expect_ident("table name")
+        where = self._expression() if self._accept_keyword("where") else None
+        return ast.DeleteStmt(table_name, where)
+
+    # -- DDL -------------------------------------------------------------------------
+
+    def _create(self) -> ast.Statement:
+        self._expect_keyword("create")
+        if self._accept_keyword("table"):
+            return self._create_table()
+        if self._accept_keyword("view"):
+            return self._create_view()
+        unique = self._accept_keyword("unique") is not None
+        if self._accept_keyword("index"):
+            return self._create_index(unique)
+        raise self._error("expected TABLE, VIEW or [UNIQUE] INDEX")
+
+    def _create_table(self) -> ast.CreateTableStmt:
+        name = self._expect_ident("table name")
+        self._expect_punct("(")
+        columns: List[ast.ColumnSpec] = []
+        primary_key: Optional[List[str]] = None
+        checks: List[ast.Expr] = []
+        while True:
+            if self._accept_keyword("primary"):
+                self._expect_keyword("key")
+                self._expect_punct("(")
+                primary_key = self._name_list()
+                self._expect_punct(")")
+            elif self._accept_keyword("check"):
+                self._expect_punct("(")
+                checks.append(self._expression())
+                self._expect_punct(")")
+            else:
+                columns.append(self._column_spec())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        storage_manager = None
+        site = None
+        while True:
+            if self._accept_keyword("using"):
+                storage_manager = self._expect_ident("storage manager name")
+            elif self._accept_keyword("at"):
+                self._expect_keyword("site")
+                site = self._expect_ident("site name")
+            else:
+                break
+        return ast.CreateTableStmt(name, columns, primary_key,
+                                   storage_manager, site, checks)
+
+    def _column_spec(self) -> ast.ColumnSpec:
+        name = self._expect_ident("column name")
+        type_name = self._expect_ident("type name")
+        type_length = None
+        if self._accept_punct("("):
+            token = self._next()
+            if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+                raise self._error("type length must be an integer")
+            type_length = token.value
+            self._expect_punct(")")
+        not_null = False
+        primary_key = False
+        check = None
+        while True:
+            if self._accept_keyword("not"):
+                self._expect_keyword("null")
+                not_null = True
+            elif self._accept_keyword("primary"):
+                self._expect_keyword("key")
+                primary_key = True
+                not_null = True
+            elif self._accept_keyword("check"):
+                self._expect_punct("(")
+                check = self._expression()
+                self._expect_punct(")")
+            else:
+                break
+        return ast.ColumnSpec(name, type_name, type_length, not_null,
+                              primary_key, check)
+
+    def _create_index(self, unique: bool) -> ast.CreateIndexStmt:
+        name = self._expect_ident("index name")
+        self._expect_keyword("on")
+        table_name = self._expect_ident("table name")
+        self._expect_punct("(")
+        column_names = self._name_list()
+        self._expect_punct(")")
+        kind = None
+        if self._accept_keyword("using"):
+            kind = self._expect_ident("access method kind")
+        return ast.CreateIndexStmt(name, table_name, column_names, kind,
+                                   unique)
+
+    def _create_view(self) -> ast.CreateViewStmt:
+        name = self._expect_ident("view name")
+        column_names = None
+        if self._accept_punct("("):
+            column_names = self._name_list()
+            self._expect_punct(")")
+        self._expect_keyword("as")
+        query = self._query_expression()
+        return ast.CreateViewStmt(name, query, column_names, text=self.text)
+
+    def _drop(self) -> ast.DropStmt:
+        self._expect_keyword("drop")
+        for kind in ("table", "view", "index"):
+            if self._accept_keyword(kind):
+                return ast.DropStmt(kind, self._expect_ident("%s name" % kind))
+        raise self._error("expected TABLE, VIEW or INDEX")
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = ast.BinaryOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = ast.BinaryOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self._peek().is_keyword("not"):
+            if self._peek(1).is_keyword("exists"):
+                self._next()  # NOT
+                self._next()  # EXISTS
+                self._expect_punct("(")
+                subquery = self._query_expression()
+                self._expect_punct(")")
+                return ast.ExistsExpr(subquery, negated=True)
+            self._next()
+            return ast.UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    _SET_FUNCS = ("any", "some", "all")
+
+    def _comparison(self) -> ast.Expr:
+        if self._peek().is_keyword("exists"):
+            self._next()
+            self._expect_punct("(")
+            subquery = self._query_expression()
+            self._expect_punct(")")
+            return ast.ExistsExpr(subquery)
+        left = self._additive()
+        token = self._peek()
+        if token.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = "<>" if token.text == "!=" else token.text
+            self._next()
+            quantified = self._maybe_quantified(left, op)
+            if quantified is not None:
+                return quantified
+            return ast.BinaryOp(op, left, self._additive())
+        negated = False
+        if token.is_keyword("not"):
+            lookahead = self._peek(1)
+            if lookahead.is_keyword("in", "between", "like"):
+                self._next()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("in"):
+            self._next()
+            return self._in_tail(left, negated)
+        if token.is_keyword("between"):
+            self._next()
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return ast.Between(left, low, high, negated)
+        if token.is_keyword("like"):
+            self._next()
+            return ast.Like(left, self._additive(), negated)
+        if token.is_keyword("is"):
+            self._next()
+            is_negated = self._accept_keyword("not") is not None
+            self._expect_keyword("null")
+            return ast.IsNull(left, is_negated)
+        return left
+
+    def _maybe_quantified(self, left: ast.Expr, op: str) -> Optional[ast.Expr]:
+        """Detect ``op ANY/ALL/SOME (query)`` or ``op <setpred> (query)``."""
+        token = self._peek()
+        is_builtin = token.is_keyword(*self._SET_FUNCS)
+        is_named = (token.type is TokenType.IDENT and self._peek(1).is_punct("(")
+                    and self._peek(2).is_keyword("select", "with"))
+        if not is_builtin and not is_named:
+            return None
+        function = token.text if is_builtin else str(token.value)
+        self._next()
+        self._expect_punct("(")
+        subquery = self._query_expression()
+        self._expect_punct(")")
+        return ast.QuantifiedComparison(left, op, function, subquery)
+
+    def _in_tail(self, left: ast.Expr, negated: bool) -> ast.Expr:
+        self._expect_punct("(")
+        if self._peek().is_keyword("select", "with"):
+            subquery = self._query_expression()
+            self._expect_punct(")")
+            return ast.InExpr(left, subquery=subquery, negated=negated)
+        values = [self._expression()]
+        while self._accept_punct(","):
+            values.append(self._expression())
+        self._expect_punct(")")
+        return ast.InExpr(left, values=values, negated=negated)
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.is_op("+", "-", "||"):
+                self._next()
+                left = ast.BinaryOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.is_op("*", "/", "%"):
+                self._next()
+                left = ast.BinaryOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        if self._accept_op("-"):
+            return ast.UnaryOp("-", self._unary())
+        if self._accept_op("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER or token.type is TokenType.STRING:
+            self._next()
+            return ast.Literal(token.value)
+        if token.is_keyword("null"):
+            self._next()
+            return ast.Literal(None)
+        if token.is_keyword("true"):
+            self._next()
+            return ast.Literal(True)
+        if token.is_keyword("false"):
+            self._next()
+            return ast.Literal(False)
+        if token.type is TokenType.PARAM:
+            self._next()
+            self._param_count += 1
+            return ast.Param(self._param_count - 1,
+                             token.value if token.value else None)
+        if token.is_keyword("case"):
+            return self._case()
+        if token.is_keyword("cast"):
+            return self._cast()
+        if token.is_punct("("):
+            self._next()
+            if self._peek().is_keyword("select", "with"):
+                subquery = self._query_expression()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            expr = self._expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._identifier_expr()
+        raise self._error("expected an expression")
+
+    def _identifier_expr(self) -> ast.Expr:
+        name = self._expect_ident()
+        if self._peek().is_punct("("):
+            self._next()
+            distinct = self._accept_keyword("distinct") is not None
+            args: List[ast.Expr] = []
+            if self._peek().is_op("*"):
+                self._next()
+                args.append(ast.Star())
+            elif not self._peek().is_punct(")"):
+                args.append(self._expression())
+                while self._accept_punct(","):
+                    args.append(self._expression())
+            self._expect_punct(")")
+            return ast.FunctionCall(name, args, distinct)
+        if self._accept_punct("."):
+            column = self._expect_ident("column name")
+            return ast.ColumnRef(column, qualifier=name)
+        return ast.ColumnRef(name)
+
+    def _case(self) -> ast.Expr:
+        self._expect_keyword("case")
+        whens: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self._accept_keyword("when"):
+            condition = self._expression()
+            self._expect_keyword("then")
+            whens.append((condition, self._expression()))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        else_value = self._expression() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return ast.CaseExpr(whens, else_value)
+
+    def _cast(self) -> ast.Expr:
+        self._expect_keyword("cast")
+        self._expect_punct("(")
+        operand = self._expression()
+        self._expect_keyword("as")
+        type_name = self._expect_ident("type name")
+        type_length = None
+        if self._accept_punct("("):
+            token = self._next()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("type length must be an integer")
+            type_length = int(token.value)  # type: ignore[arg-type]
+            self._expect_punct(")")
+        self._expect_punct(")")
+        return ast.CastExpr(operand, type_name, type_length)
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse one Hydrogen statement."""
+    return Parser(text).parse()

@@ -1,0 +1,66 @@
+"""QGM — the Query Graph Model (section 4 of the paper).
+
+QGM is Starburst's generic internal representation of queries: "the schema
+for a main memory database storing information about a query", the interface
+between every compilation phase and between the base system and DBC
+extensions.
+
+The constructs, as in the paper:
+
+- **boxes** — high-level operations on tables (SELECT, GROUP BY, UNION,
+  INSERT, ...), each with a *head* (output table description) and a *body*,
+- **vertices / iterators** — *setformers* (type F, and the outer-join
+  extension's PF) contribute rows to the output; *quantifiers* (existential
+  E, universal A, scalar S, and DBC-defined types) only restrict it,
+- **range edges** — connect an iterator to the box or base table it ranges
+  over,
+- **qualifier edges** — predicates connecting one or more iterators.
+
+Extensibility: new operations are new box kinds; new iterator types get
+their interpretation from the set-predicate function registry; everything
+else ("most of QGM describes tables, not operations") is generic.
+"""
+
+from repro.qgm import expressions
+from repro.qgm.model import (
+    QGM,
+    BaseTableBox,
+    Box,
+    ChooseBox,
+    DeleteBox,
+    DistinctMode,
+    GroupByBox,
+    Head,
+    HeadColumn,
+    InsertBox,
+    Predicate,
+    Quantifier,
+    SelectBox,
+    SetOpBox,
+    TableFunctionBox,
+    UpdateBox,
+)
+from repro.qgm.display import render_qgm
+from repro.qgm.validate import validate_qgm
+
+__all__ = [
+    "QGM",
+    "Box",
+    "BaseTableBox",
+    "SelectBox",
+    "GroupByBox",
+    "SetOpBox",
+    "ChooseBox",
+    "TableFunctionBox",
+    "InsertBox",
+    "UpdateBox",
+    "DeleteBox",
+    "Quantifier",
+    "Predicate",
+    "Head",
+    "HeadColumn",
+    "DistinctMode",
+    "expressions",
+    "render_qgm",
+    "validate_qgm",
+]

@@ -1,0 +1,72 @@
+"""Textual rendering of a QGM graph (EXPLAIN support, Figure 2 checks).
+
+The rendering lists every reachable box with its head, iterators (vertices
+with their range edges) and predicates (qualifier edges), in a stable
+topological-ish order so tests can assert on the shape of a graph before
+and after rewrite — the programmatic equivalent of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.qgm.model import (
+    QGM,
+    BaseTableBox,
+    Box,
+    GroupByBox,
+    InsertBox,
+    SetOpBox,
+    TableFunctionBox,
+    UpdateBox,
+)
+
+
+def render_box(box: Box, qgm: QGM) -> List[str]:
+    """Render one box as indented text lines."""
+    lines: List[str] = []
+    tags = []
+    if box is qgm.root:
+        tags.append("root")
+    if isinstance(box, SetOpBox) and box.is_recursive:
+        tags.append("recursive")
+    suffix = (" [" + ", ".join(tags) + "]") if tags else ""
+    lines.append("%s%s" % (box.label(), suffix))
+
+    if isinstance(box, BaseTableBox):
+        lines.append("  stored table: %s (%s)" % (
+            box.table.name,
+            ", ".join("%s %s" % (c.name, c.dtype.name) for c in box.table.columns)))
+        return lines
+
+    head_desc = ", ".join(
+        "%s=%r" % (c.name, c.expr) if c.expr is not None else c.name
+        for c in box.head.columns
+    )
+    lines.append("  head: [%s] distinct=%s" % (head_desc,
+                                               box.head.distinct.value))
+    if isinstance(box, GroupByBox) and box.group_keys:
+        lines.append("  group by: %s" % ", ".join(repr(k) for k in box.group_keys))
+    if isinstance(box, TableFunctionBox):
+        lines.append("  function: %s(%s)" % (
+            box.function_name, ", ".join(repr(a) for a in box.scalar_args)))
+    if isinstance(box, UpdateBox):
+        lines.append("  set: %s" % ", ".join(
+            "%s=%r" % (name, expr) for name, expr in box.assignments))
+    if isinstance(box, InsertBox) and box.rows is not None:
+        lines.append("  values: %d row(s)" % len(box.rows))
+    for quantifier in box.quantifiers:
+        lines.append("  %s:%s -> %s" % (quantifier.name, quantifier.qtype,
+                                        quantifier.input.label()))
+    for predicate in box.predicates:
+        lines.append("  pred: %r" % (predicate.expr,))
+    return lines
+
+
+def render_qgm(qgm: QGM) -> str:
+    """Render the whole graph, root first, inputs afterwards."""
+    lines: List[str] = []
+    for box in qgm.reachable_boxes():
+        lines.extend(render_box(box, qgm))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

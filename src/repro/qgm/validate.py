@@ -1,0 +1,181 @@
+"""QGM consistency checking.
+
+The paper's rule contract: "every rule changes a consistent QGM
+representation into another consistent QGM representation".  This validator
+is the referee — the rewrite engine can run it after every rule firing (in
+debug mode) and the test suite uses it as a property-check oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.datatypes.types import BooleanType
+from repro.errors import QGMError
+from repro.qgm.expressions import AggCall, ColRef, walk
+from repro.qgm.model import (
+    QGM,
+    BaseTableBox,
+    Box,
+    ChooseBox,
+    DeleteBox,
+    GroupByBox,
+    InsertBox,
+    SelectBox,
+    SetOpBox,
+    TableFunctionBox,
+    UpdateBox,
+)
+
+
+def validate_qgm(qgm: QGM) -> None:
+    """Raise :class:`QGMError` if any QGM invariant is violated."""
+    if qgm.root is None:
+        raise QGMError("QGM has no root box")
+    reachable = qgm.reachable_boxes()
+    reachable_set = set(reachable)
+    registered = set(qgm.boxes)
+    for box in reachable:
+        if box not in registered:
+            raise QGMError("box %s reachable but not registered" % box.label())
+        _validate_box(box, reachable_set)
+    _check_cycles(qgm)
+
+
+def _validate_box(box: Box, reachable: Set[Box]) -> None:
+    for quantifier in box.quantifiers:
+        if quantifier.box is not box:
+            raise QGMError(
+                "quantifier %s back-pointer is wrong in %s"
+                % (quantifier.name, box.label())
+            )
+        if quantifier.input not in reachable:
+            raise QGMError(
+                "quantifier %s ranges over unreachable box" % quantifier.name
+            )
+        _validate_colrefs_resolve(box, quantifier)
+    if isinstance(box, BaseTableBox):
+        if box.quantifiers or box.predicates:
+            raise QGMError("base table box %s must be a leaf" % box.label())
+        return
+    _validate_head(box)
+    _validate_predicates(box)
+    if isinstance(box, GroupByBox):
+        _validate_groupby(box)
+    elif isinstance(box, SetOpBox):
+        _validate_setop(box)
+    elif isinstance(box, ChooseBox):
+        _validate_choose(box)
+    elif isinstance(box, (SelectBox, TableFunctionBox, InsertBox, UpdateBox,
+                          DeleteBox)):
+        pass  # no extra structural constraints beyond head/predicates
+    # Unknown Box subclasses (DBC extensions) get the generic checks only.
+
+
+def _validate_colrefs_resolve(box: Box, quantifier) -> None:
+    """Every column name must exist in the head of the quantifier's input."""
+    names = set(quantifier.input.head.column_names())
+    for predicate in box.predicates:
+        for node in walk(predicate.expr):
+            if isinstance(node, ColRef) and node.quantifier is quantifier:
+                if node.column not in names:
+                    raise QGMError(
+                        "predicate references %s.%s which %s does not produce"
+                        % (quantifier.name, node.column,
+                           quantifier.input.label())
+                    )
+
+
+def _validate_head(box: Box) -> None:
+    if not box.head.columns and not isinstance(box, (InsertBox, UpdateBox,
+                                                     DeleteBox)):
+        raise QGMError("box %s has an empty head" % box.label())
+    seen = set()
+    for column in box.head.columns:
+        if column.name in seen:
+            raise QGMError(
+                "duplicate head column %s in %s" % (column.name, box.label())
+            )
+        seen.add(column.name)
+        if not isinstance(box, (SetOpBox, ChooseBox)) and column.expr is None:
+            raise QGMError(
+                "head column %s of %s has no defining expression"
+                % (column.name, box.label())
+            )
+        if column.expr is not None and not isinstance(box, GroupByBox):
+            for node in walk(column.expr):
+                if isinstance(node, AggCall):
+                    raise QGMError(
+                        "aggregate %s outside a GROUP BY box (%s)"
+                        % (node.name, box.label())
+                    )
+
+
+def _validate_predicates(box: Box) -> None:
+    for predicate in box.predicates:
+        dtype = predicate.expr.dtype
+        if dtype is not None and not isinstance(dtype, BooleanType):
+            raise QGMError(
+                "predicate %r in %s is not boolean" % (predicate.expr,
+                                                       box.label())
+            )
+        for node in walk(predicate.expr):
+            if isinstance(node, AggCall):
+                raise QGMError(
+                    "aggregate inside a predicate of %s" % box.label()
+                )
+
+
+def _validate_groupby(box: GroupByBox) -> None:
+    if len(box.quantifiers) != 1:
+        raise QGMError("GROUP BY box %s needs exactly one iterator"
+                       % box.label())
+    if box.quantifiers[0].qtype != "F":
+        raise QGMError("GROUP BY input iterator must be a setformer")
+
+
+def _validate_setop(box: SetOpBox) -> None:
+    if len(box.quantifiers) < 2:
+        raise QGMError("set operation %s needs at least two inputs"
+                       % box.label())
+    arity = len(box.head.columns)
+    for quantifier in box.quantifiers:
+        if len(quantifier.input.head.columns) != arity:
+            raise QGMError(
+                "set operation %s input %s has mismatched arity"
+                % (box.label(), quantifier.name)
+            )
+
+
+def _validate_choose(box: ChooseBox) -> None:
+    if len(box.quantifiers) < 1:
+        raise QGMError("CHOOSE box %s has no alternatives" % box.label())
+    arity = len(box.head.columns)
+    for quantifier in box.quantifiers:
+        if len(quantifier.input.head.columns) != arity:
+            raise QGMError(
+                "CHOOSE %s alternative %s has mismatched arity"
+                % (box.label(), quantifier.name)
+            )
+
+
+def _check_cycles(qgm: QGM) -> None:
+    """Only recursive set-operation boxes may participate in cycles."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colors = {box: WHITE for box in qgm.boxes}
+
+    def visit(box: Box) -> None:
+        colors[box] = GRAY
+        for quantifier in box.quantifiers:
+            child = quantifier.input
+            if colors.get(child, WHITE) == GRAY:
+                if not (isinstance(child, SetOpBox) and child.is_recursive):
+                    raise QGMError(
+                        "non-recursive cycle through %s" % child.label()
+                    )
+            elif colors.get(child, WHITE) == WHITE:
+                visit(child)
+        colors[box] = BLACK
+
+    if qgm.root is not None:
+        visit(qgm.root)

@@ -1,0 +1,24 @@
+"""Query rewrite (section 5 of the paper).
+
+A rule-based transformation phase over QGM, between semantic analysis and
+plan optimization.  "A rule consists of two parts, the condition and the
+action ... The rule writer is expected to ensure that every rule changes a
+consistent QGM representation into another consistent QGM representation."
+
+Components, as in the paper:
+
+- the **rules** (:mod:`repro.rewrite.rules`): operation merging (including
+  view merging and subquery-to-join), predicate migration, projection
+  push-down, redundant-join elimination, magic-style seed restriction for
+  recursion, plus DBC-supplied rules in their own rule classes,
+- the **rule engine** (:class:`~repro.rewrite.engine.RewriteEngine`):
+  forward chaining with sequential / priority / statistical control
+  strategies and a budget that always stops at a consistent QGM,
+- the **search facility**: depth-first or breadth-first browsing of the
+  query graph, providing the context each rule sees.
+"""
+
+from repro.rewrite.engine import RewriteEngine, RewriteReport, Rule
+from repro.rewrite.rules import install_default_rules
+
+__all__ = ["RewriteEngine", "RewriteReport", "Rule", "install_default_rules"]

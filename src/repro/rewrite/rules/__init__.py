@@ -1,0 +1,43 @@
+"""The base system's rewrite rules.
+
+"The rules we provide for base system operations fall mainly into three
+classes: predicate migration, projection push-down, and operation merging
+... Other rules convert subqueries to joins and apply miscellaneous
+transformations."
+
+Rule classes installed (in execution order):
+
+- ``subquery``     — existential subquery → join (the paper's Rule 1),
+- ``merging``      — SELECT-into-SELECT merging, covering view merging and
+  table-expression merging (the paper's Rule 2),
+- ``predicate_migration`` — push-down into SELECT / set-operation /
+  GROUP BY inputs, predicate transitivity, push-through-PF for outer join,
+- ``projection``   — projection push-down (unused column elimination),
+- ``redundant``    — redundant self-join elimination over unique keys,
+- ``magic``        — seed restriction for recursive table expressions
+  (the magic-sets specialization for linearly propagated columns),
+- ``misc``         — duplicate-enforcement relaxation under E/NE/A
+  quantifiers.
+"""
+
+from repro.rewrite.rules.subquery import install as _install_subquery
+from repro.rewrite.rules.merging import install as _install_merging
+from repro.rewrite.rules.predicates import install as _install_predicates
+from repro.rewrite.rules.projection import install as _install_projection
+from repro.rewrite.rules.redundant import install as _install_redundant
+from repro.rewrite.rules.magic import install as _install_magic
+from repro.rewrite.rules.misc import install as _install_misc
+
+
+def install_default_rules(engine) -> None:
+    """Install every base rule class into a rewrite engine."""
+    _install_misc(engine)
+    _install_subquery(engine)
+    _install_merging(engine)
+    _install_predicates(engine)
+    _install_magic(engine)
+    _install_redundant(engine)
+    _install_projection(engine)
+
+
+__all__ = ["install_default_rules"]

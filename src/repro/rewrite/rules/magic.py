@@ -1,0 +1,123 @@
+"""Magic-style seed restriction for recursive table expressions.
+
+"With the introduction of recursion in DBMS queries, transformations such
+as magic sets [BANC86] should be incorporated."  This rule implements the
+magic-sets specialization for the common linear case: a consumer restricts
+a column of a recursive table expression with an equality, and that column
+is *propagated unchanged* by every recursive branch (each branch's head
+copies it verbatim from the recursive reference).  Then the restriction can
+be pushed into the *base* branches only — the recursion thereafter derives
+exactly the restricted subset instead of the full fixpoint, which is the
+magic-sets win for queries like "ancestors of a given node".
+"""
+
+from __future__ import annotations
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import Box, Predicate, SelectBox, SetOpBox
+
+
+def _propagated_verbatim(union: SetOpBox, position: int) -> bool:
+    """Is head column ``position`` copied unchanged from the recursive
+    reference in every recursive branch?"""
+    column_name = union.head.columns[position].name
+    for quantifier in union.quantifiers:
+        branch = quantifier.input
+        if not _references(branch, union):
+            continue  # base branch
+        if not isinstance(branch, SelectBox):
+            return False
+        if position >= len(branch.head.columns):
+            return False
+        expr = branch.head.columns[position].expr
+        if not (isinstance(expr, qe.ColRef)
+                and expr.quantifier.input is union
+                and expr.column == column_name):
+            return False
+    return True
+
+
+def _references(branch: Box, target: Box) -> bool:
+    seen = set()
+    stack = [branch]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        for quantifier in current.quantifiers:
+            if quantifier.input is target:
+                return True
+            stack.append(quantifier.input)
+    return False
+
+
+def magic_condition(context, box: Box):
+    if not isinstance(box, SelectBox):
+        return None
+    for predicate in box.predicates:
+        expr = predicate.expr
+        if not (isinstance(expr, qe.BinOp) and expr.op == "="):
+            continue
+        for ref, other in ((expr.left, expr.right),
+                           (expr.right, expr.left)):
+            if not isinstance(ref, qe.ColRef):
+                continue
+            if qe.quantifiers_in(other):
+                continue  # only constant/parameter restrictions
+            quantifier = ref.quantifier
+            union = quantifier.input
+            if not (isinstance(union, SetOpBox) and union.is_recursive):
+                continue
+            if union.annotations.get("magic_applied"):
+                continue
+            # The recursive branches themselves consume the union; only
+            # *external* consumers matter for the single-consumer check.
+            internal = set()
+            for branch_quantifier in union.quantifiers:
+                stack = [branch_quantifier.input]
+                while stack:
+                    current = stack.pop()
+                    if current in internal or current is union:
+                        continue
+                    internal.add(current)
+                    stack.extend(q.input for q in current.quantifiers)
+            external = [c for c in context.consumers(union)
+                        if c.box not in internal]
+            if external != [quantifier]:
+                continue
+            try:
+                position = union.head.index_of(ref.column)
+            except Exception:
+                continue
+            if _propagated_verbatim(union, position):
+                return (predicate, quantifier, union, position, other)
+    return None
+
+
+def magic_action(context, box: Box, match) -> None:
+    predicate, quantifier, union, position, constant = match
+    from repro.datatypes.types import BOOLEAN
+
+    for branch_quantifier in union.quantifiers:
+        branch = branch_quantifier.input
+        if _references(branch, union):
+            continue  # recursive branches inherit the restriction
+        column = branch.head.columns[position]
+        if column.expr is None:
+            continue
+        branch.add_predicate(Predicate(
+            qe.BinOp("=", column.expr, constant, BOOLEAN)))
+    # The restriction is now an invariant of the fixpoint; the consumer's
+    # copy is redundant.
+    box.remove_predicate(predicate)
+    union.annotations["magic_applied"] = True
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("magic_seed_restriction", magic_condition,
+                         magic_action, priority=45,
+                         box_kinds=("select",)),
+                    rule_class="magic")

@@ -1,0 +1,105 @@
+"""Operation merging: the paper's Rule 2.
+
+    IF OP1.type = Select ∧ OP2.type = Select ∧ Q2.type = 'F'
+       ∧ NOT (T1.distinct = false ∧ OP2.eliminate-duplicate = true)
+    THEN merge OP2 into OP1;
+         IF OP2.eliminate-duplicate = true
+         THEN OP1.eliminate-duplicate = true
+
+"Operation merging rules merge QGM boxes, creating the union of the
+predicates and iterators of the original operations to allow more scope for
+optimization.  View merging rules fall into this category."  Because views
+and table expressions expand into SELECT boxes, this single rule performs
+view merging, derived-table merging and the second half of the paper's
+Figure 2 rewrite.
+
+Safety conditions beyond the paper's sketch:
+
+- the inner box must have a single consumer (a multiply-referenced view
+  would otherwise be evaluated twice; materialize-vs-merge is the CHOOSE
+  trade-off the paper defers to the optimizer),
+- the inner must be a *plain* SELECT — not the outer-join operation, which
+  has its own merge semantics the base rule must not assume (the paper's
+  point about extensions changing rule applicability),
+- duplicate compatibility per the rule text: merging an
+  duplicate-eliminating inner into a duplicate-preserving outer would
+  change multiplicities.
+"""
+
+from __future__ import annotations
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import Box, DistinctMode, Quantifier, SelectBox
+
+
+def _mergeable(context, outer: Box, quantifier: Quantifier) -> bool:
+    inner = quantifier.input
+    if not isinstance(inner, SelectBox) or inner is outer:
+        return False
+    if quantifier.qtype != "F":
+        return False
+    if inner.annotations.get("operation"):
+        return False  # extension operations (outer join) keep their box
+    if outer.annotations.get("operation"):
+        return False
+    if getattr(inner, "is_recursive", False):
+        return False
+    if context.single_consumer(inner) is not quantifier:
+        return False
+    # Rule 2's duplicate condition.
+    if (inner.head.distinct is DistinctMode.ENFORCE
+            and outer.head.distinct is DistinctMode.PRESERVE):
+        return False
+    # An inner with subquery quantifiers of its own merges fine (they move
+    # up); an inner whose head uses a scalar subquery also moves cleanly.
+    return True
+
+
+def merge_condition(context, box: Box):
+    if not isinstance(box, SelectBox):
+        return None
+    for quantifier in box.quantifiers:
+        if _mergeable(context, box, quantifier):
+            return quantifier
+    return None
+
+
+def merge_action(context, box: Box, quantifier: Quantifier) -> None:
+    inner = quantifier.input
+
+    # 1. Move the inner box's iterators and predicates into the outer box.
+    for moved in list(inner.quantifiers):
+        inner.remove_quantifier(moved)
+        box.add_quantifier(moved)
+    for predicate in list(inner.predicates):
+        inner.remove_predicate(predicate)
+        box.add_predicate(predicate)
+
+    # 2. Replace references to the merged quantifier by the inner head
+    #    expressions, throughout the whole graph (correlated references
+    #    from nested subqueries included).
+    head_exprs = {column.name: column.expr for column in inner.head.columns}
+
+    def mapping(ref: qe.ColRef):
+        if ref.quantifier is quantifier:
+            return head_exprs[ref.column]
+        return None
+
+    context.substitute_everywhere(mapping)
+
+    # 3. Duplicate bookkeeping per Rule 2.
+    if inner.head.distinct is DistinctMode.ENFORCE:
+        box.head.distinct = DistinctMode.ENFORCE
+
+    # 4. Drop the now-dangling quantifier; the engine garbage-collects the
+    #    empty inner box afterwards.
+    box.remove_quantifier(quantifier)
+    inner.annotations["merged_into"] = box.uid
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("merge_select", merge_condition, merge_action,
+                         priority=80, box_kinds=("select",)),
+                    rule_class="merging")

@@ -1,0 +1,44 @@
+"""Miscellaneous transformations.
+
+- ``relax_subquery_distinct``: the output of a box consumed only by
+  existential/universal quantifiers is duplicate-insensitive, so an
+  ENFORCE or PRESERVE duplicate mode can be relaxed to PERMIT — giving the
+  optimizer the freedom to skip duplicate elimination and the
+  subquery-to-join rule the latitude its "force distinct" variant needs.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import Box, DistinctMode, SelectBox
+
+
+#: Iterator types whose semantics ignore input duplicates.
+_DUP_INSENSITIVE = {"E", "NE", "A"}
+
+
+def relax_condition(context, box: Box):
+    if box.head.distinct is DistinctMode.PERMIT:
+        return None
+    if not isinstance(box, SelectBox):
+        return None
+    if getattr(box, "is_recursive", False):
+        return None
+    consumers = context.consumers(box)
+    if not consumers:
+        return None
+    if all(q.qtype in _DUP_INSENSITIVE for q in consumers):
+        return True
+    return None
+
+
+def relax_action(context, box: Box, match) -> None:
+    box.head.distinct = DistinctMode.PERMIT
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("relax_subquery_distinct", relax_condition,
+                         relax_action, priority=95,
+                         box_kinds=("select",)),
+                    rule_class="misc")

@@ -1,0 +1,303 @@
+"""Predicate migration rules.
+
+"Predicate migration allows predicates to be pushed down into lower level
+operations to minimize the amount of data retrieved.  Predicates may also
+be replicated, and replicas migrated to multiple operations."
+
+Rules here:
+
+- ``push_into_select`` — a predicate referencing a single F setformer over
+  a (single-consumer) SELECT box moves into that box, rewritten through the
+  head.  The *from* side never applies to PF setformers ("they would then
+  eliminate tuples which should be preserved").
+- ``push_into_setop`` — replicate the predicate into every branch of a
+  set-operation input.
+- ``push_into_groupby`` — push through GROUP BY when only group-key output
+  columns are referenced.
+- ``push_through_pf`` — the outer-join *receive* rule the paper walks
+  through: a predicate from above referencing only columns the outer-join
+  box forwards verbatim from its PF setformer is pushed *through* the
+  outer join to the operation the PF setformer ranges over.
+- ``predicate_transitivity`` — from ``a = b`` and ``a = const`` derive
+  ``b = const`` (implied predicates widen the later push-down scope).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import (
+    Box,
+    GroupByBox,
+    Predicate,
+    Quantifier,
+    SelectBox,
+    SetOpBox,
+)
+
+
+def _single_f_target(box: Box, predicate: Predicate):
+    """The lone F setformer of ``box`` a predicate references, if any."""
+    refs = predicate.quantifiers()
+    own = [q for q in refs if q.box is box]
+    if len(own) != 1 or len(refs) != 1:
+        return None  # correlated or multi-iterator predicates stay put
+    target = own[0]
+    if target.qtype != "F":
+        return None  # never push down from a PF setformer
+    return target
+
+
+def _contains_subquery_machinery(expr: qe.QExpr) -> bool:
+    for node in qe.walk(expr):
+        if isinstance(node, qe.ExistsTest):
+            return True
+        if isinstance(node, (qe.ColRef,)) and not node.quantifier.is_setformer:
+            return True
+    return False
+
+
+def _rewrite_through_head(predicate: Predicate, quantifier: Quantifier,
+                          inner: Box) -> qe.QExpr:
+    head_exprs = {c.name: c.expr for c in inner.head.columns}
+
+    def mapping(ref: qe.ColRef):
+        if ref.quantifier is quantifier:
+            return head_exprs[ref.column]
+        return None
+
+    return qe.substitute_colrefs(predicate.expr, mapping)
+
+
+# -- push into SELECT ----------------------------------------------------------
+
+
+def push_select_condition(context, box: Box):
+    if isinstance(box, (SetOpBox,)):
+        return None
+    for predicate in box.predicates:
+        if _contains_subquery_machinery(predicate.expr):
+            continue
+        target = _single_f_target(box, predicate)
+        if target is None:
+            continue
+        inner = target.input
+        if not isinstance(inner, SelectBox):
+            continue
+        if inner.annotations.get("operation"):
+            continue  # outer join handles receiving itself
+        if getattr(inner, "is_recursive", False):
+            continue
+        if context.single_consumer(inner) is not target:
+            continue
+        # Cannot push below duplicate elimination?  Filtering commutes
+        # with DISTINCT, so it is safe either way.
+        return (predicate, target, inner)
+    return None
+
+
+def push_select_action(context, box: Box, match) -> None:
+    predicate, target, inner = match
+    rewritten = _rewrite_through_head(predicate, target, inner)
+    box.remove_predicate(predicate)
+    inner.add_predicate(Predicate(rewritten))
+
+
+# -- replicate into set-operation branches ------------------------------------------
+
+
+def push_setop_condition(context, box: Box):
+    for predicate in box.predicates:
+        if _contains_subquery_machinery(predicate.expr):
+            continue
+        target = _single_f_target(box, predicate)
+        if target is None:
+            continue
+        inner = target.input
+        if not isinstance(inner, SetOpBox) or inner.is_recursive:
+            continue
+        if context.single_consumer(inner) is not target:
+            continue
+        # Every branch must be a SELECT box able to receive predicates.
+        if not all(isinstance(q.input, SelectBox)
+                   and context.single_consumer(q.input) is q
+                   for q in inner.quantifiers):
+            continue
+        return (predicate, target, inner)
+    return None
+
+
+def push_setop_action(context, box: Box, match) -> None:
+    predicate, target, inner = match
+    # The set-op head columns are positional: branch head column i feeds
+    # set-op head column i.
+    positions = {column.name: index
+                 for index, column in enumerate(inner.head.columns)}
+    box.remove_predicate(predicate)
+    for branch_quantifier in inner.quantifiers:
+        branch = branch_quantifier.input
+
+        def mapping(ref: qe.ColRef, branch=branch):
+            if ref.quantifier is target:
+                branch_column = branch.head.columns[positions[ref.column]]
+                return branch_column.expr
+            return None
+
+        replica = qe.substitute_colrefs(predicate.expr, mapping)
+        branch.add_predicate(Predicate(replica))
+
+
+# -- push through GROUP BY -------------------------------------------------------------
+
+
+def push_groupby_condition(context, box: Box):
+    for predicate in box.predicates:
+        if _contains_subquery_machinery(predicate.expr):
+            continue
+        target = _single_f_target(box, predicate)
+        if target is None:
+            continue
+        inner = target.input
+        if not isinstance(inner, GroupByBox):
+            continue
+        if context.single_consumer(inner) is not target:
+            continue
+        # Only group-key output columns may be referenced: a predicate on
+        # a key selects whole groups, so it commutes with aggregation.
+        key_names = set()
+        for column in inner.head.columns:
+            if not isinstance(column.expr, qe.AggCall):
+                key_names.add(column.name)
+        referenced = {node.column for node in qe.walk(predicate.expr)
+                      if isinstance(node, qe.ColRef)
+                      and node.quantifier is target}
+        if referenced <= key_names:
+            return (predicate, target, inner)
+    return None
+
+
+def push_groupby_action(context, box: Box, match) -> None:
+    predicate, target, inner = match
+    rewritten = _rewrite_through_head(predicate, target, inner)
+    box.remove_predicate(predicate)
+    inner.add_predicate(Predicate(rewritten))
+
+
+# -- push through the PF setformer (outer-join receive rule) -----------------------------
+
+
+def push_pf_condition(context, box: Box):
+    for predicate in box.predicates:
+        if _contains_subquery_machinery(predicate.expr):
+            continue
+        target = _single_f_target(box, predicate)
+        if target is None:
+            continue
+        oj_box = target.input
+        if oj_box.annotations.get("operation") != "left_outer_join":
+            continue
+        if context.single_consumer(oj_box) is not target:
+            continue
+        preserved = [q for q in oj_box.quantifiers if q.qtype == "PF"]
+        if len(preserved) != 1:
+            continue
+        pf = preserved[0]
+        if not isinstance(pf.input, SelectBox):
+            continue  # nothing below to receive the predicate
+        if context.single_consumer(pf.input) is not pf:
+            continue
+        # The referenced outer-join head columns must forward PF columns
+        # verbatim.
+        forwards = {}
+        for column in oj_box.head.columns:
+            if (isinstance(column.expr, qe.ColRef)
+                    and column.expr.quantifier is pf):
+                forwards[column.name] = column.expr.column
+        referenced = {node.column for node in qe.walk(predicate.expr)
+                      if isinstance(node, qe.ColRef)
+                      and node.quantifier is target}
+        if referenced and referenced <= set(forwards):
+            return (predicate, target, oj_box, pf, forwards)
+    return None
+
+
+def push_pf_action(context, box: Box, match) -> None:
+    predicate, target, oj_box, pf, forwards = match
+    inner = pf.input
+    head_exprs = {c.name: c.expr for c in inner.head.columns}
+
+    def mapping(ref: qe.ColRef):
+        if ref.quantifier is target:
+            # through the outer-join head onto the PF input's head
+            return head_exprs[forwards[ref.column]]
+        return None
+
+    rewritten = qe.substitute_colrefs(predicate.expr, mapping)
+    box.remove_predicate(predicate)
+    inner.add_predicate(Predicate(rewritten))
+
+
+# -- predicate transitivity ----------------------------------------------------------------
+
+
+def transitivity_condition(context, box: Box):
+    equalities: List[Tuple[qe.ColRef, qe.ColRef]] = []
+    constants: List[Tuple[qe.ColRef, qe.QExpr]] = []
+    existing = {repr(p.expr) for p in box.predicates}
+    for predicate in box.predicates:
+        expr = predicate.expr
+        if not (isinstance(expr, qe.BinOp) and expr.op == "="):
+            continue
+        pair = qe.is_column_equality(expr)
+        if pair is not None:
+            equalities.append(pair)
+            continue
+        for ref, other in ((expr.left, expr.right),
+                           (expr.right, expr.left)):
+            if (isinstance(ref, qe.ColRef)
+                    and isinstance(other, (qe.Const, qe.ParamRef))):
+                constants.append((ref, other))
+    from repro.datatypes.types import BOOLEAN
+
+    for (left, right), (ref, constant) in itertools.product(equalities,
+                                                            constants):
+        for bound, free in ((left, right), (right, left)):
+            if repr(bound) == repr(ref):
+                derived = qe.BinOp("=", free, constant, BOOLEAN)
+                if repr(derived) not in existing:
+                    return derived
+    return None
+
+
+def transitivity_action(context, box: Box, derived: qe.QExpr) -> None:
+    box.add_predicate(Predicate(derived))
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    # Predicates live on SELECT, GROUP BY (after a push-through lands
+    # there) and DML boxes.
+    predicate_boxes = ("select", "groupby", "update", "delete")
+    engine.add_rule(Rule("predicate_transitivity", transitivity_condition,
+                         transitivity_action, priority=75,
+                         box_kinds=predicate_boxes),
+                    rule_class="predicate_migration")
+    engine.add_rule(Rule("push_into_select", push_select_condition,
+                         push_select_action, priority=70,
+                         box_kinds=predicate_boxes),
+                    rule_class="predicate_migration")
+    engine.add_rule(Rule("push_into_setop", push_setop_condition,
+                         push_setop_action, priority=65,
+                         box_kinds=predicate_boxes),
+                    rule_class="predicate_migration")
+    engine.add_rule(Rule("push_into_groupby", push_groupby_condition,
+                         push_groupby_action, priority=60,
+                         box_kinds=predicate_boxes),
+                    rule_class="predicate_migration")
+    engine.add_rule(Rule("push_through_pf", push_pf_condition,
+                         push_pf_action, priority=55,
+                         box_kinds=predicate_boxes),
+                    rule_class="predicate_migration")

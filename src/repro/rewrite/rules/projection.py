@@ -1,0 +1,90 @@
+"""Projection push-down: eliminate unused columns.
+
+"Rules for projection push-down avoid the retrieval of unused columns of
+tables or views.  These rules interact with those for predicate migration:
+when a predicate is pushed to a lower operation, columns referenced only by
+that predicate are no longer needed by the higher operation."
+
+The rule trims the head of a box to the columns actually referenced by its
+consumers.  Set-operation branches and recursive boxes are skipped (their
+head shapes are pinned positionally); the root box obviously keeps its
+user-visible shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import (
+    Box,
+    GroupByBox,
+    SelectBox,
+    SetOpBox,
+)
+
+
+def _referenced_columns(context, box: Box) -> Optional[Set[str]]:
+    """Head columns of ``box`` referenced anywhere in the graph, or None
+    when a structural consumer forbids trimming."""
+    referenced: Set[str] = set()
+    consumers = context.consumers(box)
+    if not consumers:
+        return None
+    for quantifier in consumers:
+        if isinstance(quantifier.box, SetOpBox):
+            return None  # positional: every column is "used"
+    for other in context.qgm.boxes:
+        exprs = [p.expr for p in other.predicates]
+        exprs += [c.expr for c in other.head.columns if c.expr is not None]
+        if isinstance(other, GroupByBox):
+            exprs += other.group_keys
+        if hasattr(other, "assignments"):
+            exprs += [expr for _n, expr in other.assignments]
+        for expr in exprs:
+            for node in qe.walk(expr):
+                if (isinstance(node, qe.ColRef)
+                        and node.quantifier.input is box):
+                    referenced.add(node.column)
+    return referenced
+
+
+def projection_condition(context, box: Box):
+    if context.qgm.root is box:
+        return None
+    if not isinstance(box, (SelectBox, GroupByBox)):
+        return None
+    if isinstance(box, SetOpBox) or getattr(box, "is_recursive", False):
+        return None
+    if box.annotations.get("operation"):
+        return None  # extension operations own their head shape
+    referenced = _referenced_columns(context, box)
+    if referenced is None:
+        return None
+    unused = [column for column in box.head.columns
+              if column.name not in referenced]
+    if not unused or len(unused) == len(box.head.columns):
+        return None
+    if isinstance(box, GroupByBox):
+        # Dropping a grouping column changes the groups; only unreferenced
+        # aggregate outputs may go.
+        unused = [column for column in unused
+                  if isinstance(column.expr, qe.AggCall)]
+        if not unused:
+            return None
+    return unused
+
+
+def projection_action(context, box: Box, unused) -> None:
+    drop = {column.name for column in unused}
+    box.head.columns = [column for column in box.head.columns
+                        if column.name not in drop]
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("projection_pushdown", projection_condition,
+                         projection_action, priority=40,
+                         box_kinds=("select", "groupby")),
+                    rule_class="projection")

@@ -1,0 +1,101 @@
+"""Redundant join elimination ([OTT82] in the paper).
+
+Two setformers over the same base table equated on a unique key are the
+same row: the second access (and the equality) can be removed, retargeting
+every reference.  The classic source of such joins is view expansion —
+a view joining back to a table the consumer also scans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import BaseTableBox, Box, Predicate, SelectBox
+
+
+def _unique_keys(context, table) -> List[Set[str]]:
+    keys: List[Set[str]] = []
+    if table.primary_key:
+        keys.append(set(table.primary_key))
+    for index in context.db.catalog.indexes_on(table.name):
+        if index.unique:
+            keys.append(set(index.column_names))
+    return keys
+
+
+def redundant_join_condition(context, box: Box):
+    if not isinstance(box, SelectBox):
+        return None
+    by_table = {}
+    for quantifier in box.setformers():
+        if isinstance(quantifier.input, BaseTableBox):
+            by_table.setdefault(quantifier.input.table.name,
+                                []).append(quantifier)
+    for table_name, quantifiers in by_table.items():
+        if len(quantifiers) < 2:
+            continue
+        table = quantifiers[0].input.table
+        keys = _unique_keys(context, table)
+        if not keys:
+            continue
+        for keep in quantifiers:
+            for drop in quantifiers:
+                if keep is drop:
+                    continue
+                equated, preds = _equated_columns(box, keep, drop)
+                if any(key <= equated for key in keys):
+                    return (keep, drop, preds)
+    return None
+
+
+def _equated_columns(box: Box, keep, drop) -> Tuple[Set[str], List[Predicate]]:
+    """Columns c with a predicate keep.c = drop.c, plus those predicates."""
+    equated: Set[str] = set()
+    preds: List[Predicate] = []
+    for predicate in box.predicates:
+        pair = qe.is_column_equality(predicate.expr)
+        if pair is None:
+            continue
+        left, right = pair
+        for a, b in ((left, right), (right, left)):
+            if (a.quantifier is keep and b.quantifier is drop
+                    and a.column == b.column):
+                equated.add(a.column)
+                preds.append(predicate)
+    return equated, preds
+
+
+def redundant_join_action(context, box: Box, match) -> None:
+    keep, drop, join_preds = match
+
+    def mapping(ref: qe.ColRef):
+        if ref.quantifier is drop:
+            return qe.ColRef(keep, ref.column, ref.dtype)
+        return None
+
+    context.substitute_everywhere(mapping)
+    for predicate in join_preds:
+        if predicate in box.predicates:
+            box.remove_predicate(predicate)
+    # Predicates reduced to tautologies (keep.c = keep.c) may remain after
+    # substitution of non-join predicates; drop them.
+    for predicate in list(box.predicates):
+        pair = None
+        expr = predicate.expr
+        if isinstance(expr, qe.BinOp) and expr.op == "=":
+            if (isinstance(expr.left, qe.ColRef)
+                    and isinstance(expr.right, qe.ColRef)
+                    and expr.left.quantifier is expr.right.quantifier
+                    and expr.left.column == expr.right.column):
+                box.remove_predicate(predicate)
+    box.remove_quantifier(drop)
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("redundant_join_elimination",
+                         redundant_join_condition, redundant_join_action,
+                         priority=50, box_kinds=("select",)),
+                    rule_class="redundant")

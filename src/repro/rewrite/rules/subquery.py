@@ -1,0 +1,131 @@
+"""Subquery-to-join: the paper's Rule 1.
+
+    IF OP1.type=Select ∧ Q2.type='E' ∧
+       (at each evaluation of the existential predicate at most one tuple
+        of T2 satisfies the predicate)
+    THEN Q2.type = 'F'   /* convert to join */
+
+The at-most-one-match guarantee is established two ways (as in [HASA88]'s
+more general rule):
+
+1. **uniqueness**: every predicate referencing the E quantifier is an
+   equality on a head column that maps 1-1 to a base-table column covered
+   by a unique index / primary key — the subquery can never produce two
+   matching tuples for one outer tuple;
+2. **forced distinctness**: otherwise, when the referenced columns cover
+   the whole head and the subquery's duplicate mode is PERMIT (a subquery's
+   duplicates are semantically irrelevant), the rule converts the
+   quantifier *and* sets the subquery's head to ENFORCE duplicate
+   elimination, preserving the IN semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import (
+    BaseTableBox,
+    Box,
+    DistinctMode,
+    Quantifier,
+    SelectBox,
+)
+
+
+def _equality_columns(context, box: Box,
+                      quantifier: Quantifier) -> Optional[List[str]]:
+    """Columns of ``quantifier`` referenced by predicates, when every
+    referencing predicate is a plain equality ``q.col = other``."""
+    columns: List[str] = []
+    for predicate in box.predicates:
+        if quantifier not in predicate.quantifiers():
+            continue
+        expr = predicate.expr
+        if not (isinstance(expr, qe.BinOp) and expr.op == "="):
+            return None
+        sides = (expr.left, expr.right)
+        column_ref = None
+        other = None
+        for first, second in (sides, sides[::-1]):
+            if (isinstance(first, qe.ColRef)
+                    and first.quantifier is quantifier):
+                column_ref, other = first, second
+                break
+        if column_ref is None:
+            return None
+        if quantifier in qe.quantifiers_in(other):
+            return None
+        columns.append(column_ref.column)
+    return columns
+
+
+def _unique_through_head(context, sub: Box, columns: List[str]) -> bool:
+    """Do the referenced head columns map 1-1 onto a unique key of a base
+    table accessed by a lone setformer of a simple SELECT subquery?"""
+    if not isinstance(sub, SelectBox):
+        return False
+    setformers = sub.setformers()
+    if len(setformers) != 1:
+        return False
+    base_quantifier = setformers[0]
+    if not isinstance(base_quantifier.input, BaseTableBox):
+        return False
+    table = base_quantifier.input.table
+    base_columns = []
+    for column in columns:
+        head = sub.head.column(column)
+        if not (isinstance(head.expr, qe.ColRef)
+                and head.expr.quantifier is base_quantifier):
+            return False
+        base_columns.append(head.expr.column)
+    if not base_columns:
+        return False
+    covered = set(base_columns)
+    if table.primary_key and set(table.primary_key) <= covered:
+        return True
+    for index in context.db.catalog.indexes_on(table.name):
+        if index.unique and set(index.column_names) <= covered:
+            return True
+    return False
+
+
+def subquery_to_join_condition(context, box: Box):
+    if not isinstance(box, SelectBox):
+        return None
+    for quantifier in box.quantifiers:
+        if quantifier.qtype != "E":
+            continue
+        sub = quantifier.input
+        if getattr(sub, "is_recursive", False):
+            continue
+        if not sub.head.columns:
+            continue
+        columns = _equality_columns(context, box, quantifier)
+        if columns is None or not columns:
+            # EXISTS-style: predicates are not all equalities (or only an
+            # ExistsTest); conversion would change cardinality — skip.
+            continue
+        if _unique_through_head(context, sub, columns):
+            return (quantifier, "unique")
+        if (set(columns) == set(sub.head.column_names())
+                and sub.head.distinct is not DistinctMode.PRESERVE):
+            return (quantifier, "force_distinct")
+    return None
+
+
+def subquery_to_join_action(context, box: Box, match) -> None:
+    quantifier, mode = match
+    quantifier.qtype = "F"
+    if mode == "force_distinct":
+        quantifier.input.head.distinct = DistinctMode.ENFORCE
+
+
+def install(engine) -> None:
+    from repro.rewrite.engine import Rule
+
+    engine.add_rule(Rule("subquery_to_join",
+                         subquery_to_join_condition,
+                         subquery_to_join_action,
+                         priority=90, box_kinds=("select",)),
+                    rule_class="subquery")

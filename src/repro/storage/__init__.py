@@ -1,0 +1,55 @@
+"""Core's storage layer: records, slotted pages, buffering, WAL, locking.
+
+This package is the reproduction of the parts of Starburst's data manager
+(*Core*) that Corona depends on: record management, buffer management,
+pluggable storage managers, concurrency control and recovery (section 1 of
+the paper).  The "disk" is an in-memory byte store with read/write counters
+so benchmarks can report I/O the way the paper's cost model reasons about it.
+"""
+
+from repro.storage.record import RID, RecordSerializer
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.buffer import BufferPool, DiskManager
+from repro.storage.storage_manager import (
+    StorageManagerRegistry,
+    TableStorage,
+    default_registry,
+)
+from repro.storage.heap import HeapTableStorage
+from repro.storage.fixed import FixedTableStorage
+from repro.storage.wal import LogManager, LogRecord, LogRecordType
+from repro.storage.lock import LockManager, LockMode
+from repro.storage.transaction import Transaction, TransactionManager
+
+
+def __getattr__(name):
+    # StorageEngine is provided lazily: importing it eagerly would close an
+    # import cycle with repro.access (the engine drives attachments, and
+    # attachments store RIDs).
+    if name == "StorageEngine":
+        from repro.storage.engine import StorageEngine
+
+        return StorageEngine
+    raise AttributeError(name)
+
+__all__ = [
+    "RID",
+    "RecordSerializer",
+    "PAGE_SIZE",
+    "Page",
+    "BufferPool",
+    "DiskManager",
+    "StorageManagerRegistry",
+    "TableStorage",
+    "default_registry",
+    "HeapTableStorage",
+    "FixedTableStorage",
+    "LogManager",
+    "LogRecord",
+    "LogRecordType",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "StorageEngine",
+]

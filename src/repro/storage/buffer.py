@@ -1,0 +1,245 @@
+"""Disk manager and buffer pool.
+
+The :class:`DiskManager` simulates stable storage: a dictionary of page
+images with read/write counters.  The :class:`BufferPool` caches pages in
+frames with pin counts, dirty bits and clock (second-chance) eviction, and
+exposes hit/miss/eviction statistics.  Every table scan, index probe and DML
+operation goes through the pool, so the counters reported by benchmarks
+reflect genuine page traffic.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from repro.errors import BufferPoolError, StorageError
+from repro.storage.page import PAGE_SIZE, Page
+
+
+class DiskStats:
+    """Read/write counters for the simulated disk."""
+
+    __slots__ = ("reads", "writes", "allocations")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<DiskStats reads=%d writes=%d allocs=%d>" % (
+            self.reads, self.writes, self.allocations)
+
+
+class DiskManager:
+    """Simulated stable storage: page images keyed by page id."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytes] = {}
+        self._next_page_id = 0
+        self.stats = DiskStats()
+
+    def allocate(self) -> int:
+        """Allocate a fresh, zeroed page and return its id."""
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = bytes(PAGE_SIZE)
+        self.stats.allocations += 1
+        return page_id
+
+    def read(self, page_id: int) -> bytearray:
+        try:
+            image = self._pages[page_id]
+        except KeyError:
+            raise StorageError("no such page %d" % page_id) from None
+        self.stats.reads += 1
+        return bytearray(image)
+
+    def write(self, page_id: int, data: bytes) -> None:
+        if page_id not in self._pages:
+            raise StorageError("no such page %d" % page_id)
+        if len(data) != PAGE_SIZE:
+            raise StorageError("bad page size %d" % len(data))
+        self._pages[page_id] = bytes(data)
+        self.stats.writes += 1
+
+    def deallocate(self, page_id: int) -> None:
+        self._pages.pop(page_id, None)
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+
+class PoolStats:
+    """Hit/miss/eviction counters for the buffer pool."""
+
+    __slots__ = ("hits", "misses", "evictions", "flushes")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PoolStats hits=%d misses=%d evictions=%d>" % (
+            self.hits, self.misses, self.evictions)
+
+
+class _Frame:
+    __slots__ = ("page", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page: Page):
+        self.page = page
+        self.pin_count = 0
+        self.dirty = False
+        self.referenced = True
+
+
+class BufferPool:
+    """Fixed-capacity page cache with clock eviction.
+
+    ``fetch`` pins the returned page; callers must ``unpin`` (or use the
+    :meth:`pinned` context manager) and declare dirtiness so the pool knows
+    what to write back on eviction or flush.
+    """
+
+    def __init__(self, disk: DiskManager, capacity: int = 64):
+        if capacity < 1:
+            raise BufferPoolError("capacity must be at least 1")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: Dict[int, _Frame] = {}
+        self._clock: List[int] = []
+        self._clock_hand = 0
+        self.stats = PoolStats()
+
+    # -- frame management --------------------------------------------------------
+
+    def _evict_one(self) -> None:
+        """Run the clock until a victim with pin_count == 0 is found."""
+        if not self._clock:
+            raise BufferPoolError("buffer pool is empty; nothing to evict")
+        scanned = 0
+        limit = 2 * len(self._clock)
+        while scanned <= limit:
+            self._clock_hand %= len(self._clock)
+            page_id = self._clock[self._clock_hand]
+            frame = self._frames[page_id]
+            if frame.pin_count == 0:
+                if frame.referenced:
+                    frame.referenced = False
+                else:
+                    self._write_back(page_id, frame)
+                    del self._frames[page_id]
+                    del self._clock[self._clock_hand]
+                    self.stats.evictions += 1
+                    return
+            self._clock_hand += 1
+            scanned += 1
+        raise BufferPoolError(
+            "all %d frames are pinned; cannot evict" % len(self._frames)
+        )
+
+    def _write_back(self, page_id: int, frame: _Frame) -> None:
+        if frame.dirty:
+            self.disk.write(page_id, bytes(frame.page.data))
+            frame.dirty = False
+            self.stats.flushes += 1
+
+    def _install(self, page: Page) -> _Frame:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        frame = _Frame(page)
+        self._frames[page.page_id] = frame
+        self._clock.append(page.page_id)
+        return frame
+
+    # -- public API -------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page pinned; load from disk on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            frame = self._install(Page(page_id, self.disk.read(page_id)))
+        frame.pin_count += 1
+        frame.referenced = True
+        return frame.page
+
+    def new_page(self) -> Page:
+        """Allocate a fresh page on disk and return it pinned and dirty."""
+        page_id = self.disk.allocate()
+        frame = self._install(Page(page_id))
+        frame.pin_count += 1
+        frame.dirty = True
+        return frame.page
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise BufferPoolError("page %d is not pinned" % page_id)
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    @contextmanager
+    def pinned(self, page_id: int, dirty: bool = False) -> Iterator[Page]:
+        """Context manager: fetch + unpin with the given dirtiness."""
+        page = self.fetch(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id, dirty)
+
+    def flush_all(self) -> None:
+        """Write every dirty frame back to disk (checkpoint support)."""
+        for page_id, frame in self._frames.items():
+            self._write_back(page_id, frame)
+
+    def pin_count(self, page_id: int) -> int:
+        frame = self._frames.get(page_id)
+        return frame.pin_count if frame else 0
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def discard(self, page_id: int) -> None:
+        """Drop a frame without writing it back (page being deallocated)."""
+        frame = self._frames.pop(page_id, None)
+        if frame is not None:
+            if frame.pin_count > 0:
+                raise BufferPoolError("cannot discard pinned page %d" % page_id)
+            self._clock.remove(page_id)
+            self._clock_hand = 0
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity (used by the buffer-size benchmark)."""
+        if capacity < 1:
+            raise BufferPoolError("capacity must be at least 1")
+        self.capacity = capacity
+        while len(self._frames) > self.capacity:
+            self._evict_one()
+
+    def __len__(self) -> int:
+        return len(self._frames)

@@ -1,0 +1,196 @@
+"""Fixed-length storage manager — the paper's example DBC extension.
+
+Section 1 of the paper: "a DBC could define a new storage manager which
+handles fixed-length records only -- but extremely efficiently."  This
+storage manager requires every column to have a fixed serialized width; it
+then dispenses with the slot directory and packs records at computed
+offsets, fitting more records per page than the heap manager:
+
+    page layout:  [uint16 live bitmap words ...][record 0][record 1]...
+
+A per-page occupancy bitmap marks live records.  RIDs are (table page
+number, record index within page) and are stable, so :meth:`insert_at` can
+honour the requested RID during recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.catalog.schema import TableDef
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.page import PAGE_SIZE
+from repro.storage.record import RID, RecordSerializer
+from repro.storage.storage_manager import TableStorage
+
+
+class FixedTableStorage(TableStorage):
+    """Packed fixed-width records with an occupancy bitmap per page."""
+
+    kind = "fixed"
+
+    def __init__(self, table: TableDef, pool: BufferPool,
+                 serializer: RecordSerializer):
+        super().__init__(table, pool, serializer)
+        width = serializer.fixed_record_width()
+        if width is None:
+            raise StorageError(
+                "table %s has variable-width columns; the fixed storage "
+                "manager requires fixed-width types only" % table.name
+            )
+        self.record_width = width
+        # Solve for the record count n: bitmap(ceil(n/8)) + n*width <= PAGE_SIZE.
+        n = PAGE_SIZE // max(1, width)
+        while n > 0 and (n + 7) // 8 + n * width > PAGE_SIZE:
+            n -= 1
+        if n == 0:
+            raise StorageError(
+                "record width %d exceeds page size" % width
+            )
+        self.records_per_page = n
+        self._bitmap_bytes = (n + 7) // 8
+        self._page_ids: List[int] = []
+        self._free_hint: int = 0  # first page that may have space
+
+    # -- page helpers -------------------------------------------------------------
+
+    def _record_offset(self, index: int) -> int:
+        return self._bitmap_bytes + index * self.record_width
+
+    def _is_live(self, page_data, index: int) -> bool:
+        return bool(page_data[index // 8] & (1 << (index % 8)))
+
+    def _set_live(self, page_data, index: int, live: bool) -> None:
+        if live:
+            page_data[index // 8] |= 1 << (index % 8)
+        else:
+            page_data[index // 8] &= ~(1 << (index % 8))
+
+    def _disk_page_id(self, page_no: int) -> int:
+        if not 0 <= page_no < len(self._page_ids):
+            raise StorageError(
+                "table %s has no page %d" % (self.table.name, page_no)
+            )
+        return self._page_ids[page_no]
+
+    def _append_page(self) -> int:
+        page = self.pool.new_page()
+        # The generic Page constructor wrote a slotted-page header; this
+        # storage manager owns the whole page, bitmap-first.
+        page.data[0:4] = b"\x00\x00\x00\x00"
+        self._page_ids.append(page.page_id)
+        self.pool.unpin(page.page_id, dirty=True)
+        return len(self._page_ids) - 1
+
+    def _find_free_index(self, page_data) -> Optional[int]:
+        for index in range(self.records_per_page):
+            if not self._is_live(page_data, index):
+                return index
+        return None
+
+    def _store(self, page_no: int, index: int, record: bytes) -> RID:
+        page_id = self._disk_page_id(page_no)
+        with self.pool.pinned(page_id, dirty=True) as page:
+            offset = self._record_offset(index)
+            page.data[offset: offset + self.record_width] = record
+            self._set_live(page.data, index, True)
+        return RID(page_no, index)
+
+    def _check_record(self, record: bytes) -> bytes:
+        if len(record) != self.record_width:
+            raise StorageError(
+                "fixed storage manager expected %d-byte records, got %d"
+                % (self.record_width, len(record))
+            )
+        return record
+
+    # -- TableStorage interface -----------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        self._check_record(record)
+        for page_no in range(self._free_hint, len(self._page_ids)):
+            page_id = self._disk_page_id(page_no)
+            page = self.pool.fetch(page_id)
+            try:
+                index = self._find_free_index(page.data)
+            finally:
+                self.pool.unpin(page_id)
+            if index is not None:
+                self._free_hint = page_no
+                return self._store(page_no, index, record)
+        page_no = self._append_page()
+        self._free_hint = page_no
+        return self._store(page_no, 0, record)
+
+    def insert_at(self, rid: RID, record: bytes) -> RID:
+        """Honour the requested RID when the page exists and slot is free."""
+        self._check_record(record)
+        while rid.page_no >= len(self._page_ids):
+            self._append_page()
+        if rid.slot >= self.records_per_page:
+            return self.insert(record)
+        page_id = self._disk_page_id(rid.page_no)
+        page = self.pool.fetch(page_id)
+        try:
+            occupied = self._is_live(page.data, rid.slot)
+        finally:
+            self.pool.unpin(page_id)
+        if occupied:
+            return self.insert(record)
+        return self._store(rid.page_no, rid.slot, record)
+
+    def read(self, rid: RID) -> bytes:
+        page_id = self._disk_page_id(rid.page_no)
+        with self.pool.pinned(page_id) as page:
+            if rid.slot >= self.records_per_page or not self._is_live(page.data, rid.slot):
+                raise StorageError("no record at %s" % (rid,))
+            offset = self._record_offset(rid.slot)
+            return bytes(page.data[offset: offset + self.record_width])
+
+    def update(self, rid: RID, record: bytes) -> RID:
+        self._check_record(record)
+        page_id = self._disk_page_id(rid.page_no)
+        with self.pool.pinned(page_id, dirty=True) as page:
+            if not self._is_live(page.data, rid.slot):
+                raise StorageError("no record at %s" % (rid,))
+            offset = self._record_offset(rid.slot)
+            page.data[offset: offset + self.record_width] = record
+        return rid
+
+    def delete(self, rid: RID) -> None:
+        page_id = self._disk_page_id(rid.page_no)
+        with self.pool.pinned(page_id, dirty=True) as page:
+            if rid.slot >= self.records_per_page or not self._is_live(page.data, rid.slot):
+                raise StorageError("no record at %s" % (rid,))
+            self._set_live(page.data, rid.slot, False)
+        self._free_hint = min(self._free_hint, rid.page_no)
+
+    def scan(self) -> Iterator[Tuple[RID, bytes]]:
+        for page_no in range(len(self._page_ids)):
+            page_id = self._page_ids[page_no]
+            page = self.pool.fetch(page_id)
+            try:
+                rows = []
+                for index in range(self.records_per_page):
+                    if self._is_live(page.data, index):
+                        offset = self._record_offset(index)
+                        rows.append(
+                            (index, bytes(page.data[offset: offset + self.record_width]))
+                        )
+            finally:
+                self.pool.unpin(page_id)
+            for index, record in rows:
+                yield RID(page_no, index), record
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_ids)
+
+    def truncate(self) -> None:
+        for page_id in self._page_ids:
+            if self.pool.contains(page_id):
+                self.pool.discard(page_id)
+            self.pool.disk.deallocate(page_id)
+        self._page_ids = []
+        self._free_hint = 0

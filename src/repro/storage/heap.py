@@ -1,0 +1,131 @@
+"""Heap storage manager: the default, handles any record shape.
+
+Pages are addressed by table-relative page numbers (``RID.page_no`` indexes
+the table's page list), which keeps RIDs stable across buffer eviction and
+makes logical WAL replay deterministic.  Inserts go to the last page when it
+fits, then to any page on the free list (pages that lost a record), then to
+a fresh page.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Set, Tuple
+
+from repro.catalog.schema import TableDef
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.record import RID, RecordSerializer
+from repro.storage.storage_manager import TableStorage
+
+
+class HeapTableStorage(TableStorage):
+    """Slotted-page heap file."""
+
+    kind = "heap"
+
+    def __init__(self, table: TableDef, pool: BufferPool,
+                 serializer: RecordSerializer):
+        super().__init__(table, pool, serializer)
+        self._page_ids: List[int] = []
+        self._free_pages: Set[int] = set()  # table page numbers with holes
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _disk_page_id(self, page_no: int) -> int:
+        if not 0 <= page_no < len(self._page_ids):
+            raise StorageError(
+                "table %s has no page %d" % (self.table.name, page_no)
+            )
+        return self._page_ids[page_no]
+
+    def _append_page(self) -> int:
+        page = self.pool.new_page()
+        self._page_ids.append(page.page_id)
+        page_no = len(self._page_ids) - 1
+        self.pool.unpin(page.page_id, dirty=True)
+        return page_no
+
+    def _try_insert_on(self, page_no: int, record: bytes):
+        page_id = self._disk_page_id(page_no)
+        page = self.pool.fetch(page_id)
+        try:
+            if not page.can_insert(len(record)) \
+                    and page.can_insert_after_compaction(len(record)):
+                page.compact()
+            if page.can_insert(len(record)):
+                slot = page.insert(record)
+                self.pool.unpin(page_id, dirty=True)
+                return RID(page_no, slot)
+        except Exception:
+            self.pool.unpin(page_id)
+            raise
+        self.pool.unpin(page_id)
+        return None
+
+    # -- TableStorage interface -----------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        if self._page_ids:
+            rid = self._try_insert_on(len(self._page_ids) - 1, record)
+            if rid is not None:
+                return rid
+        for page_no in sorted(self._free_pages):
+            rid = self._try_insert_on(page_no, record)
+            if rid is not None:
+                return rid
+            self._free_pages.discard(page_no)
+        page_no = self._append_page()
+        rid = self._try_insert_on(page_no, record)
+        if rid is None:
+            raise StorageError(
+                "record of %d bytes does not fit an empty page" % len(record)
+            )
+        return rid
+
+    def read(self, rid: RID) -> bytes:
+        page_id = self._disk_page_id(rid.page_no)
+        with self.pool.pinned(page_id) as page:
+            return page.read(rid.slot)
+
+    def update(self, rid: RID, record: bytes) -> RID:
+        page_id = self._disk_page_id(rid.page_no)
+        page = self.pool.fetch(page_id)
+        updated = False
+        try:
+            updated = page.update_in_place(rid.slot, record)
+        finally:
+            self.pool.unpin(page_id, dirty=updated)
+        if updated:
+            return rid
+        # Record grew: relocate.
+        self.delete(rid)
+        return self.insert(record)
+
+    def delete(self, rid: RID) -> None:
+        page_id = self._disk_page_id(rid.page_no)
+        with self.pool.pinned(page_id, dirty=True) as page:
+            page.delete(rid.slot)
+        self._free_pages.add(rid.page_no)
+
+    def scan(self) -> Iterator[Tuple[RID, bytes]]:
+        for page_no in range(len(self._page_ids)):
+            page_id = self._page_ids[page_no]
+            page = self.pool.fetch(page_id)
+            try:
+                records = list(page.records())
+            finally:
+                self.pool.unpin(page_id)
+            for slot, record in records:
+                yield RID(page_no, slot), record
+
+    @property
+    def page_count(self) -> int:
+        return len(self._page_ids)
+
+    def truncate(self) -> None:
+        for page_id in self._page_ids:
+            if self.pool.contains(page_id):
+                self.pool.discard(page_id)
+            self.pool.disk.deallocate(page_id)
+        self._page_ids = []
+        self._free_pages = set()

@@ -1,0 +1,113 @@
+"""Record identifiers and row (de)serialization.
+
+Rows cross the Corona/Core boundary as Python tuples; inside Core they are
+byte strings laid out as:
+
+    [null bitmap][field 0][field 1]...
+
+- the null bitmap has one bit per column (bit set = NULL, field omitted),
+- fixed-width fields (``DataType.fixed_width``) are stored raw,
+- variable-width fields are prefixed with a 4-byte little-endian length.
+
+The serializer is built once per table from its column types.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.datatypes.types import DataType
+from repro.errors import RecordError
+
+_LEN = struct.Struct("<I")
+
+
+class RID(NamedTuple):
+    """Record identifier: page number within the table plus slot number."""
+
+    page_no: int
+    slot: int
+
+    def __str__(self) -> str:
+        return "(%d,%d)" % (self.page_no, self.slot)
+
+
+class RecordSerializer:
+    """Converts row tuples to/from the byte layout described above."""
+
+    def __init__(self, dtypes: Sequence[DataType]):
+        self.dtypes: Tuple[DataType, ...] = tuple(dtypes)
+        self._bitmap_bytes = (len(self.dtypes) + 7) // 8
+
+    @property
+    def arity(self) -> int:
+        return len(self.dtypes)
+
+    def fixed_record_width(self) -> Optional[int]:
+        """Total serialized width when every column is fixed width.
+
+        Returns None when any column is variable width.  Used by the
+        fixed-length storage manager to compute records-per-page.
+        """
+        total = self._bitmap_bytes
+        for dtype in self.dtypes:
+            if dtype.fixed_width is None:
+                return None
+            total += dtype.fixed_width
+        return total
+
+    def serialize(self, row: Sequence[Any]) -> bytes:
+        """Encode one row.  Values must already be validated/coerced."""
+        if len(row) != len(self.dtypes):
+            raise RecordError(
+                "row has %d fields, schema has %d" % (len(row), len(self.dtypes))
+            )
+        bitmap = bytearray(self._bitmap_bytes)
+        parts: List[bytes] = []
+        for index, (value, dtype) in enumerate(zip(row, self.dtypes)):
+            if value is None:
+                bitmap[index // 8] |= 1 << (index % 8)
+                if dtype.fixed_width is not None:
+                    # Keep fixed layout stable: emit zero padding for NULLs.
+                    parts.append(b"\x00" * dtype.fixed_width)
+                continue
+            try:
+                data = dtype.serialize(value)
+            except Exception as exc:
+                raise RecordError(
+                    "cannot serialize %r as %s: %s" % (value, dtype.name, exc)
+                ) from exc
+            if dtype.fixed_width is not None:
+                if len(data) != dtype.fixed_width:
+                    raise RecordError(
+                        "%s serialized to %d bytes, expected %d"
+                        % (dtype.name, len(data), dtype.fixed_width)
+                    )
+                parts.append(data)
+            else:
+                parts.append(_LEN.pack(len(data)))
+                parts.append(data)
+        return bytes(bitmap) + b"".join(parts)
+
+    def deserialize(self, data: bytes) -> Tuple[Any, ...]:
+        """Decode one row previously produced by :meth:`serialize`."""
+        bitmap = data[: self._bitmap_bytes]
+        offset = self._bitmap_bytes
+        values: List[Any] = []
+        for index, dtype in enumerate(self.dtypes):
+            is_null = bool(bitmap[index // 8] & (1 << (index % 8)))
+            if dtype.fixed_width is not None:
+                field = data[offset: offset + dtype.fixed_width]
+                offset += dtype.fixed_width
+                values.append(None if is_null else dtype.deserialize(field))
+            else:
+                if is_null:
+                    values.append(None)
+                    continue
+                (length,) = _LEN.unpack_from(data, offset)
+                offset += _LEN.size
+                field = data[offset: offset + length]
+                offset += length
+                values.append(dtype.deserialize(field))
+        return tuple(values)

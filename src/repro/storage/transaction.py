@@ -1,0 +1,104 @@
+"""Transactions: begin/commit/abort with strict 2PL and WAL-based undo.
+
+A :class:`Transaction` is a handle carrying an id and status.  The
+:class:`TransactionManager` hands them out and implements commit (flush the
+log, release locks) and abort (walk the transaction's log chain backwards,
+apply inverse operations through the storage engine's low-level primitives,
+write compensation records, release locks).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import TransactionError
+from repro.storage.lock import LockManager
+from repro.storage.wal import LogManager, LogRecordType
+
+
+class TransactionStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """Handle for one transaction."""
+
+    __slots__ = ("txn_id", "status")
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.status = TransactionStatus.ACTIVE
+
+    @property
+    def is_active(self) -> bool:
+        return self.status is TransactionStatus.ACTIVE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Txn %d %s>" % (self.txn_id, self.status.value)
+
+
+class TransactionManager:
+    """Creates transactions and drives commit/abort protocols."""
+
+    def __init__(self, log: LogManager, locks: LockManager):
+        self.log = log
+        self.locks = locks
+        self._ids = itertools.count(1)
+        self._active: Dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        txn = Transaction(next(self._ids))
+        self._active[txn.txn_id] = txn
+        self.log.append(txn.txn_id, LogRecordType.BEGIN)
+        return txn
+
+    def _check_active(self, txn: Transaction) -> None:
+        if not txn.is_active:
+            raise TransactionError(
+                "transaction %d is %s" % (txn.txn_id, txn.status.value)
+            )
+
+    def commit(self, txn: Transaction) -> None:
+        self._check_active(txn)
+        self.log.append(txn.txn_id, LogRecordType.COMMIT)
+        self.log.flush()
+        txn.status = TransactionStatus.COMMITTED
+        self._active.pop(txn.txn_id, None)
+        self.locks.release_all(txn.txn_id)
+
+    def abort(self, txn: Transaction, engine) -> None:
+        """Roll back ``txn`` by undoing its log chain through ``engine``.
+
+        ``engine`` must provide ``apply_insert_at`` / ``apply_delete`` /
+        ``apply_update`` primitives that bypass logging and locking.
+        """
+        self._check_active(txn)
+        for record in self.log.records_for(txn.txn_id):
+            if record.type is LogRecordType.INSERT:
+                engine.apply_delete(record.table, record.rid)
+            elif record.type is LogRecordType.DELETE:
+                engine.apply_insert_at(record.table, record.rid, record.before)
+            elif record.type is LogRecordType.UPDATE:
+                engine.apply_undo_update(record.table, record.rid,
+                                         record.new_rid, record.before)
+            else:
+                continue
+            self.log.append(
+                txn.txn_id, LogRecordType.CLR,
+                table=record.table, rid=record.rid, undo_of=record.lsn,
+            )
+        self.log.append(txn.txn_id, LogRecordType.ABORT)
+        self.log.flush()
+        txn.status = TransactionStatus.ABORTED
+        self._active.pop(txn.txn_id, None)
+        self.locks.release_all(txn.txn_id)
+
+    def active_ids(self):
+        return sorted(self._active)
+
+    def get(self, txn_id: int) -> Optional[Transaction]:
+        return self._active.get(txn_id)

@@ -1,0 +1,160 @@
+"""Concurrency and failure injection at the engine and SQL levels."""
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    BufferPoolError,
+    ConstraintError,
+    DeadlockError,
+    ExecutionError,
+    LockTimeoutError,
+)
+
+
+class TestConcurrentTransactions:
+    def test_writer_blocks_writer(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.engine.locks.timeout = 0.2
+        txn1 = db.begin()
+        db.execute("UPDATE t SET a = 2", txn=txn1)
+        txn2 = db.begin()
+        with pytest.raises(LockTimeoutError):
+            db.execute("UPDATE t SET a = 3", txn=txn2)
+        db.rollback(txn2)
+        db.commit(txn1)
+        assert db.execute("SELECT a FROM t").scalar() == 2
+
+    def test_reader_blocks_writer_until_commit(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.engine.locks.timeout = 5.0
+        reader = db.begin()
+        assert db.execute("SELECT a FROM t", txn=reader).scalar() == 1
+        results = []
+
+        def writer():
+            txn = db.begin()
+            db.execute("UPDATE t SET a = 9", txn=txn)
+            db.commit(txn)
+            results.append("written")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert results == []  # writer is blocked on the reader's S lock
+        db.commit(reader)
+        thread.join(timeout=5)
+        assert results == ["written"]
+        assert db.execute("SELECT a FROM t").scalar() == 9
+
+    def test_deadlock_victim_can_retry(self, db):
+        db.execute("CREATE TABLE r1 (a INTEGER)")
+        db.execute("CREATE TABLE r2 (a INTEGER)")
+        db.execute("INSERT INTO r1 VALUES (1)")
+        db.execute("INSERT INTO r2 VALUES (1)")
+        db.engine.locks.timeout = 10.0
+        barrier = threading.Barrier(2, timeout=5)
+        outcomes = []
+
+        def worker(first, second):
+            txn = db.begin()
+            try:
+                db.execute("UPDATE %s SET a = a + 1" % first, txn=txn)
+                barrier.wait()
+                db.execute("UPDATE %s SET a = a + 1" % second, txn=txn)
+                db.commit(txn)
+                outcomes.append("committed")
+            except DeadlockError:
+                db.rollback(txn)
+                outcomes.append("victim")
+
+        threads = [threading.Thread(target=worker, args=("r1", "r2")),
+                   threading.Thread(target=worker, args=("r2", "r1"))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(outcomes) == ["committed", "victim"]
+        # the victim's work rolled back: exactly one increment per table
+        total = (db.execute("SELECT a FROM r1").scalar()
+                 + db.execute("SELECT a FROM r2").scalar())
+        assert total == 4
+
+
+class TestFailureInjection:
+    def test_error_mid_statement_rolls_back_everything(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, CHECK (a < 100))")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1), (2), (500), (3)")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_runtime_error_in_update_aborts(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        db.execute("INSERT INTO t VALUES (1), (0)")
+        with pytest.raises(ExecutionError):
+            db.execute("UPDATE t SET a = 10 / a")
+        assert sorted(db.execute("SELECT a FROM t").rows) == [(0,), (1,)]
+
+    def test_tiny_buffer_pool_still_correct(self):
+        """With 4 frames and a multi-page table, eviction churns but
+        results stay exact."""
+        db = Database(pool_capacity=4)
+        db.execute("CREATE TABLE t (a INTEGER, pad VARCHAR(100))")
+        txn = db.begin()
+        for i in range(2000):
+            db.engine.insert(txn, "t", (i, "x" * 90))
+        db.commit(txn)
+        db.analyze()
+        assert db.engine.storage("t").page_count > 4
+        assert db.execute("SELECT count(*), sum(a) FROM t").rows == [
+            (2000, sum(range(2000)))]
+        assert db.engine.pool.stats.evictions > 0
+
+    def test_failing_scalar_function_surfaces_cleanly(self, emp_db):
+        from repro.datatypes import DOUBLE
+
+        def boom(value):
+            raise ValueError("injected failure")
+
+        emp_db.register_scalar_function("boom", boom, DOUBLE, arity=1)
+        with pytest.raises(ExecutionError, match="injected failure"):
+            emp_db.execute("SELECT boom(salary) FROM emp")
+
+    def test_failing_table_function_surfaces_cleanly(self, emp_db):
+        def bad(args, inputs):
+            raise RuntimeError("tf exploded")
+
+        emp_db.register_table_function("bad_tf", bad, table_inputs=1)
+        with pytest.raises(ExecutionError, match="tf exploded"):
+            emp_db.execute("SELECT * FROM bad_tf(emp) b")
+
+    def test_misbehaving_rewrite_rule_reported(self, db):
+        from repro.errors import RewriteError
+        from repro.rewrite.engine import Rule
+
+        db.execute("CREATE TABLE t (a INTEGER)")
+
+        def bad_action(context, box, match):
+            raise RuntimeError("rule bug")
+
+        db.register_rewrite_rule(
+            Rule("bad_rule", lambda c, b: b.kind == "select", bad_action))
+        with pytest.raises(RewriteError, match="bad_rule"):
+            db.execute("SELECT a FROM t")
+        db.rewrite_engine.remove_rule("bad_rule")
+
+    def test_statement_level_atomicity_with_explicit_txn(self, db):
+        """A failed statement inside an explicit transaction leaves the
+        transaction usable and earlier work intact after commit."""
+        db.execute("CREATE TABLE t (a INTEGER, CHECK (a > 0))")
+        txn = db.begin()
+        db.execute("INSERT INTO t VALUES (1)", txn=txn)
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (-1)", txn=txn)
+        db.commit(txn)
+        # Note: statement-level atomicity within explicit transactions is
+        # the caller's concern here (the failed INSERT inserted nothing).
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1

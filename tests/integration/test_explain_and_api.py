@@ -1,0 +1,120 @@
+"""EXPLAIN output, the Result API, and Database-level error handling."""
+
+import pytest
+
+from repro import Database, Result
+from repro.errors import (
+    ExecutionError,
+    ParseError,
+    ReproError,
+    SemanticError,
+)
+
+
+class TestExplain:
+    def test_explain_statement(self, emp_db):
+        result = emp_db.execute("EXPLAIN SELECT name FROM emp WHERE id = 1")
+        text = "\n".join(r[0] for r in result.rows)
+        assert "QGM (before rewrite)" in text
+        assert "=== plan ===" in text
+        assert "ISCAN" in text or "SCAN" in text
+        assert "cost=" in text
+
+    def test_explain_method(self, emp_db):
+        text = emp_db.explain("SELECT e.name FROM emp e, dept d "
+                              "WHERE e.dept = d.dname")
+        assert "JOIN" in text
+        assert "select#" in text
+
+    def test_explain_shows_rewrite_effect(self, emp_db):
+        emp_db.execute("CREATE VIEW v9 AS SELECT name FROM emp "
+                       "WHERE salary > 0")
+        text = emp_db.explain("SELECT name FROM v9")
+        before, after = text.split("=== QGM ===")
+        assert before.count("select#") > after.count("select#")
+
+    def test_explain_subquery_plan(self, emp_db):
+        emp_db.settings.rewrite_enabled = False
+        text = emp_db.explain("SELECT name FROM emp WHERE salary = "
+                              "(SELECT max(salary) FROM emp)")
+        emp_db.settings.rewrite_enabled = True
+        assert "SUBQJOIN[scalar]" in text
+        assert "[subquery" in text
+
+
+class TestResultApi:
+    def test_iteration_and_len(self, emp_db):
+        result = emp_db.execute("SELECT name FROM emp WHERE dept = 'eng'")
+        assert len(result) == 4
+        assert sorted(name for (name,) in result) == [
+            "alice", "bob", "carol", "grace"]
+
+    def test_columns(self, emp_db):
+        result = emp_db.execute("SELECT name, salary * 2 AS double_pay "
+                                "FROM emp")
+        assert result.columns == ["name", "double_pay"]
+
+    def test_scalar_helpers(self, emp_db):
+        assert emp_db.execute("SELECT count(*) FROM emp").scalar() == 8
+        with pytest.raises(ExecutionError):
+            emp_db.execute("SELECT name FROM emp").scalar()
+        assert emp_db.execute("SELECT name FROM emp WHERE id = 99"
+                              ).first() is None
+
+    def test_rowcount_for_dml(self, emp_db):
+        assert emp_db.execute("UPDATE emp SET salary = salary").rowcount == 8
+        assert emp_db.execute("DELETE FROM emp WHERE id = 99").rowcount == 0
+
+    def test_hidden_order_columns_invisible(self, emp_db):
+        result = emp_db.execute("SELECT name FROM emp ORDER BY salary DESC")
+        assert result.columns == ["name"]
+        assert all(len(row) == 1 for row in result.rows)
+
+
+class TestErrors:
+    def test_parse_error(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELEKT 1")
+
+    def test_semantic_error(self, db):
+        with pytest.raises(SemanticError):
+            db.execute("SELECT x FROM nowhere")
+
+    def test_all_errors_are_repro_errors(self, db):
+        for bad in ("SELEKT", "SELECT x FROM nowhere"):
+            with pytest.raises(ReproError):
+                db.execute(bad)
+
+    def test_missing_parameter(self, emp_db):
+        with pytest.raises(ExecutionError):
+            emp_db.execute("SELECT name FROM emp WHERE id = ?")
+
+    def test_division_by_zero_at_runtime(self, emp_db):
+        with pytest.raises(ExecutionError):
+            emp_db.execute("SELECT salary / (salary - salary) FROM emp")
+
+    def test_failed_dml_statement_rolls_back(self, db):
+        db.execute("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        from repro.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t SELECT a FROM t")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1
+
+
+class TestAnalyze:
+    def test_analyze_updates_estimates(self, db):
+        db.execute("CREATE TABLE t (a INTEGER)")
+        txn = db.begin()
+        for i in range(500):
+            db.engine.insert(txn, "t", (i % 10,))
+        db.commit(txn)
+        db.analyze("t")
+        stats = db.catalog.statistics("t")
+        assert stats.row_count == 500
+        assert stats.n_distinct("a") == 10
+
+    def test_analyze_all(self, emp_db):
+        emp_db.analyze()
+        assert emp_db.catalog.statistics("emp").row_count == 8

@@ -1,0 +1,132 @@
+"""Programmatic reproduction of the paper's Figure 2.
+
+Figure 2(a): the QGM of the quotations/inventory query — an outer SELECT
+with a setformer Q1 over quotations and an existential quantifier Q2 over
+the inner SELECT; the inner SELECT has setformer Q3 over inventory, the
+correlated conjunct Q3.onhand_qty < Q1.order_qty and Q3.type = 'CPU'.
+
+Figure 2(b): after Rule 1 (subquery to join) and Rule 2 (operation
+merging), one SELECT box with setformers Q1 and Q3 and three predicates.
+"""
+
+import pytest
+
+from repro.language.parser import parse_statement
+from repro.language.translator import translate
+from repro.qgm.model import BaseTableBox, SelectBox
+
+QUERY = """
+SELECT partno, price, order_qty FROM quotations Q1
+WHERE Q1.partno IN
+  (SELECT partno FROM inventory Q3
+   WHERE Q3.onhand_qty < Q1.order_qty
+   AND Q3.type = 'CPU')
+"""
+
+
+class TestFigure2a:
+    def test_shape_before_rewrite(self, parts_db):
+        graph = translate(parse_statement(QUERY), parts_db)
+        selects = [b for b in graph.reachable_boxes()
+                   if isinstance(b, SelectBox)]
+        assert len(selects) == 2
+        outer = graph.root
+        inner = [b for b in selects if b is not outer][0]
+
+        # Outer box: one setformer over quotations, one existential
+        # quantifier over the inner SELECT, one qualifier edge between them.
+        assert len(outer.setformers()) == 1
+        q1 = outer.setformers()[0]
+        assert isinstance(q1.input, BaseTableBox)
+        assert q1.input.table.name == "quotations"
+        assert [q.qtype for q in outer.subquery_quantifiers()] == ["E"]
+        q2 = outer.subquery_quantifiers()[0]
+        assert q2.input is inner
+        assert len(outer.predicates) == 1
+        assert {q1, q2} == outer.predicates[0].quantifiers()
+
+        # Inner box: setformer over inventory; one conjunct correlated to
+        # Q1 (a qualifier edge between Q3 and Q1), one a self-loop on Q3.
+        q3 = inner.setformers()[0]
+        assert q3.input.table.name == "inventory"
+        assert len(inner.predicates) == 2
+        referenced = [p.quantifiers() for p in inner.predicates]
+        assert {q3, q1} in referenced          # correlated conjunct
+        assert {q3} in referenced              # Q3.type = 'CPU' loop
+
+        # Heads as in the figure.
+        assert outer.output_names() == ["partno", "price", "order_qty"]
+        assert inner.output_names() == ["partno"]
+
+
+class TestFigure2b:
+    def test_shape_after_rewrite(self, parts_db):
+        compiled = parts_db.compile(QUERY)
+        graph = compiled.qgm
+        report = compiled.rewrite_report
+        assert report.count("subquery_to_join") == 1
+        assert report.count("merge_select") == 1
+
+        selects = [b for b in graph.reachable_boxes()
+                   if isinstance(b, SelectBox)]
+        assert len(selects) == 1
+        merged = selects[0]
+        # Two setformers now: Q1 over quotations, Q3 over inventory.
+        tables = sorted(q.input.table.name for q in merged.setformers())
+        assert tables == ["inventory", "quotations"]
+        assert merged.subquery_quantifiers() == []
+        # Three qualifier edges: join pred + correlation pred + type loop.
+        assert len(merged.predicates) == 3
+        # Head unchanged.
+        assert merged.output_names() == ["partno", "price", "order_qty"]
+
+    def test_equivalent_results(self, parts_db):
+        rewritten = sorted(parts_db.execute(QUERY).rows)
+        parts_db.settings.rewrite_enabled = False
+        plain = sorted(parts_db.execute(QUERY).rows)
+        parts_db.settings.rewrite_enabled = True
+        assert rewritten == plain
+        assert rewritten  # non-trivial data
+
+    def test_rewrite_enables_better_plan(self, parts_db):
+        """The merged form joins; the unmerged form runs a subquery join.
+        The merged plan must not be more expensive."""
+        with_rw = parts_db.compile(QUERY)
+        parts_db.settings.rewrite_enabled = False
+        without = parts_db.compile(QUERY)
+        parts_db.settings.rewrite_enabled = True
+        assert with_rw.plan.props.cost <= without.plan.props.cost
+        ops_with = [type(n).__name__ for n in with_rw.plan.walk()]
+        ops_without = [type(n).__name__ for n in without.plan.walk()]
+        assert "SubqueryJoin" in ops_without
+        assert "SubqueryJoin" not in ops_with
+
+
+class TestFigure1Phases:
+    def test_all_phases_timed(self, parts_db):
+        result = parts_db.execute(QUERY)
+        timings = result.timings.as_dict()
+        assert set(timings) == {"parse", "rewrite", "optimize", "refine",
+                                "execute"}
+        assert all(v >= 0 for v in timings.values())
+        assert timings["parse"] > 0
+        assert timings["optimize"] > 0
+
+    def test_rewrite_bypass_tradeoff(self, parts_db):
+        """Figure 1's note: rewrite 'could be bypassed for faster query
+        compilation at the expense of potentially lower runtime
+        performance'."""
+        with_rw = parts_db.compile(QUERY)
+        parts_db.settings.rewrite_enabled = False
+        without = parts_db.compile(QUERY)
+        parts_db.settings.rewrite_enabled = True
+        assert without.timings.rewrite < with_rw.timings.rewrite
+        assert without.rewrite_report is None
+        assert without.plan.props.cost >= with_rw.plan.props.cost
+
+    def test_compiled_statement_reusable(self, parts_db):
+        compiled = parts_db.compile(
+            "SELECT partno FROM inventory WHERE onhand_qty < ?")
+        first = parts_db.run_compiled(compiled, (5,))
+        second = parts_db.run_compiled(compiled, (100,))
+        assert len(first.rows) < len(second.rows)

@@ -1,0 +1,203 @@
+"""End-to-end subquery semantics: the paper treats subqueries as join
+kinds (section 7); these tests pin the SQL semantics of every kind and the
+evaluate-on-demand machinery."""
+
+import pytest
+
+
+def q(db, sql, params=()):
+    return sorted(db.execute(sql, params).rows)
+
+
+class TestExistential:
+    def test_in_subquery(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE dept IN "
+                         "(SELECT dname FROM dept WHERE budget > 600)")
+        assert rows == [("alice",), ("bob",), ("carol",), ("grace",)]
+
+    def test_in_empty_subquery(self, emp_db):
+        assert q(emp_db, "SELECT name FROM emp WHERE dept IN "
+                         "(SELECT dname FROM dept WHERE budget > 9999)") == []
+
+    def test_exists_correlated(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp e WHERE EXISTS "
+                         "(SELECT 1 FROM emp s WHERE s.mgr = e.id)")
+        assert rows == [("alice",), ("bob",), ("dan",)]
+
+    def test_not_exists_correlated(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp e WHERE NOT EXISTS "
+                         "(SELECT 1 FROM emp s WHERE s.mgr = e.id) "
+                         "AND e.dept = 'eng'")
+        assert rows == [("carol",), ("grace",)]
+
+    def test_eq_any(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE salary = ANY "
+                         "(SELECT salary FROM emp WHERE dept = 'sales')")
+        assert rows == [("dan",), ("eve",), ("heidi",)]
+
+    def test_gt_some(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE salary > SOME "
+                         "(SELECT salary FROM emp WHERE dept = 'eng')")
+        assert rows == [("alice",), ("carol",)]
+
+
+class TestUniversal:
+    def test_ge_all(self, emp_db):
+        assert q(emp_db, "SELECT name FROM emp WHERE salary >= ALL "
+                         "(SELECT salary FROM emp)") == [("alice",)]
+
+    def test_all_vacuously_true_on_empty(self, emp_db):
+        rows = q(emp_db, "SELECT count(*) FROM emp WHERE salary > ALL "
+                         "(SELECT salary FROM emp WHERE dept = 'none')")
+        assert rows == [(8,)]
+
+    def test_not_in_with_nulls_is_empty(self, emp_db):
+        assert q(emp_db, "SELECT name FROM emp WHERE id NOT IN "
+                         "(SELECT mgr FROM emp)") == []
+
+    def test_not_in_without_nulls(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE id NOT IN "
+                         "(SELECT mgr FROM emp WHERE mgr IS NOT NULL)")
+        # managers are ids {1, 2, 4} (alice, bob, dan)
+        assert rows == [("carol",), ("eve",), ("frank",),
+                        ("grace",), ("heidi",)]
+
+
+class TestScalar:
+    def test_uncorrelated(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE salary = "
+                         "(SELECT max(salary) FROM emp)")
+        assert rows == [("alice",)]
+
+    def test_correlated(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp e WHERE salary > "
+                         "(SELECT avg(salary) FROM emp s "
+                         "WHERE s.dept = e.dept)")
+        assert rows == [("alice",), ("eve",)]
+
+    def test_in_select_list(self, emp_db):
+        rows = q(emp_db, "SELECT dname, (SELECT count(*) FROM emp "
+                         "WHERE emp.dept = dept.dname) FROM dept")
+        assert rows == [("eng", 4), ("hr", 1), ("sales", 3)]
+
+    def test_empty_scalar_is_null(self, emp_db):
+        rows = q(emp_db, "SELECT (SELECT salary FROM emp WHERE id = 999) "
+                         "FROM dept WHERE dname = 'hr'")
+        assert rows == [(None,)]
+
+    def test_multirow_scalar_raises(self, emp_db):
+        from repro.errors import SubqueryError
+
+        with pytest.raises(SubqueryError):
+            emp_db.execute("SELECT (SELECT salary FROM emp) FROM dept")
+
+    def test_nested_subqueries(self, emp_db):
+        rows = q(emp_db,
+                 "SELECT name FROM emp WHERE dept IN "
+                 "(SELECT dname FROM dept WHERE budget = "
+                 "(SELECT max(budget) FROM dept))")
+        assert rows == [("alice",), ("bob",), ("carol",), ("grace",)]
+
+
+class TestOrOperator:
+    """Section 7's disjunctive-subquery problem."""
+
+    def test_or_with_scalar_subquery(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp WHERE dept = 'hr' OR "
+                         "salary = (SELECT max(salary) FROM emp)")
+        assert rows == [("alice",), ("frank",)]
+
+    def test_or_between_two_subqueries(self, emp_db):
+        rows = q(emp_db,
+                 "SELECT name FROM emp e WHERE "
+                 "e.salary = (SELECT max(salary) FROM emp) OR "
+                 "e.salary = (SELECT min(salary) FROM emp)")
+        assert rows == [("alice",), ("frank",)]
+
+    def test_or_exists(self, emp_db):
+        rows = q(emp_db,
+                 "SELECT name FROM emp e WHERE e.dept = 'hr' OR EXISTS "
+                 "(SELECT 1 FROM emp s WHERE s.mgr = e.id AND "
+                 "s.salary > 90)")
+        assert rows == [("alice",), ("frank",)]
+
+    def test_or_shortcircuits_subquery(self, emp_db):
+        """The OR operator's left arm saves subquery evaluations."""
+        result = emp_db.execute(
+            "SELECT name FROM emp WHERE salary > 0 OR "
+            "salary = (SELECT max(salary) FROM emp)")
+        assert len(result.rows) == 8
+        assert result.stats.subquery_evaluations == 0
+
+    def test_negated_in_inside_expression(self, emp_db):
+        rows = q(emp_db, "SELECT name FROM emp e WHERE NOT (e.id IN "
+                         "(SELECT mgr FROM emp WHERE mgr IS NOT NULL)) "
+                         "AND e.dept = 'sales'")
+        assert rows == [("eve",), ("heidi",)]
+
+
+class TestEvaluateOnDemand:
+    def test_correlation_caching(self, emp_db):
+        """Repeated correlation values re-use the cached subquery result."""
+        result = emp_db.execute(
+            "SELECT name FROM emp e WHERE salary > "
+            "(SELECT avg(salary) FROM emp s WHERE s.dept = e.dept)")
+        stats = result.stats
+        # 8 outer rows but only 3 distinct departments
+        assert stats.subquery_evaluations == 3
+        assert stats.subquery_cache_hits == 5
+
+    def test_uncorrelated_evaluated_once(self, emp_db):
+        result = emp_db.execute(
+            "SELECT name FROM emp WHERE salary < "
+            "(SELECT avg(salary) FROM emp)")
+        assert result.stats.subquery_evaluations == 1
+        assert len(result.rows) == 4  # salaries below the 85.0 average
+
+    def test_caching_can_be_disabled(self, emp_db):
+        compiled = emp_db.compile(
+            "SELECT name FROM emp e WHERE salary > "
+            "(SELECT avg(salary) FROM emp s WHERE s.dept = e.dept)")
+        from repro.executor.context import ExecutionContext
+        from repro.executor.run import execute_plan
+
+        ctx = ExecutionContext(emp_db.engine, emp_db.functions)
+        ctx.cache_subqueries = False
+        rows = list(execute_plan(compiled.plan, ctx))
+        assert len(rows) == 2
+        assert ctx.stats.subquery_evaluations == 8  # one per outer row
+
+
+class TestSetPredicateExtension:
+    def test_majority(self, emp_db):
+        def combine_majority(outcomes):
+            outcomes = list(outcomes)
+            if not outcomes:
+                return False
+            return sum(1 for o in outcomes if o is True) * 2 > len(outcomes)
+
+        emp_db.register_set_predicate("majority", combine_majority)
+        rows = q(emp_db, "SELECT name FROM emp WHERE salary > MAJORITY "
+                         "(SELECT salary FROM emp)")
+        # salaries sorted: 60,70,75,80,90,90,95,120; MAJORITY requires a
+        # strict win over more than half (>4) of the 8 rows: 95 beats 6,
+        # 120 beats 7, but 90 beats only 4 (ties are not wins)
+        assert rows == [("alice",), ("carol",)]
+
+
+class TestSubqueriesInAggregatedQueries:
+    def test_scalar_subquery_in_select_list_with_group_by(self, emp_db):
+        rows = q(emp_db, "SELECT dept, count(*), "
+                         "(SELECT count(*) FROM dept) FROM emp "
+                         "GROUP BY dept")
+        assert rows == [("eng", 4, 3), ("hr", 1, 3), ("sales", 3, 3)]
+
+    def test_having_with_uncorrelated_subquery(self, emp_db):
+        rows = q(emp_db, "SELECT dept FROM emp GROUP BY dept "
+                         "HAVING count(*) > (SELECT count(*) FROM dept)")
+        assert rows == [("eng",)]
+
+    def test_having_compares_aggregates(self, emp_db):
+        rows = q(emp_db, "SELECT dept FROM emp GROUP BY dept "
+                         "HAVING max(salary) - min(salary) > 20")
+        assert rows == [("eng",)]

@@ -1,0 +1,75 @@
+"""Property-based tests for the B+-tree: structural invariants and
+dict-model equivalence under arbitrary workloads."""
+
+from collections import defaultdict
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.access.btree import BPlusTree
+from repro.storage.record import RID
+
+keys = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestBTreeModel:
+    @given(ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), keys,
+                  st.integers(0, 5)),
+        max_size=200),
+        order=st.sampled_from([4, 5, 8, 32]))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_against_dict_model(self, ops, order):
+        tree = BPlusTree(order=order)
+        model = defaultdict(list)
+        for op, key, rid_slot in ops:
+            rid = RID(0, rid_slot)
+            if op == "insert":
+                tree.insert((key,), rid)
+                model[(key,)].append(rid)
+            else:
+                removed = tree.delete((key,), rid)
+                if rid in model[(key,)]:
+                    assert removed
+                    model[(key,)].remove(rid)
+                else:
+                    assert not removed
+        tree.check_invariants()
+        for key, rids in model.items():
+            assert sorted(tree.search(key)) == sorted(rids)
+        expected_size = sum(len(r) for r in model.values())
+        assert len(tree) == expected_size
+
+    @given(values=st.lists(keys, min_size=1, max_size=300, unique=True),
+           order=st.sampled_from([4, 16]))
+    @settings(max_examples=40)
+    def test_full_scan_sorted(self, values, order):
+        tree = BPlusTree(order=order)
+        for index, value in enumerate(values):
+            tree.insert((value,), RID(0, index))
+        scanned = [key[0] for key, _rid in tree.items()]
+        assert scanned == sorted(values)
+        tree.check_invariants()
+
+    @given(values=st.lists(keys, min_size=1, max_size=200, unique=True),
+           low=keys, high=keys)
+    @settings(max_examples=60)
+    def test_range_scan_matches_filter(self, values, low, high):
+        tree = BPlusTree(order=8)
+        for index, value in enumerate(values):
+            tree.insert((value,), RID(0, index))
+        got = [key[0] for key, _rid in tree.items((low,), (high,))]
+        expected = sorted(v for v in values if low <= v <= high)
+        assert got == expected
+
+    @given(values=st.lists(st.tuples(keys, keys), min_size=1, max_size=150,
+                           unique=True))
+    @settings(max_examples=40)
+    def test_composite_prefix_scan(self, values):
+        tree = BPlusTree(order=8)
+        for index, value in enumerate(values):
+            tree.insert(value, RID(0, index))
+        prefix = values[0][0]
+        got = [key for key, _rid in tree.items((prefix,), (prefix,))]
+        expected = sorted(v for v in values if v[0] == prefix)
+        assert got == expected

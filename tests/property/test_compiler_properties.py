@@ -1,0 +1,101 @@
+"""Property test: the expression compiler agrees with the interpreter on
+randomly generated expression trees and rows."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ColumnDef, TableDef
+from repro.datatypes import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+from repro.errors import ExecutionError
+from repro.executor.compiled import ExprCompiler
+from repro.executor.context import ExecutionContext
+from repro.executor.evaluator import Evaluator
+from repro.functions import FunctionRegistry, register_builtins
+from repro.qgm import expressions as qe
+from repro.qgm.model import QGM
+
+_GRAPH = QGM()
+_TABLE = TableDef("t", [ColumnDef("a", INTEGER), ColumnDef("b", INTEGER),
+                        ColumnDef("s", VARCHAR)])
+_Q = _GRAPH.new_quantifier("F", _GRAPH.base_table(_TABLE))
+_FUNCTIONS = register_builtins(FunctionRegistry())
+
+
+def leaf_exprs():
+    return st.one_of(
+        st.integers(-50, 50).map(lambda v: qe.Const(v, INTEGER)),
+        st.just(qe.Const(None, None)),
+        st.just(qe.ColRef(_Q, "a", INTEGER)),
+        st.just(qe.ColRef(_Q, "b", INTEGER)),
+    )
+
+
+def numeric_exprs(depth=2):
+    if depth == 0:
+        return leaf_exprs()
+    sub = numeric_exprs(depth - 1)
+    return st.one_of(
+        leaf_exprs(),
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: qe.BinOp(t[0], t[1], t[2], INTEGER)),
+        sub.map(lambda e: qe.Neg(e, INTEGER)),
+    )
+
+
+def bool_exprs(depth=2):
+    comparison = st.tuples(
+        st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+        numeric_exprs(1), numeric_exprs(1)).map(
+        lambda t: qe.BinOp(t[0], t[1], t[2], BOOLEAN))
+    if depth == 0:
+        return comparison
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        comparison,
+        st.tuples(st.sampled_from(["and", "or"]), sub, sub).map(
+            lambda t: qe.BinOp(t[0], t[1], t[2], BOOLEAN)),
+        sub.map(qe.Not),
+        numeric_exprs(1).map(qe.IsNullTest),
+    )
+
+
+rows = st.tuples(
+    st.one_of(st.none(), st.integers(-50, 50)),
+    st.one_of(st.none(), st.integers(-50, 50)),
+    st.sampled_from(["x", "y"]),
+)
+
+
+class TestCompilerAgreement:
+    @given(expr=numeric_exprs(), row=rows)
+    @settings(max_examples=200, deadline=None)
+    def test_numeric(self, expr, row):
+        self._check(expr, row, boolean=False)
+
+    @given(expr=bool_exprs(), row=rows)
+    @settings(max_examples=200, deadline=None)
+    def test_boolean(self, expr, row):
+        self._check(expr, row, boolean=True)
+
+    @staticmethod
+    def _check(expr, row, boolean):
+        ctx = ExecutionContext(engine=None, functions=_FUNCTIONS)
+        evaluator = Evaluator(ctx)
+        compiler = ExprCompiler(_FUNCTIONS)
+        compiled = compiler.compile(expr)
+        assert compiled is not None
+        env = {_Q: row}
+        try:
+            interpreted = (evaluator.eval_bool(expr, env) if boolean
+                           else evaluator.eval(expr, env))
+            interpreted_error = None
+        except ExecutionError as exc:
+            interpreted, interpreted_error = None, str(exc)
+        try:
+            fast = compiled(env, ())
+            fast_error = None
+        except ExecutionError as exc:
+            fast, fast_error = None, str(exc)
+        assert (interpreted_error is None) == (fast_error is None)
+        if interpreted_error is None:
+            assert fast == interpreted

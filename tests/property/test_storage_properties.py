@@ -1,0 +1,123 @@
+"""Property-based tests for the storage substrate."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ColumnDef, TableDef
+from repro.datatypes import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+from repro.storage.buffer import BufferPool, DiskManager
+from repro.storage.heap import HeapTableStorage
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.record import RecordSerializer
+
+row_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-2**40, max_value=2**40)),
+    st.one_of(st.none(), st.text(max_size=40)),
+    st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    st.one_of(st.none(), st.booleans()),
+)
+
+
+class TestRecordRoundtrip:
+    @given(row=row_strategy)
+    def test_serialize_deserialize_identity(self, row):
+        serializer = RecordSerializer([INTEGER, VARCHAR, DOUBLE, BOOLEAN])
+        assert serializer.deserialize(serializer.serialize(row)) == row
+
+    @given(rows=st.lists(row_strategy, max_size=20))
+    def test_concatenation_independent(self, rows):
+        serializer = RecordSerializer([INTEGER, VARCHAR, DOUBLE, BOOLEAN])
+        blobs = [serializer.serialize(r) for r in rows]
+        assert [serializer.deserialize(b) for b in blobs] == list(rows)
+
+
+class TestPageModel:
+    """The page must behave like a dict {slot: bytes} under arbitrary
+    insert/delete/compact sequences."""
+
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"), st.binary(min_size=0, max_size=120)),
+            st.tuples(st.just("delete"), st.integers(0, 200)),
+            st.tuples(st.just("compact"), st.just(b"")),
+        ),
+        max_size=60))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_against_model(self, ops):
+        page = Page(0)
+        model = {}
+        for op, arg in ops:
+            if op == "insert":
+                if page.can_insert(len(arg)):
+                    slot = page.insert(arg)
+                    assert slot not in model
+                    model[slot] = arg
+            elif op == "delete":
+                if arg in model:
+                    page.delete(arg)
+                    del model[arg]
+            else:
+                page.compact()
+            assert dict(page.records()) == model
+            assert page.live_count() == len(model)
+
+
+class TestHeapModel:
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("insert"),
+                      st.integers(0, 10**6), st.text(max_size=30)),
+            st.tuples(st.just("delete"), st.integers(0, 100), st.just("")),
+            st.tuples(st.just("update"),
+                      st.integers(0, 100), st.text(max_size=60)),
+        ),
+        max_size=50))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_against_model(self, ops):
+        table = TableDef("t", [ColumnDef("a", INTEGER),
+                               ColumnDef("b", VARCHAR)])
+        serializer = RecordSerializer([INTEGER, VARCHAR])
+        pool = BufferPool(DiskManager(), capacity=8)
+        heap = HeapTableStorage(table, pool, serializer)
+        model = {}
+        live_rids = []
+        for op, first, second in ops:
+            if op == "insert":
+                rid = heap.insert(serializer.serialize((first, second)))
+                model[rid] = (first, second)
+                live_rids.append(rid)
+            elif op == "delete" and live_rids:
+                rid = live_rids[first % len(live_rids)]
+                heap.delete(rid)
+                del model[rid]
+                live_rids.remove(rid)
+            elif op == "update" and live_rids:
+                rid = live_rids[first % len(live_rids)]
+                old = model.pop(rid)
+                new_row = (old[0], second)
+                new_rid = heap.update(rid, serializer.serialize(new_row))
+                model[new_rid] = new_row
+                live_rids.remove(rid)
+                live_rids.append(new_rid)
+        scanned = {rid: serializer.deserialize(data)
+                   for rid, data in heap.scan()}
+        assert scanned == model
+
+
+class TestBufferDurability:
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=64),
+                             min_size=1, max_size=30),
+           capacity=st.integers(1, 4))
+    @settings(max_examples=40)
+    def test_data_survives_eviction(self, payloads, capacity):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=capacity)
+        locations = []
+        for payload in payloads:
+            page = pool.new_page()
+            slot = page.insert(payload)
+            locations.append((page.page_id, slot, payload))
+            pool.unpin(page.page_id, dirty=True)
+        for page_id, slot, payload in locations:
+            with pool.pinned(page_id) as page:
+                assert page.read(slot) == payload

@@ -1,0 +1,291 @@
+"""Unit tests for access-method attachments: B+-tree, hash, R-tree,
+and integrity constraints."""
+
+import pytest
+
+from repro.access.attachment import default_access_registry
+from repro.access.btree import BPlusTree, BTreeIndex
+from repro.access.constraints import (
+    CheckConstraint,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    UniqueConstraint,
+)
+from repro.access.hashindex import HashIndex
+from repro.access.rtree import Rect, RTree, RTreeIndex
+from repro.catalog import ColumnDef, IndexDef, TableDef
+from repro.datatypes import DOUBLE, INTEGER, VARCHAR
+from repro.errors import AccessMethodError, ConstraintError, ExtensionError
+from repro.storage.record import RID
+
+
+def make_table():
+    return TableDef("t", [
+        ColumnDef("k", INTEGER),
+        ColumnDef("v", VARCHAR),
+        ColumnDef("x", DOUBLE),
+        ColumnDef("y", DOUBLE),
+    ])
+
+
+class TestBPlusTree:
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert((i,), RID(0, i))
+        for i in range(100):
+            assert tree.search((i,)) == [RID(0, i)]
+        assert tree.search((999,)) == []
+        assert len(tree) == 100
+        tree.check_invariants()
+
+    def test_duplicates(self):
+        tree = BPlusTree(order=4)
+        tree.insert((5,), RID(0, 1))
+        tree.insert((5,), RID(0, 2))
+        assert sorted(tree.search((5,))) == [RID(0, 1), RID(0, 2)]
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        for i in range(50):
+            tree.insert((i,), RID(0, i))
+        assert tree.delete((25,), RID(0, 25))
+        assert tree.search((25,)) == []
+        assert not tree.delete((25,), RID(0, 25))
+        assert len(tree) == 49
+        tree.check_invariants()
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        for i in range(0, 100, 2):
+            tree.insert((i,), RID(0, i))
+        keys = [k[0] for k, _ in tree.items((10,), (20,))]
+        assert keys == [10, 12, 14, 16, 18, 20]
+        keys = [k[0] for k, _ in tree.items((10,), (20,),
+                                            low_inclusive=False,
+                                            high_inclusive=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_full_scan_ordered(self):
+        import random
+        tree = BPlusTree(order=8)
+        values = list(range(500))
+        random.Random(7).shuffle(values)
+        for v in values:
+            tree.insert((v,), RID(0, v))
+        assert [k[0] for k, _ in tree.items()] == list(range(500))
+        tree.check_invariants()
+
+    def test_composite_keys_and_prefix(self):
+        tree = BPlusTree(order=4)
+        for a in range(5):
+            for b in range(5):
+                tree.insert((a, b), RID(a, b))
+        # prefix bound: all keys with first column == 2
+        hits = [k for k, _ in tree.items((2,), (2,))]
+        assert hits == [(2, b) for b in range(5)]
+
+    def test_nulls_sort_last(self):
+        tree = BPlusTree(order=4)
+        tree.insert((None,), RID(0, 0))
+        tree.insert((1,), RID(0, 1))
+        tree.insert((2,), RID(0, 2))
+        assert [k[0] for k, _ in tree.items()] == [1, 2, None]
+
+    def test_min_order(self):
+        with pytest.raises(AccessMethodError):
+            BPlusTree(order=2)
+
+
+class TestBTreeIndex:
+    def make(self, unique=False):
+        table = make_table()
+        index = IndexDef("ik", "t", ["k"], unique=unique)
+        return BTreeIndex(table, index, order=4)
+
+    def test_maintenance(self):
+        access = self.make()
+        access.on_insert(RID(0, 0), (7, "a", 0.0, 0.0))
+        access.on_insert(RID(0, 1), (8, "b", 0.0, 0.0))
+        assert access.probe((7,)) == [RID(0, 0)]
+        access.on_delete(RID(0, 0), (7, "a", 0.0, 0.0))
+        assert access.probe((7,)) == []
+
+    def test_update_moves_key(self):
+        access = self.make()
+        access.on_insert(RID(0, 0), (7, "a", 0.0, 0.0))
+        access.on_update(RID(0, 0), RID(0, 0),
+                         (7, "a", 0.0, 0.0), (9, "a", 0.0, 0.0))
+        assert access.probe((7,)) == []
+        assert access.probe((9,)) == [RID(0, 0)]
+
+    def test_unique_enforced(self):
+        access = self.make(unique=True)
+        access.on_insert(RID(0, 0), (7, "a", 0.0, 0.0))
+        with pytest.raises(ConstraintError):
+            access.before_insert((7, "b", 0.0, 0.0))
+        access.before_insert((8, "b", 0.0, 0.0))  # fine
+
+    def test_unique_allows_null(self):
+        access = self.make(unique=True)
+        access.on_insert(RID(0, 0), (None, "a", 0.0, 0.0))
+        access.before_insert((None, "b", 0.0, 0.0))  # NULLs never collide
+
+    def test_probe_null_returns_nothing(self):
+        access = self.make()
+        access.on_insert(RID(0, 0), (None, "a", 0.0, 0.0))
+        assert access.probe((None,)) == []
+
+    def test_capabilities(self):
+        access = self.make()
+        assert access.supports_range
+        assert access.provides_order
+
+
+class TestHashIndex:
+    def make(self, unique=False):
+        table = make_table()
+        return HashIndex(table, IndexDef("ih", "t", ["k"], kind="hash",
+                                         unique=unique))
+
+    def test_probe(self):
+        access = self.make()
+        access.on_insert(RID(0, 0), (7, "a", 0.0, 0.0))
+        access.on_insert(RID(0, 1), (7, "b", 0.0, 0.0))
+        assert sorted(access.probe((7,))) == [RID(0, 0), RID(0, 1)]
+        assert access.probe((8,)) == []
+        access.on_delete(RID(0, 0), (7, "a", 0.0, 0.0))
+        assert access.probe((7,)) == [RID(0, 1)]
+
+    def test_no_range(self):
+        access = self.make()
+        assert not access.supports_range
+        assert not access.provides_order
+        with pytest.raises(AccessMethodError):
+            list(access.range_scan((1,), (5,)))
+
+    def test_unique(self):
+        access = self.make(unique=True)
+        access.on_insert(RID(0, 0), (7, "a", 0.0, 0.0))
+        with pytest.raises(ConstraintError):
+            access.before_insert((7, "z", 0.0, 0.0))
+
+
+class TestRTree:
+    def test_window_query(self):
+        tree = RTree(max_entries=4)
+        for x in range(20):
+            for y in range(20):
+                tree.insert(Rect.point(x, y), RID(x, y))
+        window = Rect(2.5, 2.5, 5.5, 4.5)
+        hits = sorted(rid for _, rid in tree.search(window))
+        expected = sorted(RID(x, y) for x in (3, 4, 5) for y in (3, 4))
+        assert hits == expected
+        assert len(tree) == 400
+
+    def test_delete(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Rect.point(1, 1), RID(0, 0))
+        tree.insert(Rect.point(2, 2), RID(0, 1))
+        assert tree.delete(Rect.point(1, 1), RID(0, 0))
+        assert not tree.delete(Rect.point(1, 1), RID(0, 0))
+        hits = [rid for _, rid in tree.search(Rect(0, 0, 10, 10))]
+        assert hits == [RID(0, 1)]
+
+    def test_rect_algebra(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.intersects(b)
+        assert a.union(b) == Rect(0, 0, 3, 3)
+        assert a.union(b).contains(a)
+        assert not a.contains(b)
+        assert Rect(5, 5, 6, 6).intersects(a) is False
+        assert a.enlargement(b) == 9 - 4
+
+    def test_rtree_index_attachment(self):
+        table = make_table()
+        index = IndexDef("ir", "t", ["x", "y"], kind="rtree")
+        access = RTreeIndex(table, index)
+        access.on_insert(RID(0, 0), (1, "a", 1.0, 2.0))
+        access.on_insert(RID(0, 1), (2, "b", 5.0, 5.0))
+        assert access.probe((1.0, 2.0)) == [RID(0, 0)]
+        assert access.window_query(Rect(0, 0, 3, 3)) == [RID(0, 0)]
+        access.on_delete(RID(0, 0), (1, "a", 1.0, 2.0))
+        assert access.window_query(Rect(0, 0, 3, 3)) == []
+
+
+class TestConstraints:
+    def test_not_null(self):
+        table = make_table()
+        constraint = NotNullConstraint(table, ["k"])
+        constraint.before_insert((1, None, 0.0, 0.0))
+        with pytest.raises(ConstraintError):
+            constraint.before_insert((None, "x", 0.0, 0.0))
+
+    def test_unique_constraint(self):
+        table = make_table()
+        constraint = UniqueConstraint(table, ["k"])
+        constraint.before_insert((1, "a", 0.0, 0.0))
+        constraint.on_insert(RID(0, 0), (1, "a", 0.0, 0.0))
+        with pytest.raises(ConstraintError):
+            constraint.before_insert((1, "b", 0.0, 0.0))
+        constraint.on_delete(RID(0, 0), (1, "a", 0.0, 0.0))
+        constraint.before_insert((1, "b", 0.0, 0.0))
+
+    def test_unique_update_same_key_ok(self):
+        table = make_table()
+        constraint = UniqueConstraint(table, ["k"])
+        constraint.on_insert(RID(0, 0), (1, "a", 0.0, 0.0))
+        constraint.before_update(RID(0, 0), (1, "a", 0.0, 0.0),
+                                 (1, "b", 0.0, 0.0))
+
+    def test_check_constraint(self):
+        table = make_table()
+        constraint = CheckConstraint(table, lambda row: row["k"] > 0,
+                                     name="positive_k")
+        constraint.before_insert((1, "a", 0.0, 0.0))
+        with pytest.raises(ConstraintError):
+            constraint.before_insert((0, "a", 0.0, 0.0))
+
+    def test_check_unknown_passes(self):
+        """SQL: a CHECK evaluating to unknown does not reject."""
+        table = make_table()
+        constraint = CheckConstraint(
+            table, lambda row: None if row["k"] is None else row["k"] > 0)
+        constraint.before_insert((None, "a", 0.0, 0.0))
+
+    def test_foreign_key(self):
+        table = make_table()
+        parents = {(1,), (2,)}
+        constraint = ForeignKeyConstraint(table, ["k"],
+                                          lambda key: key in parents)
+        constraint.before_insert((1, "a", 0.0, 0.0))
+        constraint.before_insert((None, "a", 0.0, 0.0))  # NULL FK passes
+        with pytest.raises(ConstraintError):
+            constraint.before_insert((9, "a", 0.0, 0.0))
+
+
+class TestRegistry:
+    def test_default_kinds(self):
+        registry = default_access_registry()
+        assert registry.names() == ["btree", "hash", "rtree"]
+        table = make_table()
+        access = registry.create(table, IndexDef("i", "t", ["k"],
+                                                 kind="btree"))
+        assert isinstance(access, BTreeIndex)
+
+    def test_unknown_kind(self):
+        registry = default_access_registry()
+        table = make_table()
+        with pytest.raises(ExtensionError):
+            registry.create(table, IndexDef("i", "t", ["k"], kind="gin"))
+
+    def test_register_custom_kind(self):
+        registry = default_access_registry()
+        registry.register("myhash", HashIndex)
+        table = make_table()
+        access = registry.create(table, IndexDef("i", "t", ["k"],
+                                                 kind="myhash"))
+        assert isinstance(access, HashIndex)
+        with pytest.raises(ExtensionError):
+            registry.register("myhash", HashIndex)

@@ -1,0 +1,156 @@
+"""Unit tests for the catalog and statistics."""
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    ColumnDef,
+    IndexDef,
+    TableDef,
+    TableStatistics,
+    ViewDef,
+)
+from repro.datatypes import DOUBLE, INTEGER, VARCHAR
+from repro.errors import CatalogError
+
+
+def make_table(name="t", site="local"):
+    return TableDef(name, [
+        ColumnDef("a", INTEGER, nullable=False),
+        ColumnDef("b", VARCHAR),
+        ColumnDef("c", DOUBLE),
+    ], site=site)
+
+
+class TestTableDef:
+    def test_positions_assigned(self):
+        table = make_table()
+        assert [c.position for c in table.columns] == [0, 1, 2]
+        assert table.column_index("b") == 1
+        assert table.arity == 3
+
+    def test_case_insensitive(self):
+        table = TableDef("Orders", [ColumnDef("ID", INTEGER)])
+        assert table.name == "orders"
+        assert table.column("id").name == "id"
+        assert table.has_column("Id")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [ColumnDef("a", INTEGER), ColumnDef("A", INTEGER)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [])
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_table().column("zzz")
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [ColumnDef("a", INTEGER)], primary_key=["nope"])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        catalog = Catalog()
+        table = catalog.create_table(make_table())
+        assert table.table_id > 0
+        assert catalog.table("T") is table
+        assert catalog.has_table("t")
+        assert len(catalog.tables()) == 1
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_table())
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+    def test_views(self):
+        catalog = Catalog()
+        catalog.create_view(ViewDef("v", "SELECT 1"))
+        assert catalog.view("V").name == "v"
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_table("v"))
+        catalog.drop_view("v")
+        assert not catalog.has_view("v")
+
+    def test_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        index = catalog.create_index(IndexDef("i1", "t", ["a"]))
+        assert catalog.index("i1") is index
+        assert catalog.indexes_on("t") == [index]
+        catalog.drop_index("i1")
+        assert catalog.indexes_on("t") == []
+
+    def test_index_unknown_column_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_index(IndexDef("i1", "t", ["zzz"]))
+
+    def test_drop_table_drops_indexes(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.create_index(IndexDef("i1", "t", ["a"]))
+        catalog.drop_table("t")
+        with pytest.raises(CatalogError):
+            catalog.index("i1")
+
+    def test_sites(self):
+        catalog = Catalog()
+        assert catalog.has_site("local")
+        catalog.add_site("remote1", ship_cost_per_row=0.05)
+        assert catalog.ship_cost("remote1") == 0.05
+        catalog.create_table(make_table("r", site="remote1"))
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_table("x", site="mars"))
+
+
+class TestStatistics:
+    def test_incremental_observation(self):
+        stats = TableStatistics(["a", "b"])
+        stats.on_insert({"a": 5, "b": "x"})
+        stats.on_insert({"a": 2, "b": None})
+        assert stats.row_count == 2
+        assert stats.column("a").min_value == 2
+        assert stats.column("a").max_value == 5
+        assert stats.column("b").null_count == 1
+        stats.on_delete()
+        assert stats.row_count == 1
+
+    def test_recompute_exact(self):
+        stats = TableStatistics(["a", "b"])
+        rows = [(i % 3, "v%d" % i) for i in range(30)]
+        stats.recompute(rows, ["a", "b"], page_count=4)
+        assert stats.row_count == 30
+        assert stats.page_count == 4
+        assert stats.n_distinct("a") == 3
+        assert stats.n_distinct("b") == 30
+        assert stats.column("a").min_value == 0
+        assert stats.column("a").max_value == 2
+
+    def test_distinct_fallback(self):
+        stats = TableStatistics(["a"])
+        for _ in range(100):
+            stats.on_insert({"a": 1})
+        # no recompute: distinct falls back to a tenth of the rows
+        assert stats.n_distinct("a") == 10
+
+    def test_catalog_integration(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        stats = catalog.statistics("t")
+        assert stats.row_count == 0
+        with pytest.raises(CatalogError):
+            catalog.statistics("nope")

@@ -1,0 +1,163 @@
+"""Unit tests for plan refinement's expression compiler.
+
+The compiled closures must agree exactly with the interpreting evaluator
+(three-valued logic included); subquery-dependent expressions must fall
+back to interpretation.
+"""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnDef, TableDef
+from repro.datatypes import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+from repro.errors import ExecutionError
+from repro.executor.compiled import ExprCompiler, refine_plan
+from repro.executor.context import ExecutionContext
+from repro.executor.evaluator import Evaluator
+from repro.functions import FunctionRegistry, register_builtins
+from repro.qgm import expressions as qe
+from repro.qgm.model import QGM
+
+
+@pytest.fixture
+def setup():
+    graph = QGM()
+    table = TableDef("t", [ColumnDef("a", INTEGER), ColumnDef("b", VARCHAR),
+                           ColumnDef("c", DOUBLE)])
+    base = graph.base_table(table)
+    quantifier = graph.new_quantifier("F", base)
+    functions = register_builtins(FunctionRegistry())
+    compiler = ExprCompiler(functions)
+    ctx = ExecutionContext(engine=None, functions=functions,
+                           params=(7, "seven"))
+    return compiler, Evaluator(ctx), quantifier
+
+
+def col(q, name, dtype=INTEGER):
+    return qe.ColRef(q, name, dtype)
+
+
+def agree(compiler, evaluator, expr, env, params=(7, "seven")):
+    compiled = compiler.compile(expr)
+    assert compiled is not None, "expected %r to compile" % expr
+    assert compiled(env, params) == evaluator.eval(expr, env)
+    return compiled
+
+
+class TestAgreement:
+    CASES = [
+        (lambda q: qe.Const(42, INTEGER), (1, "x", 2.0)),
+        (lambda q: col(q, "a"), (5, "x", 2.0)),
+        (lambda q: col(q, "a"), (None, None, None)),
+        (lambda q: qe.BinOp("+", col(q, "a"), qe.Const(1, INTEGER), INTEGER),
+         (5, "x", 2.0)),
+        (lambda q: qe.BinOp("*", col(q, "c", DOUBLE),
+                            qe.Const(2.0, DOUBLE), DOUBLE), (5, "x", 2.5)),
+        (lambda q: qe.BinOp("=", col(q, "a"), qe.Const(5, INTEGER), BOOLEAN),
+         (5, "x", 2.0)),
+        (lambda q: qe.BinOp("<", col(q, "a"), qe.Const(9, INTEGER), BOOLEAN),
+         (None, "x", 2.0)),
+        (lambda q: qe.BinOp("||", col(q, "b", VARCHAR),
+                            qe.Const("!", VARCHAR), VARCHAR), (1, "hi", 0.0)),
+        (lambda q: qe.Not(qe.BinOp(">", col(q, "a"), qe.Const(3, INTEGER),
+                                   BOOLEAN)), (5, "x", 0.0)),
+        (lambda q: qe.Neg(col(q, "a"), INTEGER), (5, "x", 0.0)),
+        (lambda q: qe.IsNullTest(col(q, "a")), (None, "x", 0.0)),
+        (lambda q: qe.IsNullTest(col(q, "a"), negated=True), (5, "x", 0.0)),
+        (lambda q: qe.LikeOp(col(q, "b", VARCHAR),
+                             qe.Const("h%", VARCHAR)), (1, "hello", 0.0)),
+        (lambda q: qe.FuncCall("upper", [col(q, "b", VARCHAR)], VARCHAR),
+         (1, "abc", 0.0)),
+        (lambda q: qe.Cast(col(q, "a"), DOUBLE), (5, "x", 0.0)),
+        (lambda q: qe.CaseOp([(qe.BinOp(">", col(q, "a"),
+                                        qe.Const(0, INTEGER), BOOLEAN),
+                               qe.Const("pos", VARCHAR))],
+                             qe.Const("neg", VARCHAR), VARCHAR),
+         (5, "x", 0.0)),
+        (lambda q: qe.ParamRef(0, None, INTEGER), (5, "x", 0.0)),
+    ]
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_compiled_agrees_with_interpreter(self, setup, case):
+        compiler, evaluator, quantifier = setup
+        make, row = self.CASES[case]
+        agree(compiler, evaluator, make(quantifier), {quantifier: row})
+
+    def test_three_valued_and_or(self, setup):
+        compiler, evaluator, q = setup
+        unknown = qe.BinOp("=", col(q, "a"), qe.Const(1, INTEGER), BOOLEAN)
+        true = qe.Const(True, BOOLEAN)
+        false = qe.Const(False, BOOLEAN)
+        env = {q: (None, "x", 0.0)}
+        for expr in (qe.BinOp("and", unknown, true, BOOLEAN),
+                     qe.BinOp("and", unknown, false, BOOLEAN),
+                     qe.BinOp("or", unknown, true, BOOLEAN),
+                     qe.BinOp("or", unknown, false, BOOLEAN)):
+            compiled = compiler.compile(expr)
+            assert compiled(env, ()) == evaluator.eval_bool(expr, env)
+
+    def test_null_padded_outer_row(self, setup):
+        compiler, _evaluator, q = setup
+        compiled = compiler.compile(col(q, "a"))
+        assert compiled({q: None}, ()) is None
+
+    def test_division_by_zero(self, setup):
+        compiler, _evaluator, q = setup
+        expr = qe.BinOp("/", qe.Const(1, INTEGER), qe.Const(0, INTEGER),
+                        DOUBLE)
+        compiled = compiler.compile(expr)
+        with pytest.raises(ExecutionError):
+            compiled({}, ())
+
+
+class TestFallback:
+    def test_subquery_reference_not_compiled(self, setup):
+        compiler, _evaluator, q = setup
+        graph = QGM()
+        table = TableDef("u", [ColumnDef("x", INTEGER)])
+        sub_q = graph.new_quantifier("S", graph.base_table(table))
+        expr = qe.BinOp("=", col(q, "a"), qe.ColRef(sub_q, "x", INTEGER),
+                        BOOLEAN)
+        assert compiler.compile(expr) is None
+        assert compiler.fallback_count == 1
+
+    def test_exists_test_not_compiled(self, setup):
+        compiler, _evaluator, q = setup
+        graph = QGM()
+        table = TableDef("u", [ColumnDef("x", INTEGER)])
+        sub_q = graph.new_quantifier("E", graph.base_table(table))
+        assert compiler.compile(qe.ExistsTest(sub_q)) is None
+
+    def test_aggregate_not_compiled(self, setup):
+        compiler, _evaluator, q = setup
+        expr = qe.AggCall("sum", col(q, "a"), False, INTEGER)
+        assert compiler.compile(expr) is None
+
+
+class TestRefinePlan:
+    def test_refinement_attaches_closures(self, emp_db):
+        compiled = emp_db.compile(
+            "SELECT name, salary + 1 FROM emp WHERE salary > 80 "
+            "AND dept LIKE 'e%'")
+        assert compiled.refiner is not None
+        assert compiled.refiner.compiled_count >= 3  # 2 preds + 2 heads
+        scan = next(n for n in compiled.plan.walk()
+                    if n.op_name in ("SCAN", "ISCAN"))
+        assert all(getattr(p, "compiled", None) is not None
+                   for p in scan.preds)
+
+    def test_results_identical_with_refinement_off(self, emp_db):
+        sql = ("SELECT name, salary * 2 FROM emp "
+               "WHERE salary BETWEEN 70 AND 100 AND name LIKE '%a%'")
+        on_rows = sorted(emp_db.execute(sql).rows)
+        emp_db.settings.compile_expressions = False
+        off_rows = sorted(emp_db.execute(sql).rows)
+        emp_db.settings.compile_expressions = True
+        assert on_rows == off_rows
+
+    def test_subquery_predicates_fall_back(self, emp_db):
+        compiled = emp_db.compile(
+            "SELECT name FROM emp WHERE dept = 'hr' OR salary = "
+            "(SELECT max(salary) FROM emp)")
+        assert compiled.refiner.fallback_count >= 1
+        result = emp_db.run_compiled(compiled)
+        assert sorted(result.rows) == [("alice",), ("frank",)]

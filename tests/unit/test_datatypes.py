@@ -1,0 +1,161 @@
+"""Unit tests for the extensible type system."""
+
+import pytest
+
+from repro.datatypes import (
+    BOOLEAN,
+    DOUBLE,
+    INTEGER,
+    VARCHAR,
+    TypeRegistry,
+    can_coerce,
+    coerce_value,
+    common_type,
+    is_comparable,
+    is_numeric,
+)
+from repro.datatypes.types import DataType, VarcharType
+from repro.errors import DataTypeError
+
+
+class TestBuiltinTypes:
+    def test_integer_roundtrip(self):
+        for value in (0, 1, -1, 2**40, -(2**40)):
+            assert INTEGER.deserialize(INTEGER.serialize(value)) == value
+
+    def test_integer_validate(self):
+        assert INTEGER.validate(5)
+        assert not INTEGER.validate(5.0)
+        assert not INTEGER.validate(True)  # bool is not an INTEGER
+        assert not INTEGER.validate("5")
+
+    def test_double_roundtrip(self):
+        for value in (0.0, -1.5, 3.14159, 1e300):
+            assert DOUBLE.deserialize(DOUBLE.serialize(value)) == value
+
+    def test_double_accepts_int(self):
+        assert DOUBLE.validate(3)
+        assert DOUBLE.deserialize(DOUBLE.serialize(3)) == 3.0
+
+    def test_varchar_roundtrip(self):
+        for value in ("", "hello", "üñíçødé", "a" * 1000):
+            assert VARCHAR.deserialize(VARCHAR.serialize(value)) == value
+
+    def test_varchar_bound(self):
+        bounded = VarcharType(5)
+        assert bounded.validate("abcde")
+        assert not bounded.validate("abcdef")
+
+    def test_boolean_roundtrip(self):
+        assert BOOLEAN.deserialize(BOOLEAN.serialize(True)) is True
+        assert BOOLEAN.deserialize(BOOLEAN.serialize(False)) is False
+
+    def test_fixed_widths(self):
+        assert INTEGER.fixed_width == 8
+        assert DOUBLE.fixed_width == 8
+        assert BOOLEAN.fixed_width == 1
+        assert VARCHAR.fixed_width is None
+
+    def test_compare_default(self):
+        assert INTEGER.compare(1, 2) < 0
+        assert INTEGER.compare(2, 1) > 0
+        assert INTEGER.compare(2, 2) == 0
+
+    def test_check_raises(self):
+        with pytest.raises(DataTypeError):
+            INTEGER.check("nope")
+
+    def test_equality_by_name(self):
+        assert VarcharType(5) == VarcharType(99) == VARCHAR
+        assert INTEGER != DOUBLE
+
+
+class TestRegistry:
+    def test_builtin_lookup_and_aliases(self):
+        registry = TypeRegistry.with_builtins()
+        assert registry.lookup("integer") == INTEGER
+        assert registry.lookup("INT") == INTEGER
+        assert registry.lookup("float") == DOUBLE
+        assert registry.lookup("bool") == BOOLEAN
+
+    def test_varchar_length_lookup(self):
+        registry = TypeRegistry.with_builtins()
+        bounded = registry.lookup("varchar", 7)
+        assert isinstance(bounded, VarcharType)
+        assert bounded.max_length == 7
+
+    def test_length_on_non_varchar_rejected(self):
+        registry = TypeRegistry.with_builtins()
+        with pytest.raises(DataTypeError):
+            registry.lookup("integer", 4)
+
+    def test_unknown_type(self):
+        registry = TypeRegistry.with_builtins()
+        with pytest.raises(DataTypeError):
+            registry.lookup("complexnumber")
+
+    def test_register_external_type(self):
+        class Point(DataType):
+            name = "POINT"
+            fixed_width = 16
+            estimated_width = 16
+
+            def validate(self, value):
+                return (isinstance(value, tuple) and len(value) == 2)
+
+            def serialize(self, value):
+                import struct
+                return struct.pack("<dd", *value)
+
+            def deserialize(self, data):
+                import struct
+                return struct.unpack("<dd", data)
+
+        registry = TypeRegistry.with_builtins()
+        registry.register(Point())
+        dtype = registry.lookup("point")
+        assert dtype.validate((1.0, 2.0))
+        assert dtype.deserialize(dtype.serialize((1.0, 2.0))) == (1.0, 2.0)
+
+    def test_duplicate_registration_rejected(self):
+        registry = TypeRegistry.with_builtins()
+        with pytest.raises(DataTypeError):
+            registry.register(VarcharType())
+
+    def test_replace_and_unregister(self):
+        registry = TypeRegistry.with_builtins()
+        registry.register(VarcharType(), replace=True)
+        registry.unregister("varchar")
+        assert "varchar" not in registry
+        with pytest.raises(DataTypeError):
+            registry.unregister("varchar")
+
+
+class TestCoercion:
+    def test_numeric(self):
+        assert is_numeric(INTEGER)
+        assert is_numeric(DOUBLE)
+        assert not is_numeric(VARCHAR)
+        assert not is_numeric(BOOLEAN)
+
+    def test_can_coerce_widening(self):
+        assert can_coerce(INTEGER, DOUBLE)
+        assert not can_coerce(DOUBLE, INTEGER)
+        assert can_coerce(INTEGER, INTEGER)
+        assert can_coerce(VarcharType(5), VarcharType(10))
+
+    def test_coerce_value(self):
+        assert coerce_value(3, INTEGER, DOUBLE) == 3.0
+        assert isinstance(coerce_value(3, INTEGER, DOUBLE), float)
+        assert coerce_value(None, INTEGER, DOUBLE) is None
+
+    def test_common_type(self):
+        assert common_type(INTEGER, DOUBLE) == DOUBLE
+        assert common_type(INTEGER, INTEGER) == INTEGER
+        assert common_type(VARCHAR, INTEGER) is None
+        assert common_type(BOOLEAN, BOOLEAN) == BOOLEAN
+
+    def test_comparability(self):
+        assert is_comparable(INTEGER, DOUBLE)
+        assert is_comparable(VARCHAR, VarcharType(3))
+        assert not is_comparable(VARCHAR, BOOLEAN)

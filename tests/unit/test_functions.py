@@ -1,0 +1,171 @@
+"""Unit tests for the function registry and the built-in functions."""
+
+import pytest
+
+from repro.datatypes import DOUBLE, INTEGER, VARCHAR
+from repro.errors import ExtensionError, SemanticError
+from repro.functions import (
+    AggregateFunction,
+    FunctionRegistry,
+    ScalarFunction,
+    SetPredicateFunction,
+    TableFunction,
+    register_builtins,
+)
+from repro.functions.builtins import combine_all, combine_any
+
+
+@pytest.fixture
+def registry():
+    return register_builtins(FunctionRegistry())
+
+
+class TestScalars:
+    def test_builtin_inventory(self, registry):
+        names = registry.names()["scalar"]
+        for expected in ("abs", "mod", "sqrt", "upper", "lower", "length",
+                         "substr", "concat", "coalesce", "nullif", "round"):
+            assert expected in names
+
+    def test_invoke(self, registry):
+        assert registry.scalar("abs").invoke([-5]) == 5
+        assert registry.scalar("upper").invoke(["abc"]) == "ABC"
+        assert registry.scalar("substr").invoke(["hello", 2, 3]) == "ell"
+        assert registry.scalar("mod").invoke([10, 3]) == 1
+        assert registry.scalar("concat").invoke(["a", 1, "b"]) == "a1b"
+
+    def test_null_strictness(self, registry):
+        assert registry.scalar("abs").invoke([None]) is None
+        assert registry.scalar("coalesce").invoke([None, None, 3]) == 3
+        assert registry.scalar("nullif").invoke([2, 2]) is None
+        assert registry.scalar("nullif").invoke([2, 3]) == 2
+
+    def test_return_types(self, registry):
+        assert registry.scalar("abs").return_type([INTEGER]) == INTEGER
+        assert registry.scalar("abs").return_type([DOUBLE]) == DOUBLE
+        assert registry.scalar("length").return_type([VARCHAR]) == INTEGER
+
+    def test_arity_checked(self, registry):
+        with pytest.raises(SemanticError):
+            registry.scalar("abs").check_arity(2)
+        registry.scalar("concat").check_arity(5)  # variadic
+
+    def test_register_custom(self, registry):
+        registry.register_scalar(ScalarFunction(
+            "area", lambda w, h: w * h, DOUBLE, arity=2))
+        assert registry.scalar("AREA").invoke([3.0, 4.0]) == 12.0
+        with pytest.raises(ExtensionError):
+            registry.register_scalar(ScalarFunction(
+                "area", lambda w, h: 0, DOUBLE, arity=2))
+
+
+class TestAggregates:
+    def run(self, registry, name, values):
+        function = registry.aggregate(name)
+        accumulator = function.factory()
+        for value in values:
+            if value is None and not function.handles_null:
+                continue
+            accumulator.step(value)
+        return accumulator.final()
+
+    def test_builtins(self, registry):
+        assert self.run(registry, "count", [1, 2, 3]) == 3
+        assert self.run(registry, "sum", [1, 2, 3]) == 6
+        assert self.run(registry, "avg", [2, 4]) == 3.0
+        assert self.run(registry, "min", [5, 1, 9]) == 1
+        assert self.run(registry, "max", [5, 1, 9]) == 9
+
+    def test_empty_group(self, registry):
+        assert self.run(registry, "count", []) == 0
+        assert self.run(registry, "sum", []) is None
+        assert self.run(registry, "avg", []) is None
+        assert self.run(registry, "min", []) is None
+
+    def test_custom_aggregate(self, registry):
+        class StdDev:
+            def __init__(self):
+                self.values = []
+
+            def step(self, value):
+                self.values.append(value)
+
+            def final(self):
+                if not self.values:
+                    return None
+                mean = sum(self.values) / len(self.values)
+                return (sum((v - mean) ** 2 for v in self.values)
+                        / len(self.values)) ** 0.5
+
+        registry.register_aggregate(AggregateFunction(
+            "stddev", StdDev, DOUBLE))
+        assert self.run(registry, "stddev", [2.0, 4.0]) == 1.0
+
+
+class TestSetPredicates:
+    def test_combine_any(self):
+        assert combine_any([False, True]) is True
+        assert combine_any([False, False]) is False
+        assert combine_any([]) is False
+        assert combine_any([False, None]) is None
+        assert combine_any([None, True]) is True
+
+    def test_combine_all(self):
+        assert combine_all([True, True]) is True
+        assert combine_all([True, False]) is False
+        assert combine_all([]) is True  # vacuous truth
+        assert combine_all([True, None]) is None
+        assert combine_all([None, False]) is False
+
+    def test_builtin_quantifier_types(self, registry):
+        assert registry.set_predicate("any").quantifier_type == "E"
+        assert registry.set_predicate("all").quantifier_type == "A"
+        assert registry.set_predicate_for_qtype("A").name == "all"
+
+    def test_majority_extension(self, registry):
+        def combine_majority(outcomes):
+            outcomes = list(outcomes)
+            return sum(1 for o in outcomes if o is True) * 2 > len(outcomes)
+
+        registry.register_set_predicate(SetPredicateFunction(
+            "majority", combine_majority))
+        function = registry.set_predicate("majority")
+        assert function.quantifier_type == "MAJORITY"
+        assert function.combine([True, True, False]) is True
+        assert function.combine([True, False, False]) is False
+
+
+class TestTableFunctions:
+    def test_sample(self, registry):
+        sample = registry.table_function("sample")
+        names, types, rows = sample.invoke(
+            [2], [(["a"], [INTEGER], [(1,), (2,), (3,)])])
+        assert rows == [(1,), (2,)]
+        assert names == ["a"]
+
+    def test_sample_zero_and_overlong(self, registry):
+        sample = registry.table_function("sample")
+        assert sample.invoke([0], [(["a"], [INTEGER], [(1,)])])[2] == []
+        assert sample.invoke([9], [(["a"], [INTEGER], [(1,)])])[2] == [(1,)]
+
+    def test_series(self, registry):
+        series = registry.table_function("series")
+        _n, _t, rows = series.invoke([1, 5], [])
+        assert rows == [(1,), (2,), (3,), (4,), (5,)]
+        _n, _t, rows = series.invoke([5, 1, -2], [])
+        assert rows == [(5,), (3,), (1,)]
+
+    def test_series_zero_step_rejected(self, registry):
+        with pytest.raises(SemanticError):
+            registry.table_function("series").invoke([1, 5, 0], [])
+
+    def test_register_custom(self, registry):
+        def transpose(args, inputs):
+            names, types, rows = inputs[0]
+            return names, types, [tuple(reversed(r)) for r in rows]
+
+        registry.register_table_function(TableFunction(
+            "rev", transpose, table_inputs=1))
+        _n, _t, rows = registry.table_function("rev").invoke(
+            [], [(["a", "b"], [INTEGER, INTEGER], [(1, 2)])])
+        assert rows == [(2, 1)]

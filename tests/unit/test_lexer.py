@@ -1,0 +1,93 @@
+"""Unit tests for the Hydrogen tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.language.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.text) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            (TokenType.KEYWORD, "select")] * 3
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("MyTable my_col _x")
+        assert [t.value for t in tokens[:-1]] == ["mytable", "my_col", "_x"]
+
+    def test_quoted_identifier_preserves_case(self):
+        token = tokenize('"MiXeD"')[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "MiXeD"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5 1e3 2.5E-2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 3.14, 0.5, 1000.0, 0.025]
+        assert isinstance(values[0], int)
+        assert isinstance(values[1], float)
+
+    def test_strings_with_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        text = "= <> != <= >= < > + - * / % ||"
+        ops = [t.text for t in tokenize(text)[:-1]]
+        assert ops == ["=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "*",
+                       "/", "%", "||"]
+
+    def test_punctuation(self):
+        marks = [t.text for t in tokenize("( ) , . ;")[:-1]]
+        assert marks == ["(", ")", ",", ".", ";"]
+
+    def test_params(self):
+        tokens = tokenize("? :name")
+        assert tokens[0].type is TokenType.PARAM
+        assert tokens[1].type is TokenType.PARAM
+        assert tokens[1].value == "name"
+
+    def test_line_comments(self):
+        assert kinds("SELECT -- a comment\n 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_block_comments(self):
+        assert kinds("SELECT /* multi\nline */ 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("/* oops")
+
+    def test_line_numbers(self):
+        tokens = tokenize("SELECT\n  partno\nFROM t")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+
+    def test_bad_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_eof_terminated(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_token_helpers(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("from")
+        op = tokenize("<=")[0]
+        assert op.is_op("<=", ">=")
+        mark = tokenize(",")[0]
+        assert mark.is_punct(",")

@@ -1,0 +1,283 @@
+"""Unit tests for the Hydrogen parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.language import ast
+from repro.language.parser import parse_statement
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.items) == 1
+        assert stmt.from_items == []
+
+    def test_select_list_aliases(self):
+        stmt = parse_statement("SELECT a, b AS bee, c + 1 total FROM t")
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "total"
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+        assert stmt.items[1].expr.qualifier == "t"
+
+    def test_where_group_having_order(self):
+        stmt = parse_statement(
+            "SELECT dept, count(*) FROM emp WHERE salary > 10 "
+            "GROUP BY dept HAVING count(*) > 1 ORDER BY dept DESC LIMIT 5")
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+        assert not parse_statement("SELECT ALL a FROM t").distinct
+
+    def test_operator_precedence(self):
+        stmt = parse_statement("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_parenthesized(self):
+        stmt = parse_statement("SELECT (1 + 2) * 3")
+        assert stmt.items[0].expr.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_statement("SELECT -a FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+
+
+class TestPredicates:
+    def where(self, text):
+        return parse_statement("SELECT 1 FROM t WHERE " + text).where
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InExpr)
+        assert len(expr.values) == 3
+
+    def test_not_in_subquery(self):
+        expr = self.where("a NOT IN (SELECT b FROM u)")
+        assert isinstance(expr, ast.InExpr)
+        assert expr.negated
+        assert expr.subquery is not None
+
+    def test_exists_and_not_exists(self):
+        assert not self.where("EXISTS (SELECT 1 FROM u)").negated
+        assert self.where("NOT EXISTS (SELECT 1 FROM u)").negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+        negated = self.where("a NOT BETWEEN 1 AND 10")
+        assert negated.negated
+
+    def test_like(self):
+        expr = self.where("name LIKE 'a%'")
+        assert isinstance(expr, ast.Like)
+        assert self.where("name NOT LIKE 'a%'").negated
+
+    def test_is_null(self):
+        assert not self.where("a IS NULL").negated
+        assert self.where("a IS NOT NULL").negated
+
+    def test_quantified_builtin(self):
+        expr = self.where("a > ALL (SELECT b FROM u)")
+        assert isinstance(expr, ast.QuantifiedComparison)
+        assert expr.function == "all"
+        some = self.where("a = SOME (SELECT b FROM u)")
+        assert some.function == "some"
+
+    def test_quantified_custom(self):
+        expr = self.where("a > majority (SELECT b FROM u)")
+        assert isinstance(expr, ast.QuantifiedComparison)
+        assert expr.function == "majority"
+
+    def test_function_not_mistaken_for_quantifier(self):
+        expr = self.where("a > abs(b)")
+        assert isinstance(expr, ast.BinaryOp)
+        assert isinstance(expr.right, ast.FunctionCall)
+
+    def test_scalar_subquery(self):
+        expr = self.where("a = (SELECT max(b) FROM u)")
+        assert isinstance(expr.right, ast.ScalarSubquery)
+
+    def test_case(self):
+        stmt = parse_statement(
+            "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t")
+        assert isinstance(stmt.items[0].expr, ast.CaseExpr)
+        with pytest.raises(ParseError):
+            parse_statement("SELECT CASE END FROM t")
+
+    def test_cast(self):
+        stmt = parse_statement("SELECT CAST(a AS VARCHAR(3)) FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.type_length == 3
+
+
+class TestFrom:
+    def test_comma_join(self):
+        stmt = parse_statement("SELECT 1 FROM a, b c, d AS e")
+        assert len(stmt.from_items) == 3
+        assert stmt.from_items[1].alias == "c"
+        assert stmt.from_items[2].alias == "e"
+
+    def test_inner_join(self):
+        stmt = parse_statement("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinSource)
+        assert join.join_type == "inner"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement(
+            "SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.from_items[0].join_type == "left_outer"
+        stmt2 = parse_statement("SELECT 1 FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt2.from_items[0].join_type == "left_outer"
+
+    def test_right_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 FROM a RIGHT JOIN b ON a.x = b.y")
+
+    def test_derived_table_with_columns(self):
+        stmt = parse_statement("SELECT 1 FROM (SELECT a FROM t) s (x)")
+        source = stmt.from_items[0]
+        assert isinstance(source, ast.SubquerySource)
+        assert source.alias == "s"
+        assert source.column_names == ["x"]
+
+    def test_table_function(self):
+        stmt = parse_statement("SELECT 1 FROM sample(t, 10) s")
+        source = stmt.from_items[0]
+        assert isinstance(source, ast.TableFunctionSource)
+        assert source.name == "sample"
+        assert len(source.table_args) == 1
+        assert len(source.scalar_args) == 1
+
+    def test_nested_table_function(self):
+        stmt = parse_statement("SELECT 1 FROM sample(sample(t, 100), 10) s")
+        outer = stmt.from_items[0]
+        assert isinstance(outer.table_args[0], ast.TableFunctionSource)
+
+
+class TestSetOpsAndWith:
+    def test_union_chain(self):
+        stmt = parse_statement("SELECT a FROM t UNION SELECT b FROM u "
+                               "EXCEPT SELECT c FROM v")
+        assert stmt.set_op == "union"
+        assert stmt.set_right.set_op == "except"
+
+    def test_union_all(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert stmt.set_all
+
+    def test_grouped_right_operand(self):
+        stmt = parse_statement(
+            "SELECT a FROM t UNION (SELECT b FROM u EXCEPT SELECT c FROM v)")
+        # right operand wrapped as a derived table to preserve grouping
+        right = stmt.set_right
+        assert right.set_op is None
+        assert isinstance(right.from_items[0], ast.SubquerySource)
+
+    def test_with(self):
+        stmt = parse_statement(
+            "WITH x (a) AS (SELECT 1), y AS (SELECT 2) SELECT * FROM x, y")
+        assert [c.name for c in stmt.ctes] == ["x", "y"]
+        assert stmt.ctes[0].column_names == ["a"]
+        assert not stmt.recursive
+
+    def test_with_recursive(self):
+        stmt = parse_statement(
+            "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL "
+            "SELECT n + 1 FROM r WHERE n < 3) SELECT * FROM r")
+        assert stmt.recursive
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.column_names == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c > 0")
+        assert [name for name, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t")
+        assert stmt.where is None
+
+
+class TestDdl:
+    def test_create_table_full(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER NOT NULL, b VARCHAR(10), "
+            "c DOUBLE CHECK (c > 0), PRIMARY KEY (a)) USING fixed "
+            "AT SITE remote1")
+        assert stmt.primary_key == ["a"]
+        assert stmt.storage_manager == "fixed"
+        assert stmt.site == "remote1"
+        assert stmt.columns[0].not_null
+        assert stmt.columns[1].type_length == 10
+        assert stmt.columns[2].check is not None
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX i ON t (a, b) USING hash")
+        assert stmt.unique
+        assert stmt.kind == "hash"
+        assert stmt.column_names == ["a", "b"]
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v (x) AS SELECT a FROM t")
+        assert stmt.column_names == ["x"]
+        assert "SELECT a FROM t" in stmt.text
+
+    def test_drop(self):
+        assert parse_statement("DROP TABLE t").kind == "table"
+        assert parse_statement("DROP VIEW v").kind == "view"
+        assert parse_statement("DROP INDEX i").kind == "index"
+
+    def test_explain(self):
+        stmt = parse_statement("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.ExplainStmt)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT 1 FROM",
+        "SELECT 1 WHERE",
+        "INSERT t VALUES (1)",
+        "UPDATE t a = 1",
+        "CREATE TABLE t ()",
+        "SELECT 1 extra garbage haha",
+        "SELECT 1 FROM t ORDER",
+        "SELECT a FROM t GROUP a",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse_statement(bad)
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT 1;")

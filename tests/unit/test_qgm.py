@@ -1,0 +1,239 @@
+"""Unit tests for the QGM model, expression primitives, validator and
+display."""
+
+import pytest
+
+from repro.catalog import ColumnDef, TableDef
+from repro.datatypes import BOOLEAN, INTEGER, VARCHAR
+from repro.errors import QGMError
+from repro.qgm import expressions as qe
+from repro.qgm import render_qgm, validate_qgm
+from repro.qgm.model import (
+    QGM,
+    BaseTableBox,
+    DistinctMode,
+    Head,
+    HeadColumn,
+    Predicate,
+    SelectBox,
+    SetOpBox,
+)
+
+
+def make_table(name="t"):
+    return TableDef(name, [ColumnDef("a", INTEGER), ColumnDef("b", VARCHAR)])
+
+
+def simple_graph():
+    graph = QGM()
+    base = graph.base_table(make_table())
+    box = SelectBox()
+    graph.add_box(box)
+    quantifier = graph.new_quantifier("F", base)
+    box.add_quantifier(quantifier)
+    box.head.columns.append(HeadColumn(
+        "a", qe.ColRef(quantifier, "a", INTEGER), INTEGER))
+    graph.root = box
+    return graph, base, box, quantifier
+
+
+class TestModel:
+    def test_base_table_shared(self):
+        graph = QGM()
+        table = make_table()
+        assert graph.base_table(table) is graph.base_table(table)
+
+    def test_quantifier_names_unique(self):
+        graph = QGM()
+        base = graph.base_table(make_table())
+        q1 = graph.new_quantifier("F", base, name="q1")
+        q2 = graph.new_quantifier("F", base)  # auto name must not collide
+        q3 = graph.new_quantifier("F", base, name="q1")  # dedup requested
+        assert len({q1.name, q2.name, q3.name}) == 3
+
+    def test_consumers(self):
+        graph, base, box, quantifier = simple_graph()
+        assert graph.consumers(base) == [quantifier]
+        assert graph.consumers(box) == []
+
+    def test_reachable_and_gc(self):
+        graph, base, box, _q = simple_graph()
+        orphan = SelectBox()
+        orphan.head.columns.append(HeadColumn("x", qe.Const(1, INTEGER)))
+        graph.add_box(orphan)
+        assert orphan not in graph.reachable_boxes()
+        removed = graph.garbage_collect()
+        assert removed == 1
+        assert orphan not in graph.boxes
+
+    def test_remove_box_with_consumers_rejected(self):
+        graph, base, _box, _q = simple_graph()
+        with pytest.raises(QGMError):
+            graph.remove_box(base)
+
+    def test_setformer_classification(self):
+        graph, base, box, quantifier = simple_graph()
+        sub = graph.new_quantifier("E", base)
+        box.add_quantifier(sub)
+        assert box.setformers() == [quantifier]
+        assert box.subquery_quantifiers() == [sub]
+        assert quantifier.is_setformer and not sub.is_setformer
+
+    def test_head_lookup(self):
+        head = Head([HeadColumn("x", qe.Const(1, INTEGER), INTEGER)])
+        assert head.index_of("x") == 0
+        with pytest.raises(QGMError):
+            head.index_of("y")
+
+
+class TestExpressions:
+    def test_walk_and_quantifiers_in(self):
+        graph, _base, _box, quantifier = simple_graph()
+        expr = qe.BinOp("+", qe.ColRef(quantifier, "a", INTEGER),
+                        qe.Const(1, INTEGER), INTEGER)
+        assert len(list(qe.walk(expr))) == 3
+        assert qe.quantifiers_in(expr) == {quantifier}
+
+    def test_transform_replaces(self):
+        expr = qe.BinOp("+", qe.Const(1, INTEGER), qe.Const(2, INTEGER),
+                        INTEGER)
+
+        def fold(node):
+            if isinstance(node, qe.Const):
+                return qe.Const(node.value * 10, node.dtype)
+            return None
+
+        folded = qe.transform(expr, fold)
+        assert folded.left.value == 10
+        assert folded.right.value == 20
+        assert expr.left.value == 1  # original untouched
+
+    def test_substitute_colrefs(self):
+        graph, _base, _box, quantifier = simple_graph()
+        other = graph.new_quantifier("F", graph.base_table(make_table("t2")))
+        expr = qe.BinOp("=", qe.ColRef(quantifier, "a", INTEGER),
+                        qe.Const(1, INTEGER), BOOLEAN)
+        swapped = qe.retarget_quantifier(expr, quantifier, other)
+        assert qe.quantifiers_in(swapped) == {other}
+
+    def test_conjuncts_roundtrip(self):
+        a = qe.Const(True, BOOLEAN)
+        b = qe.Const(False, BOOLEAN)
+        c = qe.Const(True, BOOLEAN)
+        expr = qe.BinOp("and", qe.BinOp("and", a, b, BOOLEAN), c, BOOLEAN)
+        parts = qe.conjuncts(expr)
+        assert parts == [a, b, c]
+        rebuilt = qe.conjoin(parts)
+        assert qe.conjuncts(rebuilt) == parts
+
+    def test_is_column_equality(self):
+        graph, _base, _box, quantifier = simple_graph()
+        other = graph.new_quantifier("F", graph.base_table(make_table("t2")))
+        yes = qe.BinOp("=", qe.ColRef(quantifier, "a"), qe.ColRef(other, "a"),
+                       BOOLEAN)
+        assert qe.is_column_equality(yes) is not None
+        same_q = qe.BinOp("=", qe.ColRef(quantifier, "a"),
+                          qe.ColRef(quantifier, "a"), BOOLEAN)
+        assert qe.is_column_equality(same_q) is None
+        const = qe.BinOp("=", qe.ColRef(quantifier, "a"),
+                         qe.Const(1, INTEGER), BOOLEAN)
+        assert qe.is_column_equality(const) is None
+
+
+class TestValidator:
+    def test_valid_graph_passes(self):
+        graph, *_ = simple_graph()
+        validate_qgm(graph)
+
+    def test_missing_root(self):
+        graph = QGM()
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_empty_head_rejected(self):
+        graph, _base, box, _q = simple_graph()
+        box.head.columns = []
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_duplicate_head_column(self):
+        graph, _base, box, quantifier = simple_graph()
+        box.head.columns.append(HeadColumn(
+            "a", qe.ColRef(quantifier, "b", VARCHAR), VARCHAR))
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_non_boolean_predicate(self):
+        graph, _base, box, quantifier = simple_graph()
+        box.add_predicate(Predicate(qe.ColRef(quantifier, "a", INTEGER)))
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_predicate_references_unknown_column(self):
+        graph, _base, box, quantifier = simple_graph()
+        box.add_predicate(Predicate(
+            qe.BinOp("=", qe.ColRef(quantifier, "zzz", INTEGER),
+                     qe.Const(1, INTEGER), BOOLEAN)))
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_aggregate_outside_groupby(self):
+        graph, _base, box, quantifier = simple_graph()
+        box.head.columns[0] = HeadColumn(
+            "a", qe.AggCall("sum", qe.ColRef(quantifier, "a", INTEGER),
+                            False, INTEGER), INTEGER)
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_setop_arity_checked(self):
+        graph, base, box, _q = simple_graph()
+        setop = SetOpBox("union", all_rows=True)
+        graph.add_box(setop)
+        setop.head = Head([HeadColumn("a", None, INTEGER)])
+        setop.add_quantifier(graph.new_quantifier("F", box))
+        two_col = SelectBox()
+        graph.add_box(two_col)
+        inner_q = graph.new_quantifier("F", base)
+        two_col.add_quantifier(inner_q)
+        two_col.head.columns = [
+            HeadColumn("a", qe.ColRef(inner_q, "a", INTEGER), INTEGER),
+            HeadColumn("b", qe.ColRef(inner_q, "b", VARCHAR), VARCHAR),
+        ]
+        setop.add_quantifier(graph.new_quantifier("F", two_col))
+        graph.root = setop
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+    def test_nonrecursive_cycle_rejected(self):
+        graph, _base, box, _q = simple_graph()
+        loop = SelectBox()
+        graph.add_box(loop)
+        loop_q = graph.new_quantifier("F", box)
+        loop.add_quantifier(loop_q)
+        loop.head.columns.append(HeadColumn(
+            "a", qe.ColRef(loop_q, "a", INTEGER), INTEGER))
+        # close the cycle: box consumes loop
+        back_q = graph.new_quantifier("F", loop)
+        box.add_quantifier(back_q)
+        graph.root = box
+        with pytest.raises(QGMError):
+            validate_qgm(graph)
+
+
+class TestDisplay:
+    def test_render_contains_structure(self):
+        graph, _base, box, quantifier = simple_graph()
+        box.add_predicate(Predicate(qe.BinOp(
+            "=", qe.ColRef(quantifier, "a", INTEGER), qe.Const(1, INTEGER),
+            BOOLEAN)))
+        text = render_qgm(graph)
+        assert "select#" in text
+        assert "[root]" in text
+        assert "stored table: t" in text
+        assert "pred:" in text
+        assert ":F ->" in text
+
+    def test_render_marks_distinct(self):
+        graph, _base, box, _q = simple_graph()
+        box.head.distinct = DistinctMode.ENFORCE
+        assert "distinct=enforce" in render_qgm(graph)

@@ -1,0 +1,222 @@
+"""Unit tests for records, slotted pages, and the buffer pool."""
+
+import pytest
+
+from repro.datatypes import BOOLEAN, DOUBLE, INTEGER, VARCHAR
+from repro.errors import BufferPoolError, PageError, RecordError, StorageError
+from repro.storage.buffer import BufferPool, DiskManager
+from repro.storage.page import PAGE_SIZE, Page
+from repro.storage.record import RID, RecordSerializer
+
+
+class TestRecordSerializer:
+    def setup_method(self):
+        self.serializer = RecordSerializer([INTEGER, VARCHAR, DOUBLE,
+                                            BOOLEAN])
+
+    def test_roundtrip(self):
+        row = (42, "hello", 3.5, True)
+        assert self.serializer.deserialize(self.serializer.serialize(row)) == row
+
+    def test_nulls(self):
+        row = (None, None, None, None)
+        assert self.serializer.deserialize(self.serializer.serialize(row)) == row
+
+    def test_mixed_nulls(self):
+        row = (7, None, 1.25, None)
+        assert self.serializer.deserialize(self.serializer.serialize(row)) == row
+
+    def test_empty_string(self):
+        row = (1, "", 0.0, False)
+        assert self.serializer.deserialize(self.serializer.serialize(row)) == row
+
+    def test_arity_mismatch(self):
+        with pytest.raises(RecordError):
+            self.serializer.serialize((1, "x", 2.0))
+
+    def test_bad_value(self):
+        with pytest.raises(RecordError):
+            self.serializer.serialize(("not-int", "x", 2.0, True))
+
+    def test_fixed_width(self):
+        fixed = RecordSerializer([INTEGER, DOUBLE, BOOLEAN])
+        assert fixed.fixed_record_width() == 1 + 8 + 8 + 1  # bitmap + fields
+        assert self.serializer.fixed_record_width() is None
+
+
+class TestPage:
+    def test_insert_read(self):
+        page = Page(0)
+        slot = page.insert(b"hello")
+        assert page.read(slot) == b"hello"
+        assert page.live_count() == 1
+
+    def test_multiple_records(self):
+        page = Page(0)
+        slots = [page.insert(("rec%d" % i).encode()) for i in range(50)]
+        for i, slot in enumerate(slots):
+            assert page.read(slot) == ("rec%d" % i).encode()
+        assert page.live_count() == 50
+
+    def test_delete_and_reuse(self):
+        page = Page(0)
+        a = page.insert(b"aaa")
+        b = page.insert(b"bbb")
+        page.delete(a)
+        assert not page.is_live(a)
+        assert page.read(b) == b"bbb"
+        c = page.insert(b"ccc")
+        assert c == a  # deleted slot reused
+        assert page.read(c) == b"ccc"
+
+    def test_delete_twice_raises(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.delete(slot)
+
+    def test_read_empty_slot_raises(self):
+        page = Page(0)
+        slot = page.insert(b"x")
+        page.delete(slot)
+        with pytest.raises(PageError):
+            page.read(slot)
+
+    def test_update_in_place(self):
+        page = Page(0)
+        slot = page.insert(b"abcdef")
+        assert page.update_in_place(slot, b"xyz")
+        assert page.read(slot) == b"xyz"
+        # Shrinking surrenders the extra bytes: a later regrow relocates.
+        assert not page.update_in_place(slot, b"123456")
+
+    def test_compaction(self):
+        page = Page(0)
+        slots = [page.insert(b"z" * 100) for _ in range(10)]
+        for slot in slots[1:]:
+            page.delete(slot)
+        big = b"w" * (page.free_space() + 200)
+        assert not page.can_insert(len(big))
+        assert page.can_insert_after_compaction(len(big))
+        page.compact()
+        new_slot = page.insert(big)
+        assert page.read(new_slot) == big
+        assert page.read(slots[0]) == b"z" * 100  # survivor intact, same slot
+
+    def test_overflow(self):
+        page = Page(0)
+        big = b"x" * (PAGE_SIZE // 2)
+        page.insert(big)
+        assert not page.can_insert(len(big))
+        with pytest.raises(PageError):
+            page.insert(big)
+
+    def test_zero_length_record(self):
+        page = Page(0)
+        slot = page.insert(b"")
+        assert page.read(slot) == b""
+        assert page.is_live(slot)
+
+    def test_records_iteration_skips_deleted(self):
+        page = Page(0)
+        slots = [page.insert(b"r%d" % i) for i in range(5)]
+        page.delete(slots[2])
+        live = dict(page.records())
+        assert set(live) == {0, 1, 3, 4}
+
+    def test_fill_until_full(self):
+        page = Page(0)
+        count = 0
+        while page.can_insert(64):
+            page.insert(b"y" * 64)
+            count += 1
+        assert count > 50  # 4096-byte pages hold many 64-byte records
+        assert page.live_count() == count
+
+
+class TestBufferPool:
+    def test_new_page_pinned(self):
+        pool = BufferPool(DiskManager(), capacity=4)
+        page = pool.new_page()
+        assert pool.pin_count(page.page_id) == 1
+        pool.unpin(page.page_id, dirty=True)
+        assert pool.pin_count(page.page_id) == 0
+
+    def test_fetch_hit_and_miss(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        page = pool.new_page()
+        page.insert(b"payload")
+        pool.unpin(page.page_id, dirty=True)
+        pool.flush_all()
+        # evict by filling the pool
+        for _ in range(2):
+            extra = pool.new_page()
+            pool.unpin(extra.page_id)
+        assert not pool.contains(page.page_id)
+        fetched = pool.fetch(page.page_id)
+        assert fetched.read(0) == b"payload"
+        assert pool.stats.misses >= 1
+        pool.unpin(page.page_id)
+        pool.fetch(page.page_id)
+        assert pool.stats.hits >= 1
+
+    def test_dirty_eviction_writes_back(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        page = pool.new_page()
+        page.insert(b"persist-me")
+        page_id = page.page_id
+        pool.unpin(page_id, dirty=True)
+        other = pool.new_page()  # forces eviction of the dirty page
+        pool.unpin(other.page_id)
+        assert Page(page_id, disk.read(page_id)).read(0) == b"persist-me"
+
+    def test_all_pinned_rejects(self):
+        pool = BufferPool(DiskManager(), capacity=1)
+        pool.new_page()  # stays pinned
+        with pytest.raises(BufferPoolError):
+            pool.new_page()
+
+    def test_unpin_unknown_raises(self):
+        pool = BufferPool(DiskManager(), capacity=1)
+        with pytest.raises(BufferPoolError):
+            pool.unpin(99)
+
+    def test_pinned_context_manager(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        with pool.pinned(page.page_id) as pinned:
+            assert pool.pin_count(page.page_id) == 1
+            assert pinned.page_id == page.page_id
+        assert pool.pin_count(page.page_id) == 0
+
+    def test_resize_evicts(self):
+        pool = BufferPool(DiskManager(), capacity=4)
+        for _ in range(4):
+            page = pool.new_page()
+            pool.unpin(page.page_id)
+        assert len(pool) == 4
+        pool.resize(2)
+        assert len(pool) == 2
+
+    def test_hit_ratio(self):
+        pool = BufferPool(DiskManager(), capacity=4)
+        page = pool.new_page()
+        pool.unpin(page.page_id)
+        for _ in range(9):
+            pool.fetch(page.page_id)
+            pool.unpin(page.page_id)
+        assert pool.stats.hit_ratio == 1.0
+
+    def test_disk_counters(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        first = pool.new_page()
+        pool.unpin(first.page_id, dirty=True)
+        second = pool.new_page()
+        pool.unpin(second.page_id)
+        assert disk.stats.allocations == 2
+        assert disk.stats.writes >= 1  # eviction wrote the dirty page
