@@ -7,6 +7,8 @@ extension point, and the compile pipeline (parse → QGM → rewrite → optimiz
 """
 
 from repro.core.database import Database, Result
+from repro.core.options import CompileOptions
 from repro.core.pipeline import CompiledStatement, PhaseTimings
 
-__all__ = ["Database", "Result", "CompiledStatement", "PhaseTimings"]
+__all__ = ["Database", "Result", "CompileOptions", "CompiledStatement",
+           "PhaseTimings"]

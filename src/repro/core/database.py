@@ -41,6 +41,7 @@ from repro.language import ast
 from repro.language.parser import parse_statement
 from repro.optimizer.boxopt import OptimizerSettings
 from repro.optimizer.stars import STAR, Alternative, default_star_array
+from repro.core.options import CompileOptions
 from repro.core.pipeline import CompiledStatement, compile_statement
 from repro.storage.engine import StorageEngine
 
@@ -57,6 +58,10 @@ class Settings:
         self.validate_qgm = True
         #: Plan refinement compiles subquery-free expressions to closures.
         self.compile_expressions = True
+
+    def compile_options(self) -> CompileOptions:
+        """Snapshot these settings as a :class:`CompileOptions` value."""
+        return CompileOptions.from_settings(self)
 
 
 class Result:
@@ -118,8 +123,13 @@ class Database:
     # ==== statement execution ===================================================
 
     def execute(self, sql: str, params: Sequence[Any] = (),
-                txn=None) -> Result:
-        """Parse, compile and run one Hydrogen statement."""
+                txn=None,
+                options: Optional[CompileOptions] = None) -> Result:
+        """Parse, compile and run one Hydrogen statement.
+
+        ``options`` overrides the database's settings for this statement
+        only (the differential harness compiles one query many ways).
+        """
         stripped = sql.strip()
         statement = parse_statement(stripped)
         if isinstance(statement, ast.ExplainStmt):
@@ -127,14 +137,14 @@ class Database:
         if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
                                   ast.CreateViewStmt, ast.DropStmt)):
             return self._execute_ddl(statement)
-        compiled = compile_statement(self, stripped,
-                                     validate=self.settings.validate_qgm)
+        compiled = compile_statement(self, stripped, options=options)
         return self.run_compiled(compiled, params, txn)
 
-    def compile(self, sql: str) -> CompiledStatement:
+    def compile(self, sql: str,
+                options: Optional[CompileOptions] = None
+                ) -> CompiledStatement:
         """Compile without executing (compilation is storable/reusable)."""
-        return compile_statement(self, sql.strip(),
-                                 validate=self.settings.validate_qgm)
+        return compile_statement(self, sql.strip(), options=options)
 
     def run_compiled(self, compiled: CompiledStatement,
                      params: Sequence[Any] = (), txn=None) -> Result:

@@ -1,0 +1,122 @@
+"""Compile-time configuration as one first-class object.
+
+Every knob the pipeline used to read ad-hoc from ``db.settings`` —
+rewrite on/off, QGM validation, expression compilation, and the optimizer
+search-strategy switches — lives here as a single immutable-by-convention
+value that can be passed to :func:`repro.core.pipeline.compile_statement`
+(and through ``Database.execute`` / ``Database.compile``) without mutating
+the database.  The differential test harness compiles the same statement
+under many ``CompileOptions`` and checks that every configuration computes
+the same answer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.optimizer.boxopt import OptimizerSettings
+
+#: Legal values for :attr:`CompileOptions.forced_join_method`.
+JOIN_METHODS = ("nl", "merge", "hash")
+
+#: Legal values for :attr:`CompileOptions.join_enumeration`.
+ENUMERATION_STRATEGIES = ("dp", "greedy")
+
+
+class CompileOptions:
+    """One compilation's worth of pipeline configuration."""
+
+    __slots__ = ("rewrite_enabled", "validate_qgm", "compile_expressions",
+                 "allow_bushy", "allow_cartesian", "rank_cutoff",
+                 "sort_by_rank", "naive_recursion", "forced_join_method",
+                 "join_enumeration", "label")
+
+    def __init__(self,
+                 rewrite_enabled: bool = True,
+                 validate_qgm: bool = True,
+                 compile_expressions: bool = True,
+                 allow_bushy: bool = False,
+                 allow_cartesian: bool = False,
+                 rank_cutoff: float = 100.0,
+                 sort_by_rank: bool = True,
+                 naive_recursion: bool = False,
+                 forced_join_method: Optional[str] = None,
+                 join_enumeration: str = "dp",
+                 label: Optional[str] = None):
+        if forced_join_method is not None \
+                and forced_join_method not in JOIN_METHODS:
+            raise ValueError(
+                "forced_join_method must be one of %r, got %r"
+                % (JOIN_METHODS, forced_join_method))
+        if join_enumeration not in ENUMERATION_STRATEGIES:
+            raise ValueError(
+                "join_enumeration must be one of %r, got %r"
+                % (ENUMERATION_STRATEGIES, join_enumeration))
+        self.rewrite_enabled = rewrite_enabled
+        self.validate_qgm = validate_qgm
+        self.compile_expressions = compile_expressions
+        self.allow_bushy = allow_bushy
+        self.allow_cartesian = allow_cartesian
+        self.rank_cutoff = rank_cutoff
+        self.sort_by_rank = sort_by_rank
+        self.naive_recursion = naive_recursion
+        self.forced_join_method = forced_join_method
+        self.join_enumeration = join_enumeration
+        self.label = label
+
+    @classmethod
+    def from_settings(cls, settings) -> "CompileOptions":
+        """Snapshot a database's ``Settings`` into one options value."""
+        optimizer = settings.optimizer
+        return cls(
+            rewrite_enabled=settings.rewrite_enabled,
+            validate_qgm=settings.validate_qgm,
+            compile_expressions=settings.compile_expressions,
+            allow_bushy=optimizer.allow_bushy,
+            allow_cartesian=optimizer.allow_cartesian,
+            rank_cutoff=optimizer.rank_cutoff,
+            sort_by_rank=optimizer.sort_by_rank,
+            naive_recursion=optimizer.naive_recursion,
+            forced_join_method=getattr(optimizer, "forced_join_method", None),
+            join_enumeration=getattr(optimizer, "join_enumeration", "dp"),
+        )
+
+    def optimizer_settings(self) -> OptimizerSettings:
+        """The optimizer's view of these options."""
+        return OptimizerSettings(
+            allow_bushy=self.allow_bushy,
+            allow_cartesian=self.allow_cartesian,
+            rank_cutoff=self.rank_cutoff,
+            sort_by_rank=self.sort_by_rank,
+            naive_recursion=self.naive_recursion,
+            forced_join_method=self.forced_join_method,
+            join_enumeration=self.join_enumeration,
+        )
+
+    def replace(self, **overrides) -> "CompileOptions":
+        """A copy with some fields replaced."""
+        values = {name: getattr(self, name) for name in self.__slots__}
+        values.update(overrides)
+        return CompileOptions(**values)
+
+    def describe(self) -> str:
+        """A short human-readable tag (used by the differential harness)."""
+        if self.label:
+            return self.label
+        parts = []
+        if not self.rewrite_enabled:
+            parts.append("no-rewrite")
+        if not self.compile_expressions:
+            parts.append("interpreted")
+        if self.forced_join_method:
+            parts.append("force-%s" % self.forced_join_method)
+        if self.join_enumeration != "dp":
+            parts.append(self.join_enumeration)
+        if self.allow_bushy:
+            parts.append("bushy")
+        if self.allow_cartesian:
+            parts.append("cartesian")
+        return "+".join(parts) if parts else "default"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<CompileOptions %s>" % self.describe()

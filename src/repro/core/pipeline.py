@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+from repro.core.options import CompileOptions
 from repro.errors import SemanticError
 from repro.language import ast
 from repro.language.parser import parse_statement
@@ -85,10 +86,21 @@ class CompiledStatement:
         return names
 
 
-def compile_statement(db, text: str,
-                      validate: bool = True) -> CompiledStatement:
-    """Run the compile-time phases against a database's registries."""
+def compile_statement(db, text: str, validate: Optional[bool] = None,
+                      options: Optional[CompileOptions] = None
+                      ) -> CompiledStatement:
+    """Run the compile-time phases against a database's registries.
+
+    ``options`` carries the whole pipeline configuration; when omitted it
+    is snapshotted from ``db.settings``.  ``validate`` (kept for backward
+    compatibility) overrides ``options.validate_qgm`` when given.
+    """
     from repro.qgm.display import render_qgm
+
+    if options is None:
+        options = CompileOptions.from_settings(db.settings)
+    if validate is not None and validate != options.validate_qgm:
+        options = options.replace(validate_qgm=validate)
 
     timings = PhaseTimings()
 
@@ -100,23 +112,23 @@ def compile_statement(db, text: str,
         timings.parse = time.perf_counter() - started
         return CompiledStatement(text, statement, None, None, timings)
     qgm = translate(statement, db)
-    if validate:
+    if options.validate_qgm:
         validate_qgm(qgm)
     timings.parse = time.perf_counter() - started
 
     qgm_before = None
     rewrite_report = None
     started = time.perf_counter()
-    if db.settings.rewrite_enabled and db.rewrite_engine is not None:
+    if options.rewrite_enabled and db.rewrite_engine is not None:
         qgm_before = render_qgm(qgm)
         rewrite_report = db.rewrite_engine.run(qgm)
-        if validate:
+        if options.validate_qgm:
             validate_qgm(qgm)
     timings.rewrite = time.perf_counter() - started
 
     started = time.perf_counter()
     optimizer = Optimizer(db.catalog, engine=db.engine,
-                          settings=db.settings.optimizer,
+                          settings=options.optimizer_settings(),
                           functions=db.functions,
                           stars=db.stars)
     plan = optimizer.optimize(qgm)
@@ -128,7 +140,7 @@ def compile_statement(db, text: str,
     started = time.perf_counter()
     _refine_check(plan)
     refiner = None
-    if db.settings.compile_expressions:
+    if options.compile_expressions:
         from repro.executor.compiled import refine_plan
 
         refiner = refine_plan(plan, db.functions)
@@ -137,6 +149,7 @@ def compile_statement(db, text: str,
     compiled = CompiledStatement(text, statement, qgm, plan, timings,
                                  qgm_before, rewrite_report)
     compiled._optimizer = optimizer  # for EXPLAIN / benchmarks
+    compiled.options = options
     compiled.refiner = refiner
     return compiled
 

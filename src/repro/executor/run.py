@@ -146,38 +146,47 @@ def _run_setop(plan: pl.SetOpPlan, ctx: ExecutionContext,
                     seen.add(row)
                     yield row
         return
+    # INTERSECT / EXCEPT over three or more children associate pairwise,
+    # left to right.  Summing all right-hand bags into one Counter is NOT
+    # equivalent: for A INTERSECT ALL B INTERSECT ALL C the count is
+    # min(a, b, c), not min(a, b + c), and distinct INTERSECT requires
+    # membership in every child, not in the union of the rest.
     left = list(streams[0])
-    right_counts: Counter = Counter()
     for stream in streams[1:]:
-        right_counts.update(stream)
-    if plan.op == "intersect":
-        if plan.all_rows:
-            budget = Counter(right_counts)
-            for row in left:
-                if budget[row] > 0:
-                    budget[row] -= 1
-                    yield row
-        else:
-            emitted = set()
-            for row in left:
-                if right_counts[row] > 0 and row not in emitted:
-                    emitted.add(row)
-                    yield row
-        return
-    # except
-    if plan.all_rows:
-        budget = Counter(right_counts)
-        for row in left:
-            if budget[row] > 0:
-                budget[row] -= 1
+        right_counts = Counter(stream)
+        if plan.op == "intersect":
+            if plan.all_rows:
+                budget = Counter(right_counts)
+                folded = []
+                for row in left:
+                    if budget[row] > 0:
+                        budget[row] -= 1
+                        folded.append(row)
             else:
-                yield row
-    else:
-        emitted = set()
-        for row in left:
-            if right_counts[row] == 0 and row not in emitted:
-                emitted.add(row)
-                yield row
+                emitted = set()
+                folded = []
+                for row in left:
+                    if right_counts[row] > 0 and row not in emitted:
+                        emitted.add(row)
+                        folded.append(row)
+        else:  # except
+            if plan.all_rows:
+                budget = Counter(right_counts)
+                folded = []
+                for row in left:
+                    if budget[row] > 0:
+                        budget[row] -= 1
+                    else:
+                        folded.append(row)
+            else:
+                emitted = set()
+                folded = []
+                for row in left:
+                    if right_counts[row] == 0 and row not in emitted:
+                        emitted.add(row)
+                        folded.append(row)
+        left = folded
+    yield from left
 
 
 def _run_groupby(plan: pl.GroupBy, ctx: ExecutionContext,

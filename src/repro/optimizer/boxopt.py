@@ -72,18 +72,29 @@ QTYPE_TO_KIND = {
 
 
 class OptimizerSettings:
-    """Knobs exposed by the paper's search-strategy discussion."""
+    """Knobs exposed by the paper's search-strategy discussion.
+
+    ``forced_join_method`` restricts JoinRoot to one join method
+    ('nl', 'merge' or 'hash'; nested loops stays as fallback when the
+    forced method is inapplicable, e.g. merge/hash without equi-join
+    keys).  ``join_enumeration`` selects System-R dynamic programming
+    ('dp') or a cheapest-next greedy heuristic ('greedy').
+    """
 
     def __init__(self, allow_bushy: bool = False,
                  allow_cartesian: bool = False,
                  rank_cutoff: float = 100.0,
                  sort_by_rank: bool = True,
-                 naive_recursion: bool = False):
+                 naive_recursion: bool = False,
+                 forced_join_method: Optional[str] = None,
+                 join_enumeration: str = "dp"):
         self.allow_bushy = allow_bushy
         self.allow_cartesian = allow_cartesian
         self.rank_cutoff = rank_cutoff
         self.sort_by_rank = sort_by_rank
         self.naive_recursion = naive_recursion
+        self.forced_join_method = forced_join_method
+        self.join_enumeration = join_enumeration
 
 
 class _PlannerContext:
@@ -193,10 +204,27 @@ class Optimizer:
             for quantifier in setformers:
                 single_plans[quantifier] = self._access_plans(
                     quantifier, local_preds[quantifier])
+            # Lateral dependencies: a derived setformer (e.g. a subquery
+            # converted to a join by rewrite Rule 1) may still reference
+            # sibling iterators inside its subtree.  The enumerator must
+            # bind those siblings first, on the outer side of an NL join.
+            own_setformers = set(setformers)
+            dependencies: Dict[Quantifier, frozenset] = {}
+            for quantifier in setformers:
+                if isinstance(quantifier.input, BaseTableBox):
+                    continue
+                escaping = {ref.quantifier for ref
+                            in self._correlation_refs(quantifier.input)}
+                deps = frozenset((escaping & own_setformers)
+                                 - {quantifier})
+                if deps:
+                    dependencies[quantifier] = deps
             enumerator = JoinEnumerator(
                 self.generator,
                 allow_bushy=self.settings.allow_bushy,
-                allow_cartesian=self.settings.allow_cartesian)
+                allow_cartesian=self.settings.allow_cartesian,
+                strategy=self.settings.join_enumeration,
+                dependencies=dependencies)
             plans = enumerator.enumerate(single_plans, join_preds)
             self.enumerator_stats.append(enumerator.stats)
             plan = min(plans, key=lambda p: p.props.cost)

@@ -54,14 +54,45 @@ def prune_plans(plans: Sequence[PlanOp]) -> List[PlanOp]:
 
 
 class JoinEnumerator:
-    """System-R-style dynamic programming over iterator sets."""
+    """Join-order search over iterator sets.
+
+    The default ``strategy`` is the System-R dynamic program ('dp').  The
+    'greedy' strategy instead grows one join sequence by repeatedly
+    attaching the iterator whose join is currently cheapest — linear in
+    the number of iterators, no optimality guarantee, but every plan it
+    emits must compute the same answer (the differential harness checks
+    exactly that).
+    """
 
     def __init__(self, generator: PlanGenerator, allow_bushy: bool = False,
-                 allow_cartesian: bool = False):
+                 allow_cartesian: bool = False, strategy: str = "dp",
+                 dependencies=None):
+        if strategy not in ("dp", "greedy"):
+            raise OptimizerError(
+                "unknown join enumeration strategy %r" % (strategy,))
         self.generator = generator
         self.allow_bushy = allow_bushy
         self.allow_cartesian = allow_cartesian
+        self.strategy = strategy
+        #: Lateral dependencies: quantifier -> sibling quantifiers its
+        #: input subtree references (correlated setformers, e.g. after the
+        #: subquery-to-join rewrite).  A dependent iterator is only valid
+        #: on the inner side of a nested-loops join whose outer side binds
+        #: every dependency.
+        self.dependencies = dict(dependencies or {})
         self.stats = EnumeratorStats()
+
+    def _deps(self, quantifier: Quantifier) -> FrozenSet[Quantifier]:
+        return self.dependencies.get(quantifier, frozenset())
+
+    def _outer_ok(self, outer_set: FrozenSet[Quantifier]) -> bool:
+        """An outer side must be self-contained: it is evaluated before
+        the inner side binds anything."""
+        return all(self._deps(q) <= outer_set for q in outer_set)
+
+    def _lateral(self, outer_set: FrozenSet[Quantifier],
+                 inner_set: FrozenSet[Quantifier]) -> bool:
+        return any(self._deps(q) & outer_set for q in inner_set)
 
     def enumerate(self, single_plans: Dict[Quantifier, List[PlanOp]],
                   join_preds: Sequence[Predicate]) -> List[PlanOp]:
@@ -85,6 +116,9 @@ class JoinEnumerator:
         pred_sets = [(p, frozenset(q for q in p.quantifiers()
                                    if q in full)) for p in join_preds]
 
+        if self.strategy == "greedy":
+            return self._enumerate_greedy(memo, pred_sets, quantifiers)
+
         for size in range(2, len(quantifiers) + 1):
             for subset in _subsets_of_size(quantifiers, size):
                 plans: List[PlanOp] = []
@@ -94,9 +128,14 @@ class JoinEnumerator:
                     right_plans = memo.get(right_set)
                     if not left_plans or not right_plans:
                         continue
+                    if not self._outer_ok(left_set):
+                        continue
+                    if any(self._deps(q) - subset for q in right_set):
+                        continue  # a dependency is not even joined yet
+                    lateral = self._lateral(left_set, right_set)
                     applicable = self._applicable_preds(
                         pred_sets, subset, left_set, right_set)
-                    connected = any(
+                    connected = lateral or any(
                         qs & left_set and qs & right_set
                         for _p, qs in pred_sets
                         if qs and qs <= subset
@@ -110,7 +149,7 @@ class JoinEnumerator:
                             self.stats.pairs_considered += 1
                             produced = self.generator.evaluate(
                                 "JoinRoot", outer=outer, inner=inner,
-                                preds=applicable)
+                                preds=applicable, lateral=lateral)
                             self.stats.plans_generated += len(produced)
                             plans.extend(produced)
                 if plans:
@@ -124,13 +163,89 @@ class JoinEnumerator:
                 # products rather than failing (System R did the same).
                 fallback = JoinEnumerator(self.generator,
                                           allow_bushy=self.allow_bushy,
-                                          allow_cartesian=True)
+                                          allow_cartesian=True,
+                                          dependencies=self.dependencies)
                 result = fallback.enumerate(single_plans, join_preds)
                 self.stats.pairs_considered += fallback.stats.pairs_considered
                 self.stats.plans_generated += fallback.stats.plans_generated
                 return result
             raise OptimizerError("join enumeration produced no plan")
         return memo[full]
+
+    def _enumerate_greedy(self, memo, pred_sets,
+                          quantifiers: Sequence[Quantifier]) -> List[PlanOp]:
+        """Cheapest-next greedy join ordering (left-deep only).
+
+        Start from the iterator with the cheapest access plan, then at
+        each step join in the remaining iterator whose best join plan is
+        cheapest, preferring iterators connected by a join predicate.
+        When no remaining iterator is connected the step is a Cartesian
+        product regardless of ``allow_cartesian`` (same escape hatch the
+        DP strategy uses for disconnected query graphs).
+        """
+        def cheapest_cost(plans: List[PlanOp]) -> float:
+            return min(plan.props.cost for plan in plans)
+
+        remaining = sorted(quantifiers, key=lambda q: q.uid)
+        independent = [q for q in remaining if not self._deps(q)]
+        if not independent:
+            raise OptimizerError(
+                "every iterator has lateral dependencies: no valid "
+                "greedy start")
+        start = min(independent,
+                    key=lambda q: (cheapest_cost(memo[frozenset([q])]),
+                                   q.uid))
+        remaining.remove(start)
+        current_set = frozenset([start])
+        current_plans = memo[current_set]
+
+        while remaining:
+            eligible = [q for q in remaining
+                        if self._deps(q) <= current_set]
+            if not eligible:
+                raise OptimizerError(
+                    "unsatisfiable lateral dependencies in greedy "
+                    "enumeration")
+            connected = [
+                q for q in eligible
+                if self._deps(q)
+                or any(qset & current_set and q in qset
+                       for _p, qset in pred_sets)
+            ]
+            pool = connected or eligible
+            if not connected:
+                self.stats.cartesian_skipped += 1
+            best = None  # (cost, uid, quantifier, plans)
+            for candidate in pool:
+                joined_set = current_set | {candidate}
+                lateral = bool(self._deps(candidate))
+                applicable = self._applicable_preds(
+                    pred_sets, joined_set, current_set,
+                    frozenset([candidate]))
+                plans: List[PlanOp] = []
+                for outer in current_plans:
+                    for inner in memo[frozenset([candidate])]:
+                        self.stats.pairs_considered += 1
+                        produced = self.generator.evaluate(
+                            "JoinRoot", outer=outer, inner=inner,
+                            preds=applicable, lateral=lateral)
+                        self.stats.plans_generated += len(produced)
+                        plans.extend(produced)
+                if not plans:
+                    continue
+                cost = cheapest_cost(plans)
+                if best is None or (cost, candidate.uid) < best[:2]:
+                    best = (cost, candidate.uid, candidate, plans)
+            if best is None:
+                raise OptimizerError(
+                    "greedy enumeration produced no join plan")
+            _cost, _uid, chosen, plans = best
+            remaining.remove(chosen)
+            current_set = current_set | {chosen}
+            current_plans = prune_plans(plans)
+            self.stats.plans_kept += len(current_plans)
+            self.stats.sets_enumerated += 1
+        return current_plans
 
     def _splits(self, subset: FrozenSet[Quantifier]):
         """Yield (outer, inner) splits of ``subset``.

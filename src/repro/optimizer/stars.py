@@ -339,9 +339,12 @@ def default_star_array() -> Dict[str, STAR]:
         outer, inner = args["outer"], args["inner"]
         kind = args.get("kind", "regular")
         plans = [NLJoin(gen.cm, outer, inner, kind, args["preds"])]
-        # Variant: materialize the inner so replays are cheap.
-        plans.append(NLJoin(gen.cm, outer, Temp(gen.cm, inner), kind,
-                            args["preds"]))
+        # Variant: materialize the inner so replays are cheap.  A lateral
+        # inner references outer bindings, so it must be re-evaluated per
+        # outer row — never cached in a Temp.
+        if not args.get("lateral"):
+            plans.append(NLJoin(gen.cm, outer, Temp(gen.cm, inner), kind,
+                                args["preds"]))
         return plans
 
     def merge_join(gen: PlanGenerator, args: Args) -> List[PlanOp]:
@@ -378,19 +381,46 @@ def default_star_array() -> Dict[str, STAR]:
     def co_locate(gen: PlanGenerator, args: Args) -> Args:
         return args
 
+    _METHOD_STARS = {
+        "nl": ("NLJoinAlt",),
+        "merge": ("MergeJoinAlt",),
+        "hash": ("HashJoinAlt",),
+    }
+
     def join_root_produce(gen: PlanGenerator, args: Args) -> List[PlanOp]:
-        # Reconcile sites first (glue), then try every join method.
+        # Reconcile sites first (glue), then try every join method — or
+        # only the forced one when the settings pin a method.  Nested
+        # loops remains the fallback when the forced method produces no
+        # plan (merge/hash joins need equi-join keys).
         outer, inner = args["outer"], args["inner"]
         if outer.props.site != inner.props.site:
             shipped = gen.cheapest("RequireSite", plan=inner,
                                    site=outer.props.site)
             if shipped is not None:
                 inner = shipped
+        forced = getattr(gen.context.settings, "forced_join_method", None)
+        if args.get("lateral"):
+            # The inner side references iterators bound by the outer side
+            # (a correlated setformer, e.g. after subquery-to-join): it
+            # must be re-evaluated per outer row, which only the nested
+            # loops method does.  Merge and hash materialize the inner
+            # once, before the outer bindings exist — correctness beats
+            # any forced method here.
+            methods = ("NLJoinAlt",)
+        else:
+            methods = _METHOD_STARS.get(
+                forced, ("NLJoinAlt", "MergeJoinAlt", "HashJoinAlt"))
         produced: List[PlanOp] = []
-        for method in ("NLJoinAlt", "MergeJoinAlt", "HashJoinAlt"):
+        for method in methods:
             produced.extend(gen.evaluate(
                 method, outer=outer, inner=inner, preds=args["preds"],
-                kind=args.get("kind", "regular")))
+                kind=args.get("kind", "regular"),
+                lateral=args.get("lateral", False)))
+        if not produced and forced is not None and "NLJoinAlt" not in methods:
+            produced = gen.evaluate(
+                "NLJoinAlt", outer=outer, inner=inner, preds=args["preds"],
+                kind=args.get("kind", "regular"),
+                lateral=args.get("lateral", False))
         return produced
 
     join_root = STAR("JoinRoot", [

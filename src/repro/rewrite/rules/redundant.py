@@ -27,6 +27,7 @@ def _unique_keys(context, table) -> List[Set[str]]:
 def redundant_join_condition(context, box: Box):
     if not isinstance(box, SelectBox):
         return None
+    outer_join = box.annotations.get("operation") is not None
     by_table = {}
     for quantifier in box.setformers():
         if isinstance(quantifier.input, BaseTableBox):
@@ -44,9 +45,33 @@ def redundant_join_condition(context, box: Box):
                 if keep is drop:
                     continue
                 equated, preds = _equated_columns(box, keep, drop)
-                if any(key <= equated for key in keys):
-                    return (keep, drop, preds)
+                matched = [key for key in keys if key <= equated]
+                if not matched:
+                    continue
+                if outer_join and not _outer_join_degenerate(
+                        box, keep, drop, matched, preds, table):
+                    continue
+                return (keep, drop, preds)
     return None
+
+
+def _outer_join_degenerate(box: Box, keep, drop, keys, join_preds,
+                           table) -> bool:
+    """True when eliminating ``drop`` from an outer-join box is safe.
+
+    An outer join degenerates to the inner join this rule assumes only
+    when every preserved row is guaranteed a match: ``drop`` must be the
+    null-producing side, the equated key must be non-nullable on the
+    preserved side (a NULL key would pad, not match), and the ON clause
+    must contain nothing besides the key equalities (any extra condition
+    could fail and pad where the rewrite would filter).
+    """
+    if keep.qtype != "PF" or drop.qtype != "F":
+        return False
+    if len(box.predicates) != len(join_preds):
+        return False
+    return any(all(not table.column(name).nullable for name in key)
+               for key in keys)
 
 
 def _equated_columns(box: Box, keep, drop) -> Tuple[Set[str], List[Predicate]]:
@@ -90,6 +115,11 @@ def redundant_join_action(context, box: Box, match) -> None:
                     and expr.left.column == expr.right.column):
                 box.remove_predicate(predicate)
     box.remove_quantifier(drop)
+    if box.annotations.get("operation") is not None:
+        # The condition only admits outer-join boxes that degenerate to an
+        # inner join; normalize the box back to a plain select.
+        del box.annotations["operation"]
+        keep.qtype = "F"
 
 
 def install(engine) -> None:

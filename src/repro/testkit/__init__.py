@@ -1,0 +1,45 @@
+"""The differential correctness harness (engine vs. reference oracle).
+
+Four cooperating pieces, all deterministic from one integer seed:
+
+- :mod:`repro.testkit.datagen` — random catalogs (tables, keys, indexes,
+  NULL-heavy skewed data, views) built through the public Database API,
+- :mod:`repro.testkit.querygen` — random Hydrogen SELECTs (joins,
+  subqueries, set operations, grouping, ordering) that know how to shrink
+  themselves,
+- :mod:`repro.testkit.oracle` — a naive QGM interpreter with no rewrite,
+  no optimizer and no compiled expressions: the ground truth,
+- :mod:`repro.testkit.differential` — runs each query through the real
+  pipeline under a matrix of :class:`~repro.core.options.CompileOptions`
+  configurations, compares bags against the oracle, and shrinks failures
+  to ready-to-paste reproductions.
+
+Command line: ``python -m repro.testkit --seed 7`` replays one seed;
+``--seeds 0:200`` sweeps a range.  See "Correctness harness" in the
+README.
+"""
+
+from repro.testkit.datagen import (SchemaSpec, build_database,
+                                   generate_schema)
+from repro.testkit.differential import (Config, Divergence,
+                                        DifferentialRunner, default_matrix,
+                                        run_seed, shrink_case)
+from repro.testkit.oracle import OracleError, OracleResult, ReferenceOracle
+from repro.testkit.querygen import QueryGenerator, QuerySpec
+
+__all__ = [
+    "Config",
+    "DifferentialRunner",
+    "Divergence",
+    "OracleError",
+    "OracleResult",
+    "QueryGenerator",
+    "QuerySpec",
+    "ReferenceOracle",
+    "SchemaSpec",
+    "build_database",
+    "default_matrix",
+    "generate_schema",
+    "run_seed",
+    "shrink_case",
+]

@@ -1,0 +1,72 @@
+"""CLI driver: ``python -m repro.testkit --seed N`` or ``--seeds A:B``.
+
+Exit status is 0 when every checked seed agrees with the oracle, 1 when a
+divergence was found (the shrunk reproduction is printed, and written to
+``--output`` when given — CI uploads that file as the failure artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.testkit.differential import default_matrix, run_seed
+
+
+def _parse_seed_range(text: str):
+    if ":" in text:
+        low, high = text.split(":", 1)
+        return range(int(low), int(high))
+    value = int(text)
+    return range(value, value + 1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit",
+        description="Differential fuzzing of the query pipeline against "
+                    "the naive reference oracle.")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="check exactly one seed")
+    parser.add_argument("--seeds", type=_parse_seed_range, default=None,
+                        metavar="A:B", help="check seeds A..B-1")
+    parser.add_argument("--queries", type=int, default=4,
+                        help="queries generated per seed (default 4)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report the first divergence unshrunk")
+    parser.add_argument("--output", default=None,
+                        help="also write the reproduction to this file")
+    args = parser.parse_args(argv)
+
+    if args.seed is not None and args.seeds is not None:
+        parser.error("--seed and --seeds are mutually exclusive")
+    seeds = args.seeds if args.seeds is not None else \
+        _parse_seed_range(str(args.seed if args.seed is not None else 0))
+
+    configs = default_matrix()
+    total_checked = total_skipped = 0
+    for seed in seeds:
+        divergence, checked, skipped = run_seed(
+            seed, queries=args.queries, configs=configs,
+            shrink=not args.no_shrink)
+        total_checked += checked
+        total_skipped += skipped
+        if divergence is not None:
+            repro = divergence.repro()
+            print("DIVERGENCE %s" % divergence.summary())
+            print()
+            print(repro)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    handle.write(divergence.summary() + "\n\n" + repro
+                                 + "\n")
+            return 1
+        print("seed %d ok (%d queries x %d configs)"
+              % (seed, checked, len(configs)))
+    print("all seeds agree: %d queries checked, %d skipped, %d configs"
+          % (total_checked, total_skipped, len(configs)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Seed-driven schema and data generation for the differential harness.
+
+Everything goes through the public :class:`repro.Database` API (DDL +
+INSERT statements), so a generated catalog exercises the same code paths a
+user would.  The generator deliberately produces *adversarial* data:
+
+- tiny value domains, so joins hit, duplicates are frequent and set
+  operations see skewed multiplicities,
+- NULL-heavy nullable columns (SQL three-valued logic is where engines
+  disagree),
+- DOUBLE columns holding integral values (1.0 vs 1) so mixed
+  INTEGER/DOUBLE comparisons and group keys are exercised,
+- optional primary keys and secondary btree/hash indexes, so index scans
+  and index-driven plans compete with table scans.
+
+All randomness flows from one ``random.Random`` instance: the same seed
+always yields the same schema, data and statement list.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Value pools per column kind.  Small on purpose: collisions are the point.
+INT_POOL = (0, 1, 2, 3, 4, -1)
+FLOAT_POOL = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+STR_POOL = ("ab", "abc", "b", "ba", "xy", "x")
+
+#: SQL type per column kind.
+SQL_TYPES = {"int": "INTEGER", "float": "DOUBLE", "str": "VARCHAR(8)"}
+
+
+def render_literal(value) -> str:
+    """One value as a Hydrogen literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'%s'" % value.replace("'", "''")
+    return repr(value)
+
+
+class ColumnSpec:
+    """One generated column."""
+
+    def __init__(self, name: str, kind: str, nullable: bool = True,
+                 primary_key: bool = False):
+        self.name = name
+        self.kind = kind  # 'int' | 'float' | 'str'
+        self.nullable = nullable
+        self.primary_key = primary_key
+
+    def ddl(self) -> str:
+        parts = [self.name, SQL_TYPES[self.kind]]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        elif not self.nullable:
+            parts.append("NOT NULL")
+        return " ".join(parts)
+
+
+class IndexSpec:
+    def __init__(self, name: str, table: str, columns: Sequence[str],
+                 kind: str = "btree"):
+        self.name = name
+        self.table = table
+        self.columns = list(columns)
+        self.kind = kind
+
+    def ddl(self) -> str:
+        return "CREATE %sINDEX %s ON %s (%s)" % (
+            "", self.name, self.table, ", ".join(self.columns))
+
+
+class TableSpec:
+    """One generated table plus its rows."""
+
+    def __init__(self, name: str, columns: List[ColumnSpec],
+                 rows: List[Tuple], indexes: Optional[List[IndexSpec]] = None):
+        self.name = name
+        self.columns = columns
+        self.rows = rows
+        self.indexes = indexes or []
+
+    def ddl(self) -> str:
+        return "CREATE TABLE %s (%s)" % (
+            self.name, ", ".join(c.ddl() for c in self.columns))
+
+    def insert_statements(self) -> List[str]:
+        return ["INSERT INTO %s VALUES (%s)"
+                % (self.name, ", ".join(render_literal(v) for v in row))
+                for row in self.rows]
+
+    def column_kinds(self) -> List[Tuple[str, str]]:
+        return [(c.name, c.kind) for c in self.columns]
+
+    def with_rows(self, rows: List[Tuple]) -> "TableSpec":
+        return TableSpec(self.name, self.columns, list(rows), self.indexes)
+
+
+class ViewSpec:
+    """A generated view: a named projection/selection over one table."""
+
+    def __init__(self, name: str, base_table: str, sql: str,
+                 columns: List[Tuple[str, str]]):
+        self.name = name
+        self.base_table = base_table
+        self.sql = sql  # full CREATE VIEW statement
+        self.columns = columns  # (name, kind) of the view's output
+
+    def column_kinds(self) -> List[Tuple[str, str]]:
+        return list(self.columns)
+
+
+class Relation:
+    """What the query generator sees: a name plus typed columns."""
+
+    def __init__(self, name: str, columns: List[Tuple[str, str]],
+                 is_view: bool = False):
+        self.name = name
+        self.columns = columns
+        self.is_view = is_view
+
+    def columns_of_kind(self, kind: str) -> List[str]:
+        return [name for name, k in self.columns if k == kind]
+
+
+class SchemaSpec:
+    """A whole generated catalog: tables, indexes, views, rows."""
+
+    def __init__(self, tables: List[TableSpec],
+                 views: Optional[List[ViewSpec]] = None):
+        self.tables = tables
+        self.views = views or []
+
+    def relations(self) -> List[Relation]:
+        rels = [Relation(t.name, t.column_kinds()) for t in self.tables]
+        rels.extend(Relation(v.name, v.column_kinds(), is_view=True)
+                    for v in self.views)
+        return rels
+
+    def table(self, name: str) -> TableSpec:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(name)
+
+    def statements(self) -> List[str]:
+        """Every statement needed to rebuild this catalog, in order."""
+        out: List[str] = []
+        for table in self.tables:
+            out.append(table.ddl())
+        for table in self.tables:
+            for index in table.indexes:
+                out.append(index.ddl())
+        for table in self.tables:
+            out.extend(table.insert_statements())
+        for view in self.views:
+            out.append(view.sql)
+        return out
+
+    def replace_table(self, table: TableSpec) -> "SchemaSpec":
+        tables = [table if t.name == table.name else t for t in self.tables]
+        return SchemaSpec(tables, self.views)
+
+    def restrict_to(self, relation_names) -> "SchemaSpec":
+        """Keep only the named relations (plus view base tables)."""
+        needed = set(relation_names)
+        for view in self.views:
+            if view.name in needed:
+                needed.add(view.base_table)
+        tables = [t for t in self.tables if t.name in needed]
+        views = [v for v in self.views if v.name in needed]
+        if not tables:  # never produce an empty catalog
+            tables = list(self.tables)
+        return SchemaSpec(tables, views)
+
+    def total_rows(self) -> int:
+        return sum(len(t.rows) for t in self.tables)
+
+
+def _random_value(rng: random.Random, kind: str, nullable: bool,
+                  null_rate: float = 0.25):
+    if nullable and rng.random() < null_rate:
+        return None
+    if kind == "int":
+        return rng.choice(INT_POOL)
+    if kind == "float":
+        return rng.choice(FLOAT_POOL)
+    return rng.choice(STR_POOL)
+
+
+def generate_schema(rng: random.Random, min_tables: int = 2,
+                    max_tables: int = 3, max_rows: int = 8,
+                    with_views: bool = True) -> SchemaSpec:
+    """One reproducible catalog drawn from ``rng``."""
+    tables: List[TableSpec] = []
+    table_count = rng.randint(min_tables, max_tables)
+    for t in range(table_count):
+        name = "t%d" % t
+        columns: List[ColumnSpec] = []
+        has_pk = rng.random() < 0.5
+        if has_pk:
+            columns.append(ColumnSpec("c0", "int", nullable=False,
+                                      primary_key=True))
+        # Always at least one plain INTEGER column so every table joins.
+        columns.append(ColumnSpec("c%d" % len(columns), "int",
+                                  nullable=rng.random() < 0.7))
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.choice(("int", "float", "str"))
+            columns.append(ColumnSpec("c%d" % len(columns), kind,
+                                      nullable=rng.random() < 0.7))
+
+        row_count = rng.randint(2, max_rows)
+        rows: List[Tuple] = []
+        for r in range(row_count):
+            row = []
+            for column in columns:
+                if column.primary_key:
+                    row.append(r)
+                else:
+                    row.append(_random_value(rng, column.kind,
+                                             column.nullable))
+            rows.append(tuple(row))
+
+        indexes: List[IndexSpec] = []
+        for i in range(rng.randint(0, 2)):
+            column = rng.choice(columns)
+            kind = rng.choice(("btree", "hash"))
+            indexes.append(IndexSpec("ix_%s_%d" % (name, i), name,
+                                     [column.name], kind))
+        tables.append(TableSpec(name, columns, rows, indexes))
+
+    views: List[ViewSpec] = []
+    if with_views and rng.random() < 0.5:
+        base = rng.choice(tables)
+        picked = [c for c in base.columns if rng.random() < 0.7] or \
+            base.columns[:1]
+        where = ""
+        int_columns = [c for c in picked if c.kind == "int"]
+        if int_columns and rng.random() < 0.6:
+            where = " WHERE %s <= %d" % (rng.choice(int_columns).name,
+                                         rng.choice((1, 2, 3)))
+        sql = "CREATE VIEW v0 AS SELECT %s FROM %s%s" % (
+            ", ".join(c.name for c in picked), base.name, where)
+        views.append(ViewSpec("v0", base.name, sql,
+                              [(c.name, c.kind) for c in picked]))
+    return SchemaSpec(tables, views)
+
+
+def build_database(schema: SchemaSpec):
+    """A fresh Database loaded with the generated catalog."""
+    from repro import Database
+
+    db = Database()
+    db.enable_operation("left_outer_join")
+    for statement in schema.statements():
+        db.execute(statement)
+    db.analyze()
+    return db

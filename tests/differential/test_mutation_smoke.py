@@ -1,0 +1,70 @@
+"""Mutation smoke-check: prove the harness actually catches bugs.
+
+A deliberately broken rewrite rule — it silently deletes a column-equality
+join predicate from the first select box it sees — is injected into every
+database the differential runner builds.  The harness must flag a
+divergence within a handful of seeds and shrink it to a small repro; if
+it cannot, the oracle comparison (or the shrinker) has gone soft and the
+green tier-1 sweep means nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qgm import expressions as qe
+from repro.qgm.model import SelectBox
+from repro.rewrite.engine import Rule
+from repro.testkit import Config, default_matrix, run_seed
+from repro.testkit.differential import shrink_case
+
+
+def _drop_join_pred_condition(context, box):
+    if not isinstance(box, SelectBox):
+        return None
+    if box.annotations.get("operation") is not None:
+        return None
+    for predicate in box.predicates:
+        pair = qe.is_column_equality(predicate.expr)
+        if pair is None:
+            continue
+        left, right = pair
+        if left.quantifier is not right.quantifier:
+            return predicate
+    return None
+
+
+def _drop_join_pred_action(context, box, predicate):
+    box.remove_predicate(predicate)
+
+
+BROKEN_RULE = Rule("mutation_drop_join_pred",
+                   _drop_join_pred_condition, _drop_join_pred_action,
+                   priority=99, box_kinds=("select",))
+
+
+def _inject(db):
+    db.rewrite_engine.add_rule(BROKEN_RULE, rule_class="mutation")
+
+
+def test_injected_rewrite_bug_is_caught_and_shrunk():
+    # Only configs that run the rewrite engine can observe the mutation.
+    configs = [c for c in default_matrix()
+               if c.options.rewrite_enabled]
+    divergence = None
+    for seed in range(0, 30):
+        divergence, _checked, _skipped = run_seed(
+            seed, queries=4, configs=configs, shrink=False,
+            setup=_inject)
+        if divergence is not None:
+            break
+    assert divergence is not None, \
+        "harness failed to catch a dropped join predicate in 30 seeds"
+
+    shrunk = shrink_case(divergence)
+    # The shrinker must keep the bug alive and land on a small repro.
+    assert len(shrunk.schema.tables) <= 3
+    assert shrunk.schema.total_rows() <= divergence.schema.total_rows()
+    report = shrunk.repro()
+    assert "def test_differential_seed_%d" % shrunk.seed in report
+    assert shrunk.sql in report

@@ -1,0 +1,60 @@
+"""Round-trip property: every query the workload generator emits must
+compile — parse → translate → validate_qgm → optimize → refine — or fail
+with a *typed* :class:`ReproError`.  A bare Python exception anywhere in
+the pipeline is a bug regardless of whether the query was answerable
+(that is how the differential harness found the lateral-correlation
+KeyError this PR fixes).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_statement
+from repro.errors import ReproError
+from repro.language.parser import parse_statement
+from repro.language.translator import translate
+from repro.qgm.validate import validate_qgm
+from repro.testkit.datagen import build_database, generate_schema
+from repro.testkit.querygen import QueryGenerator
+
+settings_profile = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings_profile
+def test_generated_queries_compile_or_raise_typed_errors(seed):
+    rng = random.Random(seed)
+    schema = generate_schema(rng)
+    db = build_database(schema)
+    generator = QueryGenerator(rng, schema)
+    for _ in range(3):
+        sql = generator.generate().render()
+        try:
+            statement = parse_statement(sql)
+            qgm = translate(statement, db)
+            validate_qgm(qgm)
+            compile_statement(db, sql)
+        except ReproError:
+            pass  # a typed refusal is an acceptable outcome
+        # Any other exception propagates and fails the test with the
+        # offending SQL in the hypothesis falsifying example.
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings_profile
+def test_generated_queries_execute_or_raise_typed_errors(seed):
+    rng = random.Random(seed)
+    schema = generate_schema(rng)
+    db = build_database(schema)
+    generator = QueryGenerator(rng, schema)
+    sql = generator.generate().render()
+    try:
+        db.execute(sql)
+    except ReproError:
+        pass

@@ -1,0 +1,136 @@
+"""Engine bugs surfaced by the differential oracle, pinned forever.
+
+Each test is a shrunk counterexample found by ``python -m repro.testkit``
+(see tests/differential/).  The seed that first exposed the bug is noted
+so the original hunt can be replayed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CompileOptions, Database
+
+
+def _lateral_db() -> Database:
+    db = Database()
+    db.execute('CREATE TABLE t0 (c0 INTEGER PRIMARY KEY, c1 INTEGER)')
+    db.execute('CREATE TABLE t1 (c0 INTEGER PRIMARY KEY, c1 INTEGER)')
+    for i, v in enumerate([1, 2, 2, None]):
+        db.execute('INSERT INTO t0 VALUES (%d, %s)'
+                   % (i, 'NULL' if v is None else v))
+    for i, v in enumerate([2, 1, 3, 2]):
+        db.execute('INSERT INTO t1 VALUES (%d, %d)' % (i, v))
+    db.analyze()
+    return db
+
+
+LATERAL_SQL = ('SELECT a.c1 AS x, b.c1 AS y FROM t0 a, t1 b '
+               'WHERE b.c1 IN (SELECT c.c1 FROM t1 c WHERE c.c0 = a.c0)')
+LATERAL_ROWS = sorted([(1, 2), (1, 2), (2, 1), (2, 3),
+                       (None, 2), (None, 2)], key=repr)
+
+
+def test_lateral_setformer_after_subquery_to_join():
+    """Seed 12: rewrite rule 1 turns a correlated EXISTS/IN quantifier
+    into an F setformer whose subtree references a sibling.  The join
+    enumerator must keep every such setformer on the inner side of a
+    nested-loops join below its dependencies — any other placement (or a
+    merge/hash join, which materializes the inner early) evaluates the
+    correlated predicate with the sibling unbound (KeyError pre-fix)."""
+    db = _lateral_db()
+    result = db.execute(LATERAL_SQL)
+    assert sorted(result.rows, key=repr) == LATERAL_ROWS
+    # The rewrite must actually have fired, or this pins nothing.
+    assert 'ACCESS(select' in db.explain(LATERAL_SQL)
+
+
+@pytest.mark.parametrize("options", [
+    CompileOptions(rewrite_enabled=False),
+    CompileOptions(join_enumeration="greedy"),
+    CompileOptions(forced_join_method="hash"),
+    CompileOptions(forced_join_method="merge"),
+    CompileOptions(allow_bushy=True, allow_cartesian=True),
+    CompileOptions(compile_expressions=False),
+])
+def test_lateral_setformer_config_matrix(options):
+    """The lateral constraint holds under every optimizer configuration,
+    including forced join methods (which must fall back to NL for the
+    lateral edge) and the greedy enumerator."""
+    db = _lateral_db()
+    result = db.execute(LATERAL_SQL, options=options)
+    assert sorted(result.rows, key=repr) == LATERAL_ROWS
+
+
+def test_lateral_inner_never_temp_cached():
+    """Seed 12 (second half): even with the join order right, the NL-join
+    Temp variant cached the correlated inner once with the parent env —
+    every outer row then saw the first row's subquery result.  A lateral
+    inner must be re-evaluated per outer row."""
+    db = _lateral_db()
+    explain = db.explain(LATERAL_SQL)
+    plan_text = explain.split('=== plan ===')[1]
+    nl_section = plan_text[plan_text.index('NLJOIN'):]
+    access = nl_section[:nl_section.index('SCAN(t1 as b)')]
+    assert 'ACCESS(select' in access
+    assert 'TEMP' not in access
+
+
+def test_redundant_join_elimination_skips_nullable_outer_join():
+    """Seed 59: [OTT82] redundant join elimination fired on a LEFT OUTER
+    JOIN box, dropped the null-producing quantifier and left an outer-join
+    box with a single PF iterator — the optimizer then refused the plan.
+    With a nullable join key (unique index, no NOT NULL) the outer join
+    does not degenerate to an inner join, so the rule must not fire."""
+    db = Database()
+    db.enable_operation('left_outer_join')
+    db.execute('CREATE TABLE t0 (c0 INTEGER, c1 INTEGER)')
+    db.execute('CREATE UNIQUE INDEX u0 ON t0 (c0)')
+    db.execute('INSERT INTO t0 VALUES (1, 10)')
+    db.execute('INSERT INTO t0 VALUES (NULL, 20)')
+    db.analyze()
+    sql = ('SELECT a.c1 AS x, b.c1 AS y FROM t0 a '
+           'LEFT OUTER JOIN t0 b ON a.c0 = b.c0')
+    result = db.execute(sql)
+    # The NULL-keyed row must be padded, not matched to itself.
+    assert sorted(result.rows, key=repr) == \
+        sorted([(10, 10), (20, None)], key=repr)
+
+
+def test_redundant_join_elimination_degenerate_outer_join():
+    """When the key is NOT NULL every preserved row is guaranteed its
+    match: the outer join degenerates to an inner join and elimination is
+    legal — but only if the rule also clears the outer-join annotation
+    and renormalizes the surviving quantifier."""
+    db = Database()
+    db.enable_operation('left_outer_join')
+    db.execute('CREATE TABLE t0 '
+               '(c0 INTEGER NOT NULL PRIMARY KEY, c1 INTEGER)')
+    db.execute('INSERT INTO t0 VALUES (1, 10)')
+    db.execute('INSERT INTO t0 VALUES (2, 20)')
+    db.analyze()
+    sql = ('SELECT a.c1 AS x, b.c1 AS y FROM t0 a '
+           'LEFT OUTER JOIN t0 b ON a.c0 = b.c0')
+    result = db.execute(sql)
+    assert sorted(result.rows, key=repr) == \
+        sorted([(10, 10), (20, 20)], key=repr)
+    # Elimination really happened: only one scan of t0 in the plan.
+    plan_text = db.explain(sql).split('=== plan ===')[1]
+    assert plan_text.count('SCAN(t0') == 1
+
+
+def test_outer_join_with_extra_on_condition_not_eliminated():
+    """An extra ON condition can fail and pad where an inner join would
+    filter; elimination must stay off even with a NOT NULL key."""
+    db = Database()
+    db.enable_operation('left_outer_join')
+    db.execute('CREATE TABLE t0 '
+               '(c0 INTEGER NOT NULL PRIMARY KEY, c1 INTEGER)')
+    db.execute('INSERT INTO t0 VALUES (1, 10)')
+    db.execute('INSERT INTO t0 VALUES (2, 20)')
+    db.analyze()
+    sql = ('SELECT a.c1 AS x, b.c1 AS y FROM t0 a '
+           'LEFT OUTER JOIN t0 b ON a.c0 = b.c0 AND b.c1 > 15')
+    result = db.execute(sql)
+    assert sorted(result.rows, key=repr) == \
+        sorted([(10, None), (20, 20)], key=repr)

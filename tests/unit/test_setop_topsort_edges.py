@@ -1,0 +1,163 @@
+"""Edge cases for the set-operation and TopSort operators, hand-built
+plans only (satellite of the differential-oracle PR).
+
+The three-way INTERSECT/EXCEPT tests pin the pairwise left-fold
+semantics: ``A INTERSECT ALL B INTERSECT ALL C`` keeps min(a, b, c)
+copies of a row, never min(a, b + c) — summing the right-hand bags into
+one counter (the pre-fix implementation) conflates the two.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog, ColumnDef, TableDef
+from repro.datatypes import INTEGER
+from repro.executor.context import ExecutionContext
+from repro.executor.run import rows_iter
+from repro.functions import FunctionRegistry, register_builtins
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plans import Project, SetOpPlan, TableScan, TopSort
+from repro.qgm import expressions as qe
+from repro.qgm.model import QGM
+from repro.storage.engine import StorageEngine
+
+TABLES = {
+    # name -> bag of x values (None allowed)
+    "s_a": [1, 1, 1, 2, 2, 3, None],
+    "s_b": [1, 2, 2, 4],
+    "s_c": [1, 1, 2, 5, None],
+    "s_empty": [],
+    "s_allnull": [None, None, None],
+}
+
+
+@pytest.fixture
+def setup():
+    catalog = Catalog()
+    engine = StorageEngine(catalog, pool_capacity=16)
+    txn = engine.begin()
+    for name, values in TABLES.items():
+        engine.create_table(TableDef(name, [ColumnDef("x", INTEGER)]))
+        for value in values:
+            engine.insert(txn, name, (value,))
+    engine.commit(txn)
+    for name in TABLES:
+        engine.recompute_statistics(name)
+    graph = QGM()
+    cm = CostModel(catalog)
+    ctx = ExecutionContext(engine, register_builtins(FunctionRegistry()))
+
+    def rows_of(name):
+        quantifier = graph.new_quantifier(
+            "F", graph.base_table(catalog.table(name)))
+        scan = TableScan(cm, catalog.table(name), quantifier, [])
+        return Project(cm, scan, [qe.ColRef(quantifier, "x", INTEGER)],
+                       ["x"])
+
+    return cm, ctx, rows_of
+
+
+def run(cm, ctx, op, all_rows, children):
+    return list(rows_iter(SetOpPlan(cm, op, all_rows, children), ctx, {}))
+
+
+def bag(rows):
+    return sorted(rows, key=repr)
+
+
+class TestThreeWaySetOps:
+    def test_intersect_all_folds_pairwise(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "intersect", True,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        # a={1:3,2:2,3:1,N:1}, b={1:1,2:2,4:1}, c={1:2,2:1,5:1,N:1}
+        # min per row: 1 -> 1, 2 -> 1.  Pre-fix min(a, b+c) gave 1 -> 3.
+        assert bag(out) == bag([(1,), (2,)])
+
+    def test_intersect_distinct_requires_membership_in_every_child(
+            self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "intersect", False,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        # 3 is only in a; 4 only in b; None missing from b.
+        assert bag(out) == bag([(1,), (2,)])
+
+    def test_except_all_three_way(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "except", True,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        # (a - b) = {1:2, 3:1, N:1}; minus c = {3:1}
+        assert bag(out) == bag([(3,)])
+
+    def test_except_distinct_three_way(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "except", False,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        assert bag(out) == bag([(3,)])
+
+    def test_union_all_three_way_keeps_duplicates(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "union", True,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        assert len(out) == sum(len(v) for v in
+                               (TABLES["s_a"], TABLES["s_b"],
+                                TABLES["s_c"]))
+
+    def test_union_distinct_three_way(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "union", False,
+                  [rows_of("s_a"), rows_of("s_b"), rows_of("s_c")])
+        assert bag(out) == bag([(1,), (2,), (3,), (4,), (5,), (None,)])
+
+
+class TestEmptyInputs:
+    def test_intersect_with_empty_child_is_empty(self, setup):
+        cm, ctx, rows_of = setup
+        for all_rows in (True, False):
+            assert run(cm, ctx, "intersect", all_rows,
+                       [rows_of("s_a"), rows_of("s_empty")]) == []
+            assert run(cm, ctx, "intersect", all_rows,
+                       [rows_of("s_empty"), rows_of("s_a")]) == []
+
+    def test_except_empty_right_returns_left(self, setup):
+        cm, ctx, rows_of = setup
+        out = run(cm, ctx, "except", True,
+                  [rows_of("s_a"), rows_of("s_empty")])
+        assert len(out) == len(TABLES["s_a"])
+        assert run(cm, ctx, "except", False,
+                   [rows_of("s_empty"), rows_of("s_a")]) == []
+
+    def test_union_of_empties(self, setup):
+        cm, ctx, rows_of = setup
+        assert run(cm, ctx, "union", True,
+                   [rows_of("s_empty"), rows_of("s_empty")]) == []
+
+
+class TestTopSortEdges:
+    def test_empty_input(self, setup):
+        cm, ctx, rows_of = setup
+        plan = TopSort(cm, rows_of("s_empty"), [(0, True)])
+        assert list(rows_iter(plan, ctx, {})) == []
+
+    def test_all_null_keys_stable_noop(self, setup):
+        cm, ctx, rows_of = setup
+        for ascending in (True, False):
+            plan = TopSort(cm, rows_of("s_allnull"), [(0, ascending)])
+            assert list(rows_iter(plan, ctx, {})) == [(None,)] * 3
+
+    def test_nulls_last_in_both_directions(self, setup):
+        cm, ctx, rows_of = setup
+        asc = list(rows_iter(TopSort(cm, rows_of("s_c"), [(0, True)]),
+                             ctx, {}))
+        assert asc == [(1,), (1,), (2,), (5,), (None,)]
+        desc = list(rows_iter(TopSort(cm, rows_of("s_c"), [(0, False)]),
+                              ctx, {}))
+        assert desc == [(5,), (2,), (1,), (1,), (None,)]
+
+    def test_three_way_union_all_then_sort(self, setup):
+        cm, ctx, rows_of = setup
+        union = SetOpPlan(cm, "union", True,
+                          [rows_of("s_b"), rows_of("s_b"), rows_of("s_b")])
+        out = list(rows_iter(TopSort(cm, union, [(0, True)]), ctx, {}))
+        assert out == [(1,)] * 3 + [(2,)] * 6 + [(4,)] * 3
