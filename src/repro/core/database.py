@@ -58,6 +58,12 @@ class Settings:
         self.validate_qgm = True
         #: Plan refinement compiles subquery-free expressions to closures.
         self.compile_expressions = True
+        #: Execution backend: "tuple" (stream interpreter), "batch"
+        #: (vectorized where supported), or "auto" (refinement decides
+        #: per subtree).
+        self.execution_mode = "tuple"
+        #: Rows per batch for the vectorized backend.
+        self.batch_size = 1024
 
     def compile_options(self) -> CompileOptions:
         """Snapshot these settings as a :class:`CompileOptions` value."""
@@ -133,7 +139,7 @@ class Database:
         stripped = sql.strip()
         statement = parse_statement(stripped)
         if isinstance(statement, ast.ExplainStmt):
-            return self._explain_text(stripped)
+            return self._explain_text(stripped, options=options)
         if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
                                   ast.CreateViewStmt, ast.DropStmt)):
             return self._execute_ddl(statement)
@@ -151,6 +157,8 @@ class Database:
         started = time.perf_counter()
         ctx = ExecutionContext(self.engine, self.functions, params, txn)
         ctx.join_kinds = self.join_kinds
+        if compiled.options is not None:
+            ctx.batch_size = compiled.options.batch_size
         own_txn = None
         if txn is None and not compiled.is_query:
             own_txn = self.engine.begin()
@@ -183,11 +191,17 @@ class Database:
 
     # ==== EXPLAIN ==================================================================
 
-    def explain(self, sql: str) -> str:
-        """QGM before/after rewrite plus the chosen plan, as text."""
+    def explain(self, sql: str,
+                options: Optional[CompileOptions] = None) -> str:
+        """QGM before/after rewrite plus the chosen plan, as text.
+
+        ``options`` (e.g. a non-default ``execution_mode``) flows through
+        the whole pipeline, so the rendered plan shows exactly what that
+        configuration would run — including per-node backend marks.
+        """
         from repro.qgm.display import render_qgm
 
-        compiled = self.compile(sql)
+        compiled = self.compile(sql, options=options)
         parts = []
         if compiled.qgm_before_rewrite:
             parts.append("=== QGM (before rewrite) ===")
@@ -200,11 +214,12 @@ class Database:
         parts.append(compiled.plan.explain())
         return "\n".join(parts) + "\n"
 
-    def _explain_text(self, sql: str) -> Result:
+    def _explain_text(self, sql: str,
+                      options: Optional[CompileOptions] = None) -> Result:
         inner = sql.strip()
         # strip the leading EXPLAIN keyword
         inner = inner[len("explain"):].lstrip()
-        text = self.explain(inner)
+        text = self.explain(inner, options=options)
         rows = [(line,) for line in text.rstrip("\n").split("\n")]
         return Result(["plan"], rows)
 

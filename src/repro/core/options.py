@@ -22,6 +22,9 @@ JOIN_METHODS = ("nl", "merge", "hash")
 #: Legal values for :attr:`CompileOptions.join_enumeration`.
 ENUMERATION_STRATEGIES = ("dp", "greedy")
 
+#: Legal values for :attr:`CompileOptions.execution_mode`.
+EXECUTION_MODES = ("tuple", "batch", "auto")
+
 
 class CompileOptions:
     """One compilation's worth of pipeline configuration."""
@@ -29,7 +32,7 @@ class CompileOptions:
     __slots__ = ("rewrite_enabled", "validate_qgm", "compile_expressions",
                  "allow_bushy", "allow_cartesian", "rank_cutoff",
                  "sort_by_rank", "naive_recursion", "forced_join_method",
-                 "join_enumeration", "label")
+                 "join_enumeration", "execution_mode", "batch_size", "label")
 
     def __init__(self,
                  rewrite_enabled: bool = True,
@@ -42,6 +45,8 @@ class CompileOptions:
                  naive_recursion: bool = False,
                  forced_join_method: Optional[str] = None,
                  join_enumeration: str = "dp",
+                 execution_mode: str = "tuple",
+                 batch_size: int = 1024,
                  label: Optional[str] = None):
         if forced_join_method is not None \
                 and forced_join_method not in JOIN_METHODS:
@@ -52,6 +57,12 @@ class CompileOptions:
             raise ValueError(
                 "join_enumeration must be one of %r, got %r"
                 % (ENUMERATION_STRATEGIES, join_enumeration))
+        if execution_mode not in EXECUTION_MODES:
+            raise ValueError(
+                "execution_mode must be one of %r, got %r"
+                % (EXECUTION_MODES, execution_mode))
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1, got %r" % (batch_size,))
         self.rewrite_enabled = rewrite_enabled
         self.validate_qgm = validate_qgm
         self.compile_expressions = compile_expressions
@@ -62,6 +73,8 @@ class CompileOptions:
         self.naive_recursion = naive_recursion
         self.forced_join_method = forced_join_method
         self.join_enumeration = join_enumeration
+        self.execution_mode = execution_mode
+        self.batch_size = batch_size
         self.label = label
 
     @classmethod
@@ -79,6 +92,8 @@ class CompileOptions:
             naive_recursion=optimizer.naive_recursion,
             forced_join_method=getattr(optimizer, "forced_join_method", None),
             join_enumeration=getattr(optimizer, "join_enumeration", "dp"),
+            execution_mode=getattr(settings, "execution_mode", "tuple"),
+            batch_size=getattr(settings, "batch_size", 1024),
         )
 
     def optimizer_settings(self) -> OptimizerSettings:
@@ -116,6 +131,10 @@ class CompileOptions:
             parts.append("bushy")
         if self.allow_cartesian:
             parts.append("cartesian")
+        if self.execution_mode != "tuple":
+            parts.append(self.execution_mode)
+            if self.batch_size != 1024:
+                parts.append("bs%d" % self.batch_size)
         return "+".join(parts) if parts else "default"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -67,6 +67,8 @@ class CompiledStatement:
         self.timings = timings
         self.qgm_before_rewrite = qgm_before_rewrite
         self.rewrite_report = rewrite_report
+        self.options: Optional[CompileOptions] = None
+        self.refiner = None
 
     @property
     def is_query(self) -> bool:
@@ -144,6 +146,13 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
         from repro.executor.compiled import refine_plan
 
         refiner = refine_plan(plan, db.functions)
+    if options.execution_mode != "tuple":
+        # Backend selection is a refinement too: the ExecBackend STAR
+        # marks each subtree for the vectorized engine where supported.
+        from repro.executor.vectorized import select_backends
+
+        select_backends(plan, optimizer.generator, db.functions,
+                        db.join_kinds, options)
     timings.refine = time.perf_counter() - started
 
     compiled = CompiledStatement(text, statement, qgm, plan, timings,

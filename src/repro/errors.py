@@ -77,6 +77,15 @@ class SubqueryError(ExecutionError):
     """Raised for subquery evaluation problems (e.g. scalar cardinality)."""
 
 
+class DivisionByZeroError(ExecutionError):
+    """Raised when ``/`` or ``%`` sees a zero divisor.
+
+    A dedicated type so the differential testkit can treat division by
+    zero as its own divergence class: every evaluator (interpreted,
+    compiled, batch, and the reference oracle) must raise exactly this.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Core (data manager) errors
 # ---------------------------------------------------------------------------

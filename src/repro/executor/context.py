@@ -17,16 +17,22 @@ class ExecutionStats:
         self.recursion_iterations = 0
         self.sorts = 0
         self.or_branch_shortcuts = 0
+        #: Number of RowBatch/EnvBatch objects the vectorized engine
+        #: produced (0 under pure tuple execution).
+        self.batches = 0
+        #: Number of batch/tuple boundary crossings: plan fragments that
+        #: fell back to the tuple interpreter under a batch-mode plan.
+        self.fallbacks = 0
 
     def reset(self) -> None:
         self.__init__()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return ("<ExecStats scanned=%d emitted=%d probes=%d subq=%d "
-                "cache_hits=%d rec_iters=%d>"
+                "cache_hits=%d rec_iters=%d batches=%d fallbacks=%d>"
                 % (self.rows_scanned, self.rows_emitted, self.index_probes,
                    self.subquery_evaluations, self.subquery_cache_hits,
-                   self.recursion_iterations))
+                   self.recursion_iterations, self.batches, self.fallbacks))
 
 
 class ExecutionContext:
@@ -60,6 +66,9 @@ class ExecutionContext:
         self.rowcount: Optional[int] = None
         #: When False, correlation caching is disabled (benchmark E8).
         self.cache_subqueries = True
+        #: Rows per batch for plan subtrees running on the vectorized
+        #: backend (set from ``CompileOptions.batch_size`` by the caller).
+        self.batch_size = 1024
 
     def bind_subplans(self, bindings) -> None:
         for binding in bindings:

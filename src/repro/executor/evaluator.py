@@ -21,7 +21,7 @@ import re
 from functools import lru_cache
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ExecutionError, SubqueryError
+from repro.errors import DivisionByZeroError, ExecutionError, SubqueryError
 from repro.functions.builtins import combine_all, combine_any
 from repro.qgm import expressions as qe
 from repro.qgm.model import Quantifier
@@ -243,12 +243,12 @@ class Evaluator:
             return left * right
         if op == "/":
             if right == 0:
-                raise ExecutionError("division by zero")
+                raise DivisionByZeroError("division by zero")
             result = left / right
             return result
         if op == "%":
             if right == 0:
-                raise ExecutionError("division by zero")
+                raise DivisionByZeroError("division by zero")
             return left % right
         if op == "||":
             return str(left) + str(right)

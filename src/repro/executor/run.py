@@ -35,6 +35,13 @@ def _kinds(ctx: ExecutionContext) -> JoinKindRegistry:
 def execute_plan(plan: pl.PlanOp, ctx: ExecutionContext
                  ) -> Iterator[Tuple[Any, ...]]:
     """Run a complete (row-producing) plan."""
+    if plan.exec_backend == "batch":
+        from repro.executor import vectorized
+
+        # The plan root always hands rows to the caller, so this
+        # adaptation is the contract, not a fallback.
+        return vectorized.rows_from_batches(plan, ctx, {},
+                                            count_fallback=False)
     return rows_iter(plan, ctx, {})
 
 
@@ -45,6 +52,10 @@ def execute_plan(plan: pl.PlanOp, ctx: ExecutionContext
 
 def rows_iter(plan: pl.PlanOp, ctx: ExecutionContext,
               env: Env) -> Iterator[Tuple[Any, ...]]:
+    if plan.exec_backend == "batch":
+        from repro.executor import vectorized
+
+        return vectorized.rows_from_batches(plan, ctx, env)
     handler = _ROW_OPS.get(type(plan))
     if handler is None:
         raise ExecutionError("no interpreter for %s" % plan.op_name)
@@ -390,6 +401,10 @@ def _run_delete(plan: pl.DeletePlan, ctx: ExecutionContext,
 
 def env_iter(plan: pl.PlanOp, ctx: ExecutionContext,
              env: Env) -> Iterator[Env]:
+    if plan.exec_backend == "batch":
+        from repro.executor import vectorized
+
+        return vectorized.envs_from_batches(plan, ctx, env)
     handler = _ENV_OPS.get(type(plan))
     if handler is None:
         raise ExecutionError("no binding interpreter for %s" % plan.op_name)

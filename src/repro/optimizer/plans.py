@@ -59,6 +59,10 @@ class PlanOp:
     op_name = "ABSTRACT"
     #: True when the operator emits plain tuples rather than bindings.
     produces_rows = False
+    #: Which executor backend runs this node: "tuple" (the stream
+    #: interpreter) or "batch" (the vectorized engine).  The refinement
+    #: phase flips this per subtree via the ExecBackend STAR.
+    exec_backend = "tuple"
 
     def __init__(self, children: Sequence["PlanOp"],
                  props: PlanProperties):
@@ -71,9 +75,10 @@ class PlanOp:
         return self.op_name
 
     def explain(self, depth: int = 0) -> str:
-        lines = ["%s%s  (cost=%.2f card=%.1f%s)" % (
+        lines = ["%s%s  (cost=%.2f card=%.1f%s%s)" % (
             "  " * depth, self.describe(), self.props.cost, self.props.card,
             (" order=" + str(list(self.props.order))) if self.props.order else "",
+            " backend=batch" if self.exec_backend == "batch" else "",
         )]
         for child in self.children:
             lines.append(child.explain(depth + 1))

@@ -473,8 +473,44 @@ def default_star_array() -> Dict[str, STAR]:
         Alternative("AddShip", add_ship, rank=1.0),
     ])
 
+    # ---- execution backend (refinement-phase glue) --------------------------
+    #
+    # Evaluated per plan node during refinement (not plan search): decides
+    # which executor backend runs the node.  ``capable`` means the
+    # vectorized engine structurally supports the node (operators +
+    # batch-compilable, self-contained expressions); ``eligible`` carries
+    # the auto-mode heuristic (contiguous batch subtree over enough rows).
+    # A DBC can re-rank or replace these alternatives to steer backend
+    # choice, exactly like any other STAR.
+
+    def batch_eligible(gen: PlanGenerator, args: Args) -> bool:
+        return bool(args["capable"]) and (
+            args["mode"] == "batch"
+            or (args["mode"] == "auto" and args["eligible"]))
+
+    def tuple_only(gen: PlanGenerator, args: Args) -> bool:
+        return not batch_eligible(gen, args)
+
+    def mark_batch(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        plan = args["plan"]
+        plan.exec_backend = "batch"
+        return [plan]
+
+    def mark_tuple(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        plan = args["plan"]
+        plan.exec_backend = "tuple"
+        return [plan]
+
+    exec_backend = STAR("ExecBackend", [
+        Alternative("Batch", mark_batch, condition=batch_eligible,
+                    rank=0.5),
+        Alternative("Tuple", mark_tuple, condition=tuple_only,
+                    rank=1.0),
+    ])
+
     return {
         star.name: star
         for star in (access_root, join_root, nl_star, merge_star, hash_star,
-                     subquery_root, require_order, require_site)
+                     subquery_root, require_order, require_site,
+                     exec_backend)
     }

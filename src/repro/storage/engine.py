@@ -261,6 +261,21 @@ class StorageEngine:
         for rid, record in self._storage[table_name].scan():
             yield rid, serializer.deserialize(record)
 
+    def scan_batches(self, txn: Optional[Transaction], table_name: str,
+                     batch_size: int):
+        """Batched full scan for the vectorized executor.
+
+        Yields ``(make_rids, records)`` pairs of encoded record batches
+        plus a lazy RID factory (see ``TableStorage.scan_batches``);
+        callers decode the columns they need via the table's
+        ``RecordSerializer.decode_columns``.  Takes the same shared table
+        lock as :meth:`scan`.
+        """
+        table = self.catalog.table(table_name)
+        if txn is not None:
+            self.locks.acquire(txn.txn_id, ("table", table.name), LockMode.SHARED)
+        return self._storage[table.name].scan_batches(batch_size)
+
     def fetch(self, txn: Optional[Transaction], table_name: str,
               rid: RID) -> Tuple[Any, ...]:
         table = self.catalog.table(table_name)

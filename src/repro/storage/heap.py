@@ -118,6 +118,29 @@ class HeapTableStorage(TableStorage):
             for slot, record in records:
                 yield RID(page_no, slot), record
 
+    def scan_batches(self, batch_size):
+        """Page-at-a-time scan: collects whole pages of record bytes and
+        defers RID construction to the lazy ``make_rids`` callable."""
+        chunks: List[Tuple[int, tuple]] = []  # (page_no, slots)
+        records: List[bytes] = []
+        for page_no in range(len(self._page_ids)):
+            page_id = self._page_ids[page_no]
+            page = self.pool.fetch(page_id)
+            try:
+                page_records = list(page.records())
+            finally:
+                self.pool.unpin(page_id)
+            if not page_records:
+                continue
+            slots, recs = zip(*page_records)
+            chunks.append((page_no, slots))
+            records.extend(recs)
+            if len(records) >= batch_size:
+                yield _rid_maker(chunks), records
+                chunks, records = [], []
+        if records:
+            yield _rid_maker(chunks), records
+
     @property
     def page_count(self) -> int:
         return len(self._page_ids)
@@ -129,3 +152,13 @@ class HeapTableStorage(TableStorage):
             self.pool.disk.deallocate(page_id)
         self._page_ids = []
         self._free_pages = set()
+
+
+def _rid_maker(chunks):
+    """Lazy RID factory over (page_no, slots) page chunks."""
+    def make() -> List[RID]:
+        rids: List[RID] = []
+        for page_no, slots in chunks:
+            rids.extend(RID(page_no, slot) for slot in slots)
+        return rids
+    return make

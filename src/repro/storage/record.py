@@ -17,10 +17,17 @@ from __future__ import annotations
 import struct
 from typing import Any, List, NamedTuple, Optional, Sequence, Tuple
 
-from repro.datatypes.types import DataType
+from repro.datatypes.types import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+)
 from repro.errors import RecordError
 
 _LEN = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
 
 
 class RID(NamedTuple):
@@ -39,6 +46,8 @@ class RecordSerializer:
     def __init__(self, dtypes: Sequence[DataType]):
         self.dtypes: Tuple[DataType, ...] = tuple(dtypes)
         self._bitmap_bytes = (len(self.dtypes) + 7) // 8
+        self._offsets = self._static_offsets()
+        self._decoders: dict = {}
 
     @property
     def arity(self) -> int:
@@ -111,3 +120,98 @@ class RecordSerializer:
                 offset += length
                 values.append(dtype.deserialize(field))
         return tuple(values)
+
+    # ------------------------------------------------------------------
+    # Columnar (batch) decoding — used by the vectorized executor.
+    # ------------------------------------------------------------------
+
+    def _static_offsets(self) -> List[Optional[int]]:
+        """Byte offset of each column, or None once the offset becomes
+        data-dependent (the column follows a variable-width field, or is
+        variable width itself).  NULL fixed-width fields are zero-padded
+        on serialize, so static offsets survive NULLs."""
+        offsets: List[Optional[int]] = []
+        offset: Optional[int] = self._bitmap_bytes
+        for dtype in self.dtypes:
+            if offset is None or dtype.fixed_width is None:
+                offsets.append(None)
+                offset = None
+            else:
+                offsets.append(offset)
+                offset += dtype.fixed_width
+        return offsets
+
+    def column_decoder(self, index: int):
+        """A batch decoder ``f(records) -> List[value]`` for one column,
+        ignoring NULL bits (callers patch those via :meth:`null_rows`),
+        or None when the column has no static offset."""
+        if index in self._decoders:
+            return self._decoders[index]
+        offset = self._offsets[index]
+        dtype = self.dtypes[index]
+        decoder = None
+        if offset is not None:
+            # Exact-class checks: a DataType subclass may override
+            # deserialize, so only the stock types get struct fast paths.
+            if type(dtype) is IntegerType:
+                unpack = _I64.unpack_from
+
+                def decoder(records, _u=unpack, _o=offset):
+                    return [_u(rec, _o)[0] for rec in records]
+            elif type(dtype) is DoubleType:
+                unpack = _F64.unpack_from
+
+                def decoder(records, _u=unpack, _o=offset):
+                    return [_u(rec, _o)[0] for rec in records]
+            elif type(dtype) is BooleanType:
+                def decoder(records, _o=offset):
+                    return [rec[_o] != 0 for rec in records]
+            else:
+                width = dtype.fixed_width
+
+                def decoder(records, _d=dtype.deserialize, _o=offset,
+                            _w=width):
+                    return [_d(rec[_o:_o + _w]) for rec in records]
+        self._decoders[index] = decoder
+        return decoder
+
+    def null_rows(self, records: Sequence[bytes]) -> List[int]:
+        """Indices of records whose null bitmap has any bit set.
+
+        One screening pass shared by every column of a batch; the common
+        all-NOT-NULL record is rejected with a single bytes compare.
+        """
+        zero = bytes(self._bitmap_bytes)
+        bitmap_bytes = self._bitmap_bytes
+        return [i for i, rec in enumerate(records)
+                if rec[:bitmap_bytes] != zero]
+
+    def decode_columns(self, records: Sequence[bytes],
+                       positions: Sequence[int]) -> dict:
+        """Decode only the given column positions from a batch of records.
+
+        Returns ``{position: list}`` with each list aligned to ``records``.
+        Columns with static offsets decode via per-column struct loops;
+        if any requested column lacks one, the whole batch falls back to
+        row-at-a-time decoding.
+        """
+        decoders = {}
+        for pos in positions:
+            decoder = self.column_decoder(pos)
+            if decoder is None:
+                rows = [self.deserialize(rec) for rec in records]
+                return {p: [row[p] for row in rows] for p in positions}
+            decoders[pos] = decoder
+        cols = {pos: decoder(records) for pos, decoder in decoders.items()}
+        # Patch NULLs: screen each record's bitmap against all-zero first
+        # (the common case), then set None per set bit.
+        zero = bytes(self._bitmap_bytes)
+        bitmap_bytes = self._bitmap_bytes
+        masks = [(pos, pos // 8, 1 << (pos % 8)) for pos in positions]
+        for row, rec in enumerate(records):
+            if rec[:bitmap_bytes] == zero:
+                continue
+            for pos, byte, bit in masks:
+                if rec[byte] & bit:
+                    cols[pos][row] = None
+        return cols

@@ -56,6 +56,28 @@ class TableStorage:
         """Yield every live (RID, record bytes) pair in storage order."""
         raise NotImplementedError
 
+    def scan_batches(
+        self, batch_size: int,
+    ) -> Iterator[Tuple[Callable[[], List[RID]], List[bytes]]]:
+        """Yield ``(make_rids, records)`` batches in storage order.
+
+        ``records`` is a list of serialized record bytes; ``make_rids``
+        lazily materializes the matching RID list, so scans that never
+        look at RIDs (the vectorized executor's common case) skip RID
+        construction entirely.  The default chunks :meth:`scan`; storage
+        managers can override it with a page-at-a-time fast path.
+        """
+        rids: List[RID] = []
+        records: List[bytes] = []
+        for rid, record in self.scan():
+            rids.append(rid)
+            records.append(record)
+            if len(records) >= batch_size:
+                yield (lambda out=rids: out), records
+                rids, records = [], []
+        if records:
+            yield (lambda out=rids: out), records
+
     def insert_at(self, rid: RID, record: bytes) -> RID:
         """Re-insert a record during recovery/undo, preferably at ``rid``.
 

@@ -32,7 +32,7 @@ from collections import Counter
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompileOptions
-from repro.errors import ReproError
+from repro.errors import DivisionByZeroError, ReproError
 from repro.testkit.datagen import SchemaSpec, build_database, generate_schema
 from repro.testkit.oracle import OracleError, ReferenceOracle, sort_rows
 from repro.testkit.querygen import QueryGenerator, QuerySpec
@@ -64,6 +64,11 @@ def default_matrix() -> List[Config]:
         Config("greedy", base.replace(join_enumeration="greedy")),
         Config("bushy-cartesian",
                base.replace(allow_bushy=True, allow_cartesian=True)),
+        # Vectorized backend: a big batch (whole tables in one batch) and
+        # batch_size=1 (every adapter/selection edge case, per row).
+        Config("batch", base.replace(execution_mode="batch")),
+        Config("batch-1", base.replace(execution_mode="batch",
+                                       batch_size=1)),
     ]
 
 
@@ -127,7 +132,7 @@ class Divergence:
         explain = ""
         try:
             db = build_database(self.schema)
-            explain = db.explain(self.sql)
+            explain = db.explain(self.sql, options=self.config.options)
         except ReproError as exc:
             explain = "EXPLAIN failed: %s" % exc
         option_overrides = self._option_overrides()
@@ -215,12 +220,24 @@ class DifferentialRunner:
             expected = exc
         if isinstance(expected, ReproError):
             # The oracle hit a genuine runtime error (e.g. a scalar
-            # subquery with two rows): the engine must fail too.
+            # subquery with two rows): the engine must fail too.  Typed
+            # error classes (division by zero) must match exactly —
+            # "some error happened" would hide an engine that fails for
+            # the wrong reason.
+            expected_type = (DivisionByZeroError
+                             if isinstance(expected, DivisionByZeroError)
+                             else ReproError)
             for config in self.configs:
                 try:
                     self.db.execute(sql, options=config.options)
-                except ReproError:
+                except expected_type:
                     continue
+                except ReproError as exc:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "oracle raised %s but the engine raised %s: %s"
+                        % (type(expected).__name__, type(exc).__name__,
+                           exc), None, None, setup=self.setup)
                 except Exception as exc:  # bare exception = engine bug
                     return Divergence(
                         self.seed, self.schema, spec, config,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ReproError
+from repro.errors import DivisionByZeroError, ReproError
 from repro.language.parser import parse_statement
 from repro.language.translator import translate
 from repro.qgm import expressions as qe
@@ -192,8 +192,7 @@ class ReferenceOracle:
                                   unsupported=True)
             rows = self._box_rows(box.quantifiers[0].input, env)
         elif isinstance(box, TableFunctionBox):
-            raise OracleError("table functions are outside the oracle",
-                              unsupported=True)
+            rows = self._table_function_rows(box, env)
         elif isinstance(box, SelectBox):
             if box.annotations.get("operation") == "left_outer_join":
                 rows = self._outer_join_rows(box, env)
@@ -379,6 +378,41 @@ class ReferenceOracle:
                 seen.add(value)
             accumulator.step(value)
         return accumulator.final()
+
+    def _table_function_rows(self, box: TableFunctionBox,
+                             env: Env) -> List[Tuple[Any, ...]]:
+        """Evaluate a table function the same way the executor does:
+        scalar args against the environment, each input quantifier
+        materialized, output arity checked against the box head."""
+        function = self.functions.table_function(box.function_name)
+        if function is None:
+            raise OracleError(
+                "unknown table function %s" % box.function_name)
+        args = [self._eval(a, env) for a in box.scalar_args]
+        inputs = []
+        for quantifier in box.quantifiers:
+            head = quantifier.input.head
+            inputs.append((head.column_names(),
+                           [c.dtype for c in head.columns],
+                           self._box_rows(quantifier.input, env)))
+        try:
+            _names, _types, rows = function.invoke(args, inputs)
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise OracleError(
+                "table function %s failed: %s"
+                % (box.function_name, exc))
+        arity = len(box.head.columns)
+        out = []
+        for row in rows:
+            row = tuple(row)
+            if len(row) != arity:
+                raise OracleError(
+                    "table function %s produced a %d-column row, "
+                    "expected %d" % (box.function_name, len(row), arity))
+            out.append(row)
+        return out
 
     def _setop_rows(self, box: SetOpBox, env: Env) -> List[Tuple[Any, ...]]:
         if box.is_recursive:
@@ -599,11 +633,11 @@ class ReferenceOracle:
             return left * right
         if op == "/":
             if right == 0:
-                raise OracleError("division by zero")
+                raise DivisionByZeroError("division by zero")
             return left / right
         if op == "%":
             if right == 0:
-                raise OracleError("division by zero")
+                raise DivisionByZeroError("division by zero")
             return left % right
         if op == "||":
             return str(left) + str(right)

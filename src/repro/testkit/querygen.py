@@ -15,10 +15,12 @@ three-valued predicates, LEFT OUTER JOIN, correlated EXISTS / IN / scalar
 subqueries, quantified comparisons, GROUP BY + aggregates, UNION /
 INTERSECT / EXCEPT with and without ALL, positional ORDER BY and LIMIT.
 
-Two deliberate omissions keep every generated query deterministic and
-total: no division (divide-by-zero is an error, not a wrong answer) and
-LIMIT only under an ORDER BY that covers *every* output column (otherwise
-the set of surviving rows is implementation-defined).
+Division and modulo ARE generated (zero divisors included): both engine
+and oracle raise the typed :class:`~repro.errors.DivisionByZeroError`, so
+the harness checks error class equivalence, not just row equivalence.
+One deliberate omission keeps every generated query deterministic: LIMIT
+only appears under an ORDER BY that covers *every* output column
+(otherwise the set of surviving rows is implementation-defined).
 """
 
 from __future__ import annotations
@@ -429,11 +431,14 @@ class QueryGenerator:
                 if numeric:
                     name, kind = rng.choice(numeric)
                     const = rng.choice(_CONST_BY_KIND[rng.choice(NUMERIC)])
-                    out = "float" if (kind == "float" or "." in const) \
-                        else "int"
+                    op = rng.choice(("+", "-", "*", "/", "%"))
+                    if op == "/":
+                        out = "float"  # SQL / here is true division
+                    else:
+                        out = "float" if (kind == "float" or "." in const) \
+                            else "int"
                     items.append(SelectItem(
-                        "%s.%s %s %s" % (source.alias, name,
-                                         rng.choice(("+", "-", "*")), const),
+                        "%s.%s %s %s" % (source.alias, name, op, const),
                         out, {source.alias}))
                 else:
                     items.append(self._column_item(sources))

@@ -19,7 +19,7 @@ import pytest
 from repro.testkit import default_matrix, run_seed
 
 TIER1_SEEDS = range(0, 50)
-SWEEP_SEEDS = range(50, 250)
+SWEEP_SEEDS = range(50, 550)
 
 
 def _check_seed_block(seeds, queries=4):
@@ -46,8 +46,8 @@ def test_tier1_seed_block(block):
 
 @pytest.mark.sweep
 @pytest.mark.parametrize("block", [
-    range(start, start + 25) for start in range(50, 250, 25)
+    range(start, start + 25) for start in range(50, 550, 25)
 ])
 def test_sweep_seed_block(block):
-    """Wider sweep (200 seeds); run with ``pytest -m sweep``."""
+    """Wider sweep (500 seeds); run with ``pytest -m sweep``."""
     assert _check_seed_block(block) > 0
