@@ -93,12 +93,19 @@ def main():
     print("\n== EXPLAIN of the paper query")
     print(db.explain(paper_query))
 
-    # -- compile once, run many ---------------------------------------------------------------
-    compiled = db.compile(
-        "SELECT count(*) FROM quotations WHERE price < ?")
+    # -- compile once, run many: prepared statements -------------------------------------------
+    ready = db.prepare("SELECT count(*) FROM quotations WHERE price < ?")
     for bound in (15.0, 30.0, 60.0):
-        count = db.run_compiled(compiled, (bound,)).scalar()
-        print("quotations under %.0f: %d" % (bound, count))
+        print("quotations under %.0f: %d"
+              % (bound, ready.execute([bound]).scalar()))
+
+    # Plain execute() goes through the same plan cache: textual variants
+    # of one statement share a single compiled plan, and DDL or a
+    # statistics refresh invalidates exactly the dependent entries.
+    db.execute("SELECT count(*) FROM quotations WHERE price < ?", [15.0])
+    stats = db.cache_stats()
+    print("\n== plan cache: %d entries, %d hits, %d misses"
+          % (stats["entries"], stats["hits"], stats["misses"]))
 
 
 if __name__ == "__main__":

@@ -29,9 +29,10 @@ Package map (see DESIGN.md for the full inventory):
 
 from repro.core.database import Database, Result
 from repro.core.options import CompileOptions
+from repro.core.plancache import Prepared
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
-__all__ = ["Database", "Result", "CompileOptions", "ReproError",
-           "__version__"]
+__all__ = ["Database", "Result", "CompileOptions", "Prepared",
+           "ReproError", "__version__"]

@@ -8,7 +8,7 @@ through it.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.catalog.schema import IndexDef, TableDef, ViewDef, normalize_name
 from repro.catalog.statistics import TableStatistics
@@ -17,6 +17,13 @@ from repro.errors import CatalogError
 #: Site name used for tables created without an explicit site (the local
 #: node in the simulated distributed configuration).
 DEFAULT_SITE = "local"
+
+#: A table's statistics are declared stale for cached plans once this many
+#: rows have been inserted/deleted since the last statistics epoch bump...
+STATS_DML_FLOOR = 64
+#: ...or this fraction of the row count at the last bump, whichever is
+#: larger (so bulk loads don't bump the epoch on every page of rows).
+STATS_DML_FRACTION = 0.2
 
 
 class Catalog:
@@ -30,6 +37,69 @@ class Catalog:
         self._statistics: Dict[str, TableStatistics] = {}
         self._sites: Dict[str, float] = {DEFAULT_SITE: 0.0}
         self._next_table_id = 1
+        #: Monotone counter bumped by every schema-shaped change (DDL on
+        #: tables/views/indexes/constraints, registry events).  Cached
+        #: plans record the value they were compiled under.
+        self.schema_epoch = 0
+        #: Epoch of the last *global* schema event (type/function/storage
+        #: manager/access method/rule registration): invalidates every
+        #: cached plan, not just the ones touching one relation.
+        self._schema_floor = 0
+        #: Per-relation epoch of the last schema change touching it.  The
+        #: marker survives DROP so a re-created name looks changed.
+        self._table_schema_epochs: Dict[str, int] = {}
+        #: Monotone counter for statistics changes (RUNSTATS, large DML
+        #: deltas); plans whose dependency set intersects the changed
+        #: tables are recompiled rather than trusted.
+        self.stats_epoch = 0
+        self._table_stats_epochs: Dict[str, int] = {}
+        self._dml_since_stats: Dict[str, int] = {}
+        self._rows_at_stats: Dict[str, int] = {}
+
+    # -- epochs (plan-cache invalidation) -----------------------------------
+
+    def bump_schema_epoch(self, table_name: Optional[str] = None) -> int:
+        """Note a schema change.  With a name, only plans depending on
+        that relation go stale; without one (registry-wide events) every
+        cached plan does."""
+        self.schema_epoch += 1
+        if table_name is None:
+            self._schema_floor = self.schema_epoch
+        else:
+            self._table_schema_epochs[normalize_name(table_name)] = \
+                self.schema_epoch
+        return self.schema_epoch
+
+    def schema_floor(self) -> int:
+        return self._schema_floor
+
+    def schema_epoch_of(self, name: str) -> int:
+        """Epoch of the last schema change touching one relation name."""
+        return self._table_schema_epochs.get(normalize_name(name), 0)
+
+    def bump_stats_epoch(self, table_name: str) -> int:
+        """Note a statistics change (RUNSTATS or a large DML delta)."""
+        self.stats_epoch += 1
+        key = normalize_name(table_name)
+        self._table_stats_epochs[key] = self.stats_epoch
+        self._dml_since_stats[key] = 0
+        stats = self._statistics.get(key)
+        self._rows_at_stats[key] = stats.row_count if stats else 0
+        return self.stats_epoch
+
+    def stats_epoch_of(self, name: str) -> int:
+        return self._table_stats_epochs.get(normalize_name(name), 0)
+
+    def note_dml(self, table_name: str) -> None:
+        """Count one inserted/deleted row; bump the statistics epoch once
+        the delta since the last bump is large enough to move plans."""
+        key = normalize_name(table_name)
+        count = self._dml_since_stats.get(key, 0) + 1
+        baseline = self._rows_at_stats.get(key, 0)
+        if count >= max(STATS_DML_FLOOR, STATS_DML_FRACTION * baseline):
+            self.bump_stats_epoch(key)
+        else:
+            self._dml_since_stats[key] = count
 
     # -- tables ------------------------------------------------------------
 
@@ -47,6 +117,7 @@ class Catalog:
         self._tables[table.name] = table
         self._statistics[table.name] = TableStatistics(table.column_names())
         self._indexes_by_table.setdefault(table.name, [])
+        self.bump_schema_epoch(table.name)
         return table
 
     def drop_table(self, name: str) -> None:
@@ -57,6 +128,7 @@ class Catalog:
         del self._statistics[key]
         for index in self._indexes_by_table.pop(key, []):
             self._indexes.pop(index.name, None)
+        self.bump_schema_epoch(key)
 
     def table(self, name: str) -> TableDef:
         key = normalize_name(name)
@@ -77,6 +149,7 @@ class Catalog:
         if view.name in self._views or view.name in self._tables:
             raise CatalogError("name %s already exists" % view.name)
         self._views[view.name] = view
+        self.bump_schema_epoch(view.name)
         return view
 
     def drop_view(self, name: str) -> None:
@@ -84,6 +157,7 @@ class Catalog:
         if key not in self._views:
             raise CatalogError("no view %s" % name)
         del self._views[key]
+        self.bump_schema_epoch(key)
 
     def view(self, name: str) -> ViewDef:
         key = normalize_name(name)
@@ -108,6 +182,7 @@ class Catalog:
             table.column(column_name)  # raises on unknown column
         self._indexes[index.name] = index
         self._indexes_by_table.setdefault(table.name, []).append(index)
+        self.bump_schema_epoch(table.name)
         return index
 
     def drop_index(self, name: str) -> None:
@@ -116,6 +191,7 @@ class Catalog:
         if index is None:
             raise CatalogError("no index %s" % name)
         self._indexes_by_table[index.table_name].remove(index)
+        self.bump_schema_epoch(index.table_name)
 
     def index(self, name: str) -> IndexDef:
         key = normalize_name(name)

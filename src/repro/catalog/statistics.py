@@ -30,18 +30,31 @@ class ColumnStatistics:
         self.null_count = null_count
 
     def observe(self, value: Any) -> None:
-        """Cheap incremental update on insert (distinct count is a bound)."""
+        """Cheap incremental update on insert.
+
+        ``n_distinct`` is maintained as a lower bound: a value outside the
+        known [min, max] range is certainly new, so every range extension
+        bumps the count.  Monotone loads (ascending keys) thus keep an
+        exact distinct count without ever scanning, and equality
+        predicates on incrementally-loaded tables are costed from real
+        evidence instead of the zero-distinct fallback.
+        """
         if value is None:
             self.null_count += 1
             return
+        extended = False
         try:
             if self.min_value is None or value < self.min_value:
                 self.min_value = value
+                extended = True
             if self.max_value is None or value > self.max_value:
                 self.max_value = value
+                extended = True
         except TypeError:
             # Externally defined types without an order: keep counts only.
-            pass
+            return
+        if extended:
+            self.n_distinct += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<ColStats distinct=%d range=[%r, %r] nulls=%d>" % (

@@ -43,6 +43,14 @@ from repro.optimizer.boxopt import OptimizerSettings
 from repro.optimizer.stars import STAR, Alternative, default_star_array
 from repro.core.options import CompileOptions
 from repro.core.pipeline import CompiledStatement, compile_statement
+from repro.core.plancache import (
+    Fingerprint,
+    PlanCache,
+    Prepared,
+    fingerprint_statement,
+    prepare_statement,
+)
+from repro.errors import LexerError
 from repro.storage.engine import StorageEngine
 
 
@@ -64,6 +72,14 @@ class Settings:
         self.execution_mode = "tuple"
         #: Rows per batch for the vectorized backend.
         self.batch_size = 1024
+        #: Serve repeated statements from the plan cache ("the result of
+        #: the compilation stage can be stored for future use").
+        self.plan_cache_enabled = True
+        #: Maximum number of cached plans (LRU beyond that).
+        self.plan_cache_capacity = 512
+        #: Auto-parameterize top-level comparison literals at fingerprint
+        #: time (off by default: ad-hoc queries keep literal-aware plans).
+        self.constant_parameterization = False
 
     def compile_options(self) -> CompileOptions:
         """Snapshot these settings as a :class:`CompileOptions` value."""
@@ -117,6 +133,7 @@ class Database:
         #: Enabled table operations (DBC extensions, e.g. left_outer_join).
         self.operations: set = set()
         self.settings = Settings()
+        self.plan_cache = PlanCache(self.settings.plan_cache_capacity)
         self.stars = default_star_array()
         # The rewrite engine is attached lazily to avoid a hard dependency
         # cycle; repro.rewrite installs the default rule set.
@@ -137,6 +154,13 @@ class Database:
         only (the differential harness compiles one query many ways).
         """
         stripped = sql.strip()
+        if options is None:
+            options = self.settings.compile_options()
+        if options.plan_cache:
+            fingerprint = self._fingerprint(stripped, options)
+            if fingerprint is not None and fingerprint.cacheable:
+                return self._serve(stripped, fingerprint, options, params,
+                                   txn)
         statement = parse_statement(stripped)
         if isinstance(statement, ast.ExplainStmt):
             return self._explain_text(stripped, options=options)
@@ -145,6 +169,61 @@ class Database:
             return self._execute_ddl(statement)
         compiled = compile_statement(self, stripped, options=options)
         return self.run_compiled(compiled, params, txn)
+
+    def _fingerprint(self, sql: str,
+                     options: CompileOptions) -> Optional[Fingerprint]:
+        try:
+            return fingerprint_statement(
+                sql,
+                parameterize_constants=options.constant_parameterization)
+        except LexerError:
+            # Unscannable text: let the ordinary compile path raise the
+            # error through the usual channel.
+            return None
+
+    def _serve(self, sql: str, fingerprint: Fingerprint,
+               options: CompileOptions, params: Sequence[Any],
+               txn) -> Result:
+        """The compile-once-execute-many path shared by ``execute`` (on a
+        cacheable statement) and :class:`Prepared`."""
+        key = (fingerprint.key, options.cache_key())
+        entry = self.plan_cache.lookup(self.catalog, key)
+        if entry is None:
+            if fingerprint.rewritten:
+                # Validate the original text before compiling the
+                # parameterized form: lifted literals become untyped
+                # parameters, so errors that depend on a literal's type
+                # (VARCHAR column < 3) would otherwise go undetected.
+                # The type class is part of the fingerprint, so every
+                # statement sharing this key validates identically.
+                compile_statement(self, sql, options=options)
+            compiled = compile_statement(
+                self, fingerprint.compile_text(sql), options=options)
+            entry = self.plan_cache.insert(self.catalog, key, compiled)
+            compiled.timings.pipeline = "compiled"
+        else:
+            entry.compiled.timings.pipeline = "cached"
+        return self.run_compiled(entry.compiled,
+                                 fingerprint.recipe.bind(params), txn)
+
+    def prepare(self, sql: str,
+                options: Optional[CompileOptions] = None) -> Prepared:
+        """Prepare a statement for repeated execution.
+
+            ready = db.prepare("SELECT * FROM parts WHERE partno = ?")
+            ready.execute([7])
+            ready.execute([9])   # same plan, zero compile phases
+
+        Compilation happens once (eagerly); later ``execute`` calls only
+        revalidate the catalog epochs the plan was compiled under.
+        """
+        if options is None:
+            options = self.settings.compile_options()
+        return prepare_statement(self, sql.strip(), options)
+
+    def cache_stats(self) -> dict:
+        """Plan-cache counters plus per-entry hit/invalidation detail."""
+        return self.plan_cache.stats(self.catalog)
 
     def compile(self, sql: str,
                 options: Optional[CompileOptions] = None
@@ -212,7 +291,27 @@ class Database:
             parts.append("=== rewrite: %s ===" % compiled.rewrite_report)
         parts.append("=== plan ===")
         parts.append(compiled.plan.explain())
+        parts.append(self._cache_status_line(sql.strip(),
+                                             compiled.options))
         return "\n".join(parts) + "\n"
+
+    def _cache_status_line(self, sql: str, options: CompileOptions) -> str:
+        """One line of plan-cache status, so EXPLAIN output (and the
+        differential repros that embed it) discloses whether an execution
+        of this statement would reuse a cached plan."""
+        epochs = "schema_epoch=%d, stats_epoch=%d" % (
+            self.catalog.schema_epoch, self.catalog.stats_epoch)
+        if options is None or not options.plan_cache:
+            return "plan: cache off, %s" % epochs
+        fingerprint = self._fingerprint(sql, options)
+        if fingerprint is None or not fingerprint.cacheable:
+            return "plan: not cacheable, %s" % epochs
+        entry = self.plan_cache.peek(
+            self.catalog, (fingerprint.key, options.cache_key()))
+        if entry is None:
+            return "plan: not cached, %s" % epochs
+        return "plan: cached, epoch=%d, hits=%d, %s" % (
+            entry.schema_epoch, entry.hits, epochs)
 
     def _explain_text(self, sql: str,
                       options: Optional[CompileOptions] = None) -> Result:
@@ -307,42 +406,54 @@ class Database:
 
     def register_type(self, dtype: DataType, replace: bool = False) -> DataType:
         """Externally defined column type."""
-        return self.types.register(dtype, replace=replace)
+        registered = self.types.register(dtype, replace=replace)
+        self.catalog.bump_schema_epoch()
+        return registered
 
     def register_scalar_function(self, name: str, fn, return_type,
                                  arity: Optional[int] = None,
                                  min_arity: Optional[int] = None,
                                  max_arity: Optional[int] = None,
                                  handles_null: bool = False) -> ScalarFunction:
-        return self.functions.register_scalar(ScalarFunction(
+        function = self.functions.register_scalar(ScalarFunction(
             name, fn, return_type, arity=arity, min_arity=min_arity,
             max_arity=max_arity, handles_null=handles_null))
+        self.catalog.bump_schema_epoch()
+        return function
 
     def register_aggregate_function(self, name: str, factory,
                                     return_type) -> AggregateFunction:
-        return self.functions.register_aggregate(
+        function = self.functions.register_aggregate(
             AggregateFunction(name, factory, return_type))
+        self.catalog.bump_schema_epoch()
+        return function
 
     def register_table_function(self, name: str, fn,
                                 table_inputs: int = 1) -> TableFunction:
-        return self.functions.register_table_function(
+        function = self.functions.register_table_function(
             TableFunction(name, fn, table_inputs=table_inputs))
+        self.catalog.bump_schema_epoch()
+        return function
 
     def register_set_predicate(self, name: str, combine,
                                quantifier_type: Optional[str] = None
                                ) -> SetPredicateFunction:
-        return self.functions.register_set_predicate(
+        function = self.functions.register_set_predicate(
             SetPredicateFunction(name, combine,
                                  quantifier_type=quantifier_type))
+        self.catalog.bump_schema_epoch()
+        return function
 
     def register_storage_manager(self, name: str, factory,
                                  replace: bool = False) -> None:
         self.engine.storage_managers.register(name, factory, replace=replace)
+        self.catalog.bump_schema_epoch()
 
     def register_access_method(self, kind: str, factory,
                                replace: bool = False) -> None:
         self.engine.access_methods_registry.register(kind, factory,
                                                      replace=replace)
+        self.catalog.bump_schema_epoch()
 
     def add_constraint(self, table_name: str,
                        constraint: Attachment) -> Attachment:
@@ -351,21 +462,26 @@ class Database:
     def enable_operation(self, name: str) -> None:
         """Enable a DBC table operation (e.g. 'left_outer_join')."""
         self.operations.add(name)
+        self.catalog.bump_schema_epoch()
 
     def register_rewrite_rule(self, rule, rule_class: str = "user") -> None:
         self.rewrite_engine.add_rule(rule, rule_class)
+        self.catalog.bump_schema_epoch()
 
     def register_star(self, star: STAR, replace: bool = False) -> None:
         if star.name in self.stars and not replace:
             raise SemanticError("STAR %s already defined" % star.name)
         self.stars[star.name] = star
+        self.catalog.bump_schema_epoch()
 
     def add_star_alternative(self, star_name: str,
                              alternative: Alternative) -> None:
         self.stars[star_name].alternatives.append(alternative)
+        self.catalog.bump_schema_epoch()
 
     def register_join_kind(self, kind, replace: bool = False) -> None:
         self.join_kinds.register(kind, replace=replace)
+        self.catalog.bump_schema_epoch()
 
     # ==== maintenance ====================================================================
 

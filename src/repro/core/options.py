@@ -32,7 +32,8 @@ class CompileOptions:
     __slots__ = ("rewrite_enabled", "validate_qgm", "compile_expressions",
                  "allow_bushy", "allow_cartesian", "rank_cutoff",
                  "sort_by_rank", "naive_recursion", "forced_join_method",
-                 "join_enumeration", "execution_mode", "batch_size", "label")
+                 "join_enumeration", "execution_mode", "batch_size",
+                 "plan_cache", "constant_parameterization", "label")
 
     def __init__(self,
                  rewrite_enabled: bool = True,
@@ -47,6 +48,8 @@ class CompileOptions:
                  join_enumeration: str = "dp",
                  execution_mode: str = "tuple",
                  batch_size: int = 1024,
+                 plan_cache: bool = True,
+                 constant_parameterization: bool = False,
                  label: Optional[str] = None):
         if forced_join_method is not None \
                 and forced_join_method not in JOIN_METHODS:
@@ -75,6 +78,13 @@ class CompileOptions:
         self.join_enumeration = join_enumeration
         self.execution_mode = execution_mode
         self.batch_size = batch_size
+        #: Serve repeated statements from the database's plan cache
+        #: (compile-once-execute-many); off forces a fresh compile.
+        self.plan_cache = plan_cache
+        #: Replace top-level comparison literals with synthetic parameters
+        #: at fingerprint time, so ``WHERE id = 7`` and ``WHERE id = 9``
+        #: share one cached plan.  Only meaningful with ``plan_cache``.
+        self.constant_parameterization = constant_parameterization
         self.label = label
 
     @classmethod
@@ -94,6 +104,9 @@ class CompileOptions:
             join_enumeration=getattr(optimizer, "join_enumeration", "dp"),
             execution_mode=getattr(settings, "execution_mode", "tuple"),
             batch_size=getattr(settings, "batch_size", 1024),
+            plan_cache=getattr(settings, "plan_cache_enabled", True),
+            constant_parameterization=getattr(
+                settings, "constant_parameterization", False),
         )
 
     def optimizer_settings(self) -> OptimizerSettings:
@@ -135,7 +148,24 @@ class CompileOptions:
             parts.append(self.execution_mode)
             if self.batch_size != 1024:
                 parts.append("bs%d" % self.batch_size)
+        if not self.plan_cache:
+            parts.append("no-plancache")
+        if self.constant_parameterization:
+            parts.append("constparam")
         return "+".join(parts) if parts else "default"
+
+    def cache_key(self) -> tuple:
+        """The canonical plan-cache key contribution of these options.
+
+        Excludes ``label`` (cosmetic), ``plan_cache`` (whether to consult
+        the cache, not what to compile) and ``constant_parameterization``
+        (already folded into the statement fingerprint, so an explicitly
+        parameterized query and an auto-parameterized one share a plan).
+        """
+        return tuple(
+            getattr(self, name) for name in self.__slots__
+            if name not in ("label", "plan_cache",
+                            "constant_parameterization"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<CompileOptions %s>" % self.describe()

@@ -30,7 +30,8 @@ from repro.qgm.validate import validate_qgm
 class PhaseTimings:
     """Seconds spent in each compile phase (Figure 1 reproduction)."""
 
-    __slots__ = ("parse", "rewrite", "optimize", "refine", "execute")
+    __slots__ = ("parse", "rewrite", "optimize", "refine", "execute",
+                 "pipeline")
 
     def __init__(self):
         self.parse = 0.0
@@ -38,6 +39,10 @@ class PhaseTimings:
         self.optimize = 0.0
         self.refine = 0.0
         self.execute = 0.0
+        #: How the plan reached the executor: "compiled" for a fresh run
+        #: of the Figure-1 phases, "cached" when the plan cache served it
+        #: (EXPLAIN and benchmarks render the latter as ``(cached)``).
+        self.pipeline = "compiled"
 
     def compile_total(self) -> float:
         return self.parse + self.rewrite + self.optimize + self.refine
@@ -49,6 +54,7 @@ class PhaseTimings:
             "optimize": self.optimize,
             "refine": self.refine,
             "execute": self.execute,
+            "pipeline": self.pipeline,
         }
 
 
@@ -69,6 +75,9 @@ class CompiledStatement:
         self.rewrite_report = rewrite_report
         self.options: Optional[CompileOptions] = None
         self.refiner = None
+        #: Relation names (base tables and expanded views) this statement
+        #: ranges over — the plan cache's invalidation dependency set.
+        self.dependencies: frozenset = frozenset()
 
     @property
     def is_query(self) -> bool:
@@ -116,6 +125,10 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
     qgm = translate(statement, db)
     if options.validate_qgm:
         validate_qgm(qgm)
+    # Dependency extraction happens before rewrite: view merging may erase
+    # range edges, and a superset of the post-rewrite dependencies is the
+    # conservative (correct) invalidation set.
+    dependencies = _qgm_dependencies(qgm)
     timings.parse = time.perf_counter() - started
 
     qgm_before = None
@@ -160,7 +173,23 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
     compiled._optimizer = optimizer  # for EXPLAIN / benchmarks
     compiled.options = options
     compiled.refiner = refiner
+    compiled.dependencies = dependencies
     return compiled
+
+
+def _qgm_dependencies(qgm: QGM) -> frozenset:
+    """Relation names the query ranges over, read off the QGM range edges:
+    base-table boxes, DML target tables, and expanded view names (the
+    translator annotates the box it built for each view reference)."""
+    names = set()
+    for box in qgm.boxes:
+        table = getattr(box, "table", None)
+        if table is not None:
+            names.add(table.name)
+        view_name = box.annotations.get("view")
+        if view_name:
+            names.add(view_name)
+    return frozenset(names)
 
 
 def _refine_check(plan: PlanOp) -> None:

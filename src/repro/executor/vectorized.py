@@ -833,7 +833,7 @@ _BATCH_ROW_OPS = {
 # Backend selection (refinement phase)
 # ---------------------------------------------------------------------------
 
-#: Auto mode only batches subtrees whose leaf scans expect at least this
+#: Auto mode only batches subtrees whose leaf scans *read* at least this
 #: many rows; below it, batch setup overhead beats per-row dispatch.
 AUTO_MIN_ROWS = 32.0
 
@@ -871,9 +871,19 @@ def select_backends(plan: pl.PlanOp, generator, functions, join_kinds,
 
 
 def _leaf_rows_ok(node: pl.PlanOp) -> bool:
-    """Auto-mode heuristic: does the subtree's input look big enough?"""
+    """Auto-mode heuristic: does this leaf *read* enough rows to batch?
+
+    Scans record their ``TableStatistics``-driven input cardinality
+    (table row count for SCAN, matched-range size for ISCAN) at plan
+    time; that — not the post-predicate output estimate in
+    ``props.card`` — is the work the batch backend amortizes, so a
+    large-table scan behind a selective filter still batches.
+    """
     if not node.children:
-        return node.props.card >= AUTO_MIN_ROWS
+        rows = getattr(node, "input_rows", None)
+        if rows is None:
+            rows = node.props.card
+        return rows >= AUTO_MIN_ROWS
     return True
 
 

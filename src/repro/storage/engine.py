@@ -108,6 +108,7 @@ class StorageEngine:
             constraint.before_insert(row)
             constraint.on_insert(rid, row)
         self._attachments[table.name].append(constraint)
+        self.catalog.bump_schema_epoch(table.name)
         return constraint
 
     # -- lookups ---------------------------------------------------------------------
@@ -209,6 +210,7 @@ class StorageEngine:
         stats = self.catalog.statistics(table.name)
         stats.on_insert(dict(zip(table.column_names(), prepared)))
         stats.page_count = max(1, self._storage[table.name].page_count)
+        self.catalog.note_dml(table.name)
         return rid
 
     def delete(self, txn: Transaction, table_name: str, rid: RID) -> None:
@@ -225,6 +227,7 @@ class StorageEngine:
         for attachment in self._attachments[table.name]:
             attachment.on_delete(rid, row)
         self.catalog.statistics(table.name).on_delete()
+        self.catalog.note_dml(table.name)
 
     def update(self, txn: Transaction, table_name: str, rid: RID,
                new_row: Sequence[Any]) -> RID:
@@ -303,6 +306,7 @@ class StorageEngine:
         rows = (row for _, row in self._scan_rows(table.name))
         stats.recompute(rows, table.column_names(),
                         page_count=self._storage[table.name].page_count)
+        self.catalog.bump_stats_epoch(table.name)
 
     # -- recovery/undo primitives (no locking, no logging) --------------------------------------
 
@@ -315,6 +319,7 @@ class StorageEngine:
         self.catalog.statistics(table.name).on_insert(
             dict(zip(table.column_names(), row))
         )
+        self.catalog.note_dml(table.name)
         return new_rid
 
     def apply_delete(self, table_name: str, rid: RID) -> None:
@@ -326,6 +331,7 @@ class StorageEngine:
         for attachment in self._attachments[table.name]:
             attachment.on_delete(rid, row)
         self.catalog.statistics(table.name).on_delete()
+        self.catalog.note_dml(table.name)
 
     def apply_update(self, table_name: str, rid: RID, record: bytes) -> RID:
         table = self.catalog.table(table_name)

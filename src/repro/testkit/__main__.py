@@ -45,12 +45,15 @@ def main(argv=None) -> int:
 
     configs = default_matrix()
     total_checked = total_skipped = 0
+    total_hits = total_misses = 0
     for seed in seeds:
-        divergence, checked, skipped = run_seed(
+        divergence, checked, skipped, cache_stats = run_seed(
             seed, queries=args.queries, configs=configs,
             shrink=not args.no_shrink)
         total_checked += checked
         total_skipped += skipped
+        total_hits += cache_stats.get("hits", 0)
+        total_misses += cache_stats.get("misses", 0)
         if divergence is not None:
             repro = divergence.repro()
             print("DIVERGENCE %s" % divergence.summary())
@@ -65,6 +68,8 @@ def main(argv=None) -> int:
               % (seed, checked, len(configs)))
     print("all seeds agree: %d queries checked, %d skipped, %d configs"
           % (total_checked, total_skipped, len(configs)))
+    print("plan cache: %d hits, %d misses"
+          % (total_hits, total_misses))
     return 0
 
 

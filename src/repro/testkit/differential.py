@@ -39,13 +39,24 @@ from repro.testkit.querygen import QueryGenerator, QuerySpec
 
 
 class Config:
-    """One named point in the configuration matrix."""
+    """One named point in the configuration matrix.
 
-    __slots__ = ("name", "options")
+    ``repeat`` > 1 executes every query that many times through the
+    shared database; executions after the first must be served from the
+    plan cache (checked via the cache's hit counter).  With
+    ``byte_identical`` the cached rows are additionally compared — in
+    order — against a fresh ``plan_cache=False`` compile, proving the
+    serving path returns exactly what a cold compile would.
+    """
 
-    def __init__(self, name: str, options: CompileOptions):
+    __slots__ = ("name", "options", "repeat", "byte_identical")
+
+    def __init__(self, name: str, options: CompileOptions,
+                 repeat: int = 1, byte_identical: bool = False):
         self.name = name
         self.options = options
+        self.repeat = repeat
+        self.byte_identical = byte_identical
 
 
 def default_matrix() -> List[Config]:
@@ -69,6 +80,13 @@ def default_matrix() -> List[Config]:
         Config("batch", base.replace(execution_mode="batch")),
         Config("batch-1", base.replace(execution_mode="batch",
                                        batch_size=1)),
+        # Plan-cache serving path: run twice through the shared
+        # database; the second execution must be a cache hit and must
+        # return byte-for-byte what a cache-off compile returns.
+        Config("plancache", base, repeat=2, byte_identical=True),
+        # Auto-parameterized constants share one plan per query shape.
+        Config("constparam",
+               base.replace(constant_parameterization=True), repeat=2),
     ]
 
 
@@ -228,50 +246,94 @@ class DifferentialRunner:
                              if isinstance(expected, DivisionByZeroError)
                              else ReproError)
             for config in self.configs:
-                try:
-                    self.db.execute(sql, options=config.options)
-                except expected_type:
-                    continue
-                except ReproError as exc:
+                # Repeated runs must fail identically: a cached plan
+                # that errors differently from its cold compile is a
+                # serving-path bug (no hit check here — error paths may
+                # legitimately bail before reaching the cache).
+                for attempt in range(config.repeat):
+                    suffix = (" (on plan-cache re-execution)"
+                              if attempt > 0 else "")
+                    try:
+                        self.db.execute(sql, options=config.options)
+                    except expected_type:
+                        continue
+                    except ReproError as exc:
+                        return Divergence(
+                            self.seed, self.schema, spec, config,
+                            "oracle raised %s but the engine raised %s: "
+                            "%s%s"
+                            % (type(expected).__name__,
+                               type(exc).__name__, exc, suffix),
+                            None, None, setup=self.setup)
+                    except Exception as exc:  # bare exception = bug
+                        return Divergence(
+                            self.seed, self.schema, spec, config,
+                            "engine raised untyped %s: %s%s"
+                            % (type(exc).__name__, exc, suffix),
+                            None, None, setup=self.setup)
                     return Divergence(
                         self.seed, self.schema, spec, config,
-                        "oracle raised %s but the engine raised %s: %s"
-                        % (type(expected).__name__, type(exc).__name__,
-                           exc), None, None, setup=self.setup)
-                except Exception as exc:  # bare exception = engine bug
-                    return Divergence(
-                        self.seed, self.schema, spec, config,
-                        "engine raised untyped %s: %s"
-                        % (type(exc).__name__, exc), None, None,
+                        "oracle raised %s but the engine returned rows%s"
+                        % (type(expected).__name__, suffix), None, None,
                         setup=self.setup)
-                return Divergence(
-                    self.seed, self.schema, spec, config,
-                    "oracle raised %s but the engine returned rows"
-                    % type(expected).__name__, None, None,
-                    setup=self.setup)
             self.queries_checked += 1
             return None
         for config in self.configs:
-            try:
-                result = self.db.execute(sql, options=config.options)
-            except ReproError as exc:
-                return Divergence(
-                    self.seed, self.schema, spec, config,
-                    "engine raised %s: %s (oracle returned %d rows)"
-                    % (type(exc).__name__, exc, len(expected.rows)),
-                    expected.rows, None, setup=self.setup)
-            except Exception as exc:  # bare exception = engine bug
-                return Divergence(
-                    self.seed, self.schema, spec, config,
-                    "engine raised untyped %s: %s (oracle returned %d "
-                    "rows)" % (type(exc).__name__, exc,
-                               len(expected.rows)),
-                    expected.rows, None, setup=self.setup)
-            mismatch = self._compare(expected, result.rows)
-            if mismatch is not None:
-                return Divergence(self.seed, self.schema, spec, config,
-                                  mismatch, expected.rows, result.rows,
-                                  setup=self.setup)
+            reference_rows = None
+            if config.byte_identical:
+                try:
+                    reference_rows = self.db.execute(
+                        sql,
+                        options=config.options.replace(
+                            plan_cache=False)).rows
+                except ReproError as exc:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "cache-off reference compile raised %s: %s "
+                        "(oracle returned %d rows)"
+                        % (type(exc).__name__, exc, len(expected.rows)),
+                        expected.rows, None, setup=self.setup)
+            for attempt in range(config.repeat):
+                cached_run = attempt > 0
+                suffix = " (on plan-cache re-execution)" \
+                    if cached_run else ""
+                hits_before = self.db.plan_cache.hits
+                try:
+                    result = self.db.execute(sql, options=config.options)
+                except ReproError as exc:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "engine raised %s: %s (oracle returned %d "
+                        "rows)%s" % (type(exc).__name__, exc,
+                                     len(expected.rows), suffix),
+                        expected.rows, None, setup=self.setup)
+                except Exception as exc:  # bare exception = engine bug
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "engine raised untyped %s: %s (oracle returned "
+                        "%d rows)%s" % (type(exc).__name__, exc,
+                                        len(expected.rows), suffix),
+                        expected.rows, None, setup=self.setup)
+                if cached_run and self.db.plan_cache.hits <= hits_before:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "repeated execution was not served from the "
+                        "plan cache", expected.rows, result.rows,
+                        setup=self.setup)
+                mismatch = self._compare(expected, result.rows)
+                if mismatch is not None:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        mismatch + suffix, expected.rows, result.rows,
+                        setup=self.setup)
+                if reference_rows is not None and \
+                        [_canon(r) for r in result.rows] != \
+                        [_canon(r) for r in reference_rows]:
+                    return Divergence(
+                        self.seed, self.schema, spec, config,
+                        "rows are not byte-identical to the cache-off "
+                        "reference compile%s" % suffix,
+                        reference_rows, result.rows, setup=self.setup)
         self.queries_checked += 1
         return None
 
@@ -298,8 +360,13 @@ class DifferentialRunner:
 def run_seed(seed: int, queries: int = 4,
              configs: Optional[Sequence[Config]] = None,
              shrink: bool = True,
-             setup=None) -> Tuple[Optional[Divergence], int, int]:
-    """Fuzz one seed.  Returns (divergence-or-None, checked, skipped)."""
+             setup=None) -> Tuple[Optional[Divergence], int, int, dict]:
+    """Fuzz one seed.
+
+    Returns ``(divergence-or-None, checked, skipped, cache_stats)``
+    where ``cache_stats`` is the shared database's plan-cache totals
+    after the run (hit/miss/invalidation counters).
+    """
     rng = random.Random(seed)
     schema = generate_schema(rng)
     runner = DifferentialRunner(schema, seed, configs, setup=setup)
@@ -311,8 +378,9 @@ def run_seed(seed: int, queries: int = 4,
             if shrink:
                 divergence = shrink_case(divergence)
             return divergence, runner.queries_checked, \
-                runner.queries_skipped
-    return None, runner.queries_checked, runner.queries_skipped
+                runner.queries_skipped, runner.db.cache_stats()
+    return None, runner.queries_checked, runner.queries_skipped, \
+        runner.db.cache_stats()
 
 
 # -- shrinking ----------------------------------------------------------------------

@@ -26,7 +26,7 @@ def _check_seed_block(seeds, queries=4):
     configs = default_matrix()
     checked = 0
     for seed in seeds:
-        divergence, seed_checked, _skipped = run_seed(
+        divergence, seed_checked, _skipped, _cache = run_seed(
             seed, queries=queries, configs=configs)
         if divergence is not None:
             pytest.fail("differential divergence:\n%s\n\n%s"

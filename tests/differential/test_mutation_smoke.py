@@ -53,7 +53,7 @@ def test_injected_rewrite_bug_is_caught_and_shrunk():
                if c.options.rewrite_enabled]
     divergence = None
     for seed in range(0, 30):
-        divergence, _checked, _skipped = run_seed(
+        divergence, _checked, _skipped, _cache = run_seed(
             seed, queries=4, configs=configs, shrink=False,
             setup=_inject)
         if divergence is not None:

@@ -140,11 +140,25 @@ class TestStatistics:
         assert stats.column("a").min_value == 0
         assert stats.column("a").max_value == 2
 
-    def test_distinct_fallback(self):
+    def test_distinct_lower_bound_on_insert(self):
         stats = TableStatistics(["a"])
         for _ in range(100):
             stats.on_insert({"a": 1})
-        # no recompute: distinct falls back to a tenth of the rows
+        # every row carries the same value: the range never extends past
+        # the first observation, so the lower bound is exactly right
+        assert stats.n_distinct("a") == 1
+
+    def test_distinct_exact_for_monotone_load(self):
+        stats = TableStatistics(["a"])
+        for i in range(50):
+            stats.on_insert({"a": i})
+        # ascending keys extend the range on every insert: exact count
+        assert stats.n_distinct("a") == 50
+
+    def test_distinct_fallback_without_observations(self):
+        stats = TableStatistics(["a"])
+        stats.row_count = 100
+        # no values ever observed: fall back to a tenth of the rows
         assert stats.n_distinct("a") == 10
 
     def test_catalog_integration(self):

@@ -104,6 +104,19 @@ def test_auto_mode_subquery_falls_back_per_subtree(batch_db):
     assert auto_result.stats.fallbacks > 0
 
 
+def test_auto_mode_batches_big_scan_behind_selective_filter(batch_db):
+    """The auto decision sizes against the rows a leaf *reads* (from
+    TableStatistics), not the post-predicate output estimate: a point
+    predicate on a 300-row table still pays a 300-row scan, so it must
+    batch even though only one row survives."""
+    sql = "SELECT a, tag FROM t WHERE a = 123"
+    tuple_result = batch_db.execute(sql, options=_options(batch_db))
+    auto_result = batch_db.execute(
+        sql, options=_options(batch_db, execution_mode="auto"))
+    assert auto_result.rows == tuple_result.rows == [(123, "t3")]
+    assert auto_result.stats.batches > 0
+
+
 def test_auto_mode_small_table_stays_tuple(batch_db):
     batch_db.execute("CREATE TABLE tiny (n INTEGER)")
     txn = batch_db.begin()
