@@ -55,6 +55,11 @@ class Catalog:
         self._table_stats_epochs: Dict[str, int] = {}
         self._dml_since_stats: Dict[str, int] = {}
         self._rows_at_stats: Dict[str, int] = {}
+        #: Monotone clock of *every* row mutation (insert, update, delete,
+        #: undo), independent of the stats-epoch thresholds above.  The
+        #: parallel runtime keys its forked worker pool on it: any
+        #: mutation makes a copy-on-write snapshot stale.
+        self.dml_clock = 0
 
     # -- epochs (plan-cache invalidation) -----------------------------------
 
@@ -90,9 +95,14 @@ class Catalog:
     def stats_epoch_of(self, name: str) -> int:
         return self._table_stats_epochs.get(normalize_name(name), 0)
 
+    def note_mutation(self) -> None:
+        """Tick the mutation clock (update paths that bypass note_dml)."""
+        self.dml_clock += 1
+
     def note_dml(self, table_name: str) -> None:
         """Count one inserted/deleted row; bump the statistics epoch once
         the delta since the last bump is large enough to move plans."""
+        self.dml_clock += 1
         key = normalize_name(table_name)
         count = self._dml_since_stats.get(key, 0) + 1
         baseline = self._rows_at_stats.get(key, 0)

@@ -80,6 +80,12 @@ class Settings:
         #: Auto-parameterize top-level comparison literals at fingerprint
         #: time (off by default: ad-hoc queries keep literal-aware plans).
         self.constant_parameterization = False
+        #: Intra-query parallelism: "off", "auto" (cost-gated) or "on"
+        #: (parallelize every eligible subtree).  Requires the fork start
+        #: method; degrades to serial execution elsewhere.
+        self.parallelism = "off"
+        #: Degree of parallelism for Exchange operators.
+        self.dop = 4
 
     def compile_options(self) -> CompileOptions:
         """Snapshot these settings as a :class:`CompileOptions` value."""
@@ -142,6 +148,21 @@ class Database:
 
         self.rewrite_engine = RewriteEngine(self)
         install_default_rules(self.rewrite_engine)
+        #: Lazily created morsel-parallel worker-pool manager.
+        self._parallel_runtime = None
+
+    def parallel_runtime(self):
+        """The per-database parallel runtime (created on first use)."""
+        if self._parallel_runtime is None:
+            from repro.executor.parallel import ParallelRuntime
+
+            self._parallel_runtime = ParallelRuntime(self)
+        return self._parallel_runtime
+
+    def close(self) -> None:
+        """Release external resources (the parallel worker pool)."""
+        if self._parallel_runtime is not None:
+            self._parallel_runtime.close()
 
     # ==== statement execution ===================================================
 
@@ -188,22 +209,24 @@ class Database:
         cacheable statement) and :class:`Prepared`."""
         key = (fingerprint.key, options.cache_key())
         entry = self.plan_cache.lookup(self.catalog, key)
-        if entry is None:
-            if fingerprint.rewritten:
-                # Validate the original text before compiling the
-                # parameterized form: lifted literals become untyped
-                # parameters, so errors that depend on a literal's type
-                # (VARCHAR column < 3) would otherwise go undetected.
-                # The type class is part of the fingerprint, so every
-                # statement sharing this key validates identically.
-                compile_statement(self, sql, options=options)
-            compiled = compile_statement(
-                self, fingerprint.compile_text(sql), options=options)
-            entry = self.plan_cache.insert(self.catalog, key, compiled)
-            compiled.timings.pipeline = "compiled"
-        else:
+        if entry is not None:
             entry.compiled.timings.pipeline = "cached"
-        return self.run_compiled(entry.compiled,
+            return self.run_compiled(entry.compiled,
+                                     fingerprint.recipe.bind(params), txn)
+        if fingerprint.rewritten:
+            # Validate the original text before compiling the
+            # parameterized form: lifted literals become untyped
+            # parameters, so errors that depend on a literal's type
+            # (VARCHAR column < 3) would otherwise go undetected.
+            # The type class is part of the fingerprint, so every
+            # statement sharing this key validates identically.
+            compile_statement(self, sql, options=options)
+        compiled = compile_statement(
+            self, fingerprint.compile_text(sql), options=options)
+        compiled.timings.pipeline = "compiled"
+        # Cost-aware admission: one-off bulk DML executes uncached.
+        self.plan_cache.admit(self.catalog, key, compiled)
+        return self.run_compiled(compiled,
                                  fingerprint.recipe.bind(params), txn)
 
     def prepare(self, sql: str,
@@ -236,8 +259,18 @@ class Database:
         started = time.perf_counter()
         ctx = ExecutionContext(self.engine, self.functions, params, txn)
         ctx.join_kinds = self.join_kinds
+        ctx.compiled = compiled
         if compiled.options is not None:
             ctx.batch_size = compiled.options.batch_size
+            if compiled.options.parallelism != "off":
+                from repro.executor.parallel import (
+                    disabled_reason, fork_available)
+
+                if fork_available():
+                    ctx.parallel = self.parallel_runtime()
+                else:
+                    ctx.stats.parallel_fallbacks += 1
+                    ctx.stats.parallel_reasons.append(disabled_reason())
         own_txn = None
         if txn is None and not compiled.is_query:
             own_txn = self.engine.begin()

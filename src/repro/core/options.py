@@ -25,6 +25,12 @@ ENUMERATION_STRATEGIES = ("dp", "greedy")
 #: Legal values for :attr:`CompileOptions.execution_mode`.
 EXECUTION_MODES = ("tuple", "batch", "auto")
 
+#: Legal values for :attr:`CompileOptions.parallelism`.  ``off`` never
+#: splices Exchanges; ``auto`` parallelizes only when the cost model says
+#: the scanned rows amortize worker startup; ``on`` bypasses the cost gate
+#: (used by tests and the differential matrix on small tables).
+PARALLELISM_MODES = ("off", "auto", "on")
+
 
 class CompileOptions:
     """One compilation's worth of pipeline configuration."""
@@ -33,6 +39,7 @@ class CompileOptions:
                  "allow_bushy", "allow_cartesian", "rank_cutoff",
                  "sort_by_rank", "naive_recursion", "forced_join_method",
                  "join_enumeration", "execution_mode", "batch_size",
+                 "parallelism", "dop",
                  "plan_cache", "constant_parameterization", "label")
 
     def __init__(self,
@@ -48,6 +55,8 @@ class CompileOptions:
                  join_enumeration: str = "dp",
                  execution_mode: str = "tuple",
                  batch_size: int = 1024,
+                 parallelism: str = "off",
+                 dop: int = 4,
                  plan_cache: bool = True,
                  constant_parameterization: bool = False,
                  label: Optional[str] = None):
@@ -66,6 +75,12 @@ class CompileOptions:
                 % (EXECUTION_MODES, execution_mode))
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1, got %r" % (batch_size,))
+        if parallelism not in PARALLELISM_MODES:
+            raise ValueError(
+                "parallelism must be one of %r, got %r"
+                % (PARALLELISM_MODES, parallelism))
+        if dop < 1:
+            raise ValueError("dop must be >= 1, got %r" % (dop,))
         self.rewrite_enabled = rewrite_enabled
         self.validate_qgm = validate_qgm
         self.compile_expressions = compile_expressions
@@ -78,6 +93,11 @@ class CompileOptions:
         self.join_enumeration = join_enumeration
         self.execution_mode = execution_mode
         self.batch_size = batch_size
+        #: Intra-query parallelism mode ("off" / "auto" / "on"); the glue
+        #: phase splices Exchange LOLEPOPs when not "off".
+        self.parallelism = parallelism
+        #: Target degree of parallelism for spliced Exchanges.
+        self.dop = dop
         #: Serve repeated statements from the database's plan cache
         #: (compile-once-execute-many); off forces a fresh compile.
         self.plan_cache = plan_cache
@@ -104,6 +124,8 @@ class CompileOptions:
             join_enumeration=getattr(optimizer, "join_enumeration", "dp"),
             execution_mode=getattr(settings, "execution_mode", "tuple"),
             batch_size=getattr(settings, "batch_size", 1024),
+            parallelism=getattr(settings, "parallelism", "off"),
+            dop=getattr(settings, "dop", 4),
             plan_cache=getattr(settings, "plan_cache_enabled", True),
             constant_parameterization=getattr(
                 settings, "constant_parameterization", False),
@@ -148,6 +170,10 @@ class CompileOptions:
             parts.append(self.execution_mode)
             if self.batch_size != 1024:
                 parts.append("bs%d" % self.batch_size)
+        if self.parallelism != "off":
+            parts.append("parallel" if self.parallelism == "on"
+                         else "parallel-auto")
+            parts.append("dop%d" % self.dop)
         if not self.plan_cache:
             parts.append("no-plancache")
         if self.constant_parameterization:

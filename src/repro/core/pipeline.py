@@ -166,6 +166,12 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
 
         select_backends(plan, optimizer.generator, db.functions,
                         db.join_kinds, options)
+    if options.parallelism != "off":
+        # Parallel glue: the Parallelism STAR splices Exchange LOLEPOPs
+        # over eligible subtrees (morsel-parallel scan pyramids).
+        from repro.optimizer.stars import parallelize_plan
+
+        plan = parallelize_plan(plan, optimizer.generator, options)
     timings.refine = time.perf_counter() - started
 
     compiled = CompiledStatement(text, statement, qgm, plan, timings,

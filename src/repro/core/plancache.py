@@ -270,6 +270,13 @@ class CacheEntry:
         }
 
 
+#: Estimated affected rows beyond which a non-query statement is treated
+#: as one-off bulk DML by cache admission.  A bulk INSERT..SELECT or an
+#: unqualified UPDATE/DELETE spends its time executing, not compiling;
+#: caching its plan saves ~nothing and evicts entries that do repeat.
+BULK_DML_CARD_FLOOR = 256.0
+
+
 class PlanCache:
     """LRU cache of compiled statements with epoch-based invalidation."""
 
@@ -283,6 +290,7 @@ class PlanCache:
         self.evictions = 0
         self.schema_invalidations = 0
         self.stats_invalidations = 0
+        self.admissions_rejected = 0
         #: Keys dropped for stale statistics, so the replacement entry can
         #: carry a per-entry recompile count.
         self._recompiled_keys: Dict[Tuple, int] = {}
@@ -330,6 +338,25 @@ class PlanCache:
             return None
         return entry
 
+    def admissible(self, compiled) -> bool:
+        """Cost-aware admission check.  Queries always qualify; DML
+        qualifies only when its estimated affected cardinality is small
+        (a parameterized point write that plausibly repeats), keeping
+        one-off bulk loads from churning the LRU."""
+        if compiled.is_query:
+            return True
+        plan = compiled.plan
+        card = plan.props.card if plan is not None else 0.0
+        return card < BULK_DML_CARD_FLOOR
+
+    def admit(self, catalog, key, compiled) -> Optional[CacheEntry]:
+        """Insert through the admission policy; None means rejected (the
+        caller still executes the compiled statement, uncached)."""
+        if not self.admissible(compiled):
+            self.admissions_rejected += 1
+            return None
+        return self.insert(catalog, key, compiled)
+
     def insert(self, catalog, key, compiled) -> CacheEntry:
         entry = CacheEntry(key, compiled, catalog)
         entry.recompiles = self._recompiled_keys.pop(key, 0)
@@ -352,6 +379,7 @@ class PlanCache:
             "evictions": self.evictions,
             "schema_invalidations": self.schema_invalidations,
             "stats_invalidations": self.stats_invalidations,
+            "admissions_rejected": self.admissions_rejected,
         }
         if catalog is not None:
             report["schema_epoch"] = catalog.schema_epoch

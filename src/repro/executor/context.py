@@ -23,6 +23,15 @@ class ExecutionStats:
         #: Number of batch/tuple boundary crossings: plan fragments that
         #: fell back to the tuple interpreter under a batch-mode plan.
         self.fallbacks = 0
+        #: Number of Exchange operators executed by the parallel runtime.
+        self.parallel_exchanges = 0
+        #: Number of page-range morsels dispatched to workers.
+        self.morsels = 0
+        #: Exchanges that degraded to inline dop=1 execution (no fork, no
+        #: pool, writes in flight, ...); reasons in ``parallel_reasons``.
+        self.parallel_fallbacks = 0
+        #: Human-readable reasons for each parallel fallback.
+        self.parallel_reasons: list = []
 
     def reset(self) -> None:
         self.__init__()
@@ -69,6 +78,14 @@ class ExecutionContext:
         #: Rows per batch for plan subtrees running on the vectorized
         #: backend (set from ``CompileOptions.batch_size`` by the caller).
         self.batch_size = 1024
+        #: (lo, hi) heap page-number morsel restricting the SCAN marked as
+        #: the partitioned source; set inside parallel workers only.
+        self.morsel_range: Optional[Tuple[int, int]] = None
+        #: The SCAN node the morsel restriction applies to (identity).
+        self.morsel_scan = None
+        #: The owning Database's parallel runtime (worker-pool manager);
+        #: None means Exchange operators execute their child inline.
+        self.parallel = None
 
     def bind_subplans(self, bindings) -> None:
         for binding in bindings:

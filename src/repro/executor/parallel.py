@@ -1,0 +1,310 @@
+"""Morsel-driven parallel runtime for Exchange LOLEPOPs.
+
+The optimizer's parallel glue (``repro.optimizer.stars.parallelize_plan``)
+splices Gather/MergeGather operators over eligible scan pyramids; this
+module supplies the machinery that runs them:
+
+- **morsels** — contiguous heap page ranges carved from the scanned
+  table; morsel order equals serial scan order, so concatenating worker
+  results reproduces serial output byte-for-byte,
+- **workers** — a persistent ``multiprocessing`` pool using the *fork*
+  start method, so every worker inherits the open in-memory database
+  copy-on-write; no state is shipped besides the statement text,
+- **self-compiling workers** — plans hold compiled expression closures
+  that cannot cross a pipe, so each worker compiles the statement itself
+  (memoized, deterministic under fork) and locates the Exchange by its
+  position in ``plan.walk()`` order, cross-checked with a structural
+  signature,
+- **small results** — partial aggregation (GATHER merge-partial-aggs)
+  and local top-K (MERGEGATHER) run inside the workers, so only merged
+  group rows or dop·K sorted rows cross the exchange.
+
+Every failure path — no fork on this platform, pool creation failure, a
+worker error, an open explicit transaction, a plan-shape mismatch —
+degrades to executing the Exchange's child inline at dop=1, which is
+byte-identical by construction.  Degradations are counted in
+``stats.parallel_fallbacks`` with reasons in ``stats.parallel_reasons``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+
+#: Morsels carved per worker: small enough to balance skew, large enough
+#: that per-task pickle overhead stays negligible.
+MORSELS_PER_WORKER = 4
+
+#: Test hook: when not None, overrides the detected multiprocessing start
+#: methods.  Forcing e.g. ``["spawn"]`` exercises the serial degradation
+#: path on platforms that do have fork.
+_FORCED_START_METHODS: Optional[List[str]] = None
+
+_disabled_reason: Optional[str] = None
+
+
+def _start_methods() -> List[str]:
+    if _FORCED_START_METHODS is not None:
+        return list(_FORCED_START_METHODS)
+    return multiprocessing.get_all_start_methods()
+
+
+def fork_available() -> bool:
+    """Can this platform fork?  The COW database snapshot requires it;
+    without fork the whole feature degrades to serial execution and the
+    reason is kept for :func:`disabled_reason`."""
+    global _disabled_reason
+    if "fork" in _start_methods():
+        return True
+    _disabled_reason = (
+        "multiprocessing start methods %s lack 'fork'; workers cannot "
+        "inherit the database copy-on-write — parallelism disabled"
+        % (_start_methods(),))
+    return False
+
+
+def disabled_reason() -> Optional[str]:
+    """Why parallelism is disabled on this platform (None when it isn't)."""
+    return _disabled_reason
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in forked children)
+# ---------------------------------------------------------------------------
+
+#: The Database forked workers operate on.  Set in the parent immediately
+#: before pool creation; children inherit it through fork.  The parent
+#: never reads it back.
+_WORKER_DB = None
+
+#: Per-worker memo of compiled statements, keyed on (text, options key).
+#: Lives only in the children; dies with the pool on data-version change.
+_WORKER_PLANS: dict = {}
+
+
+def _worker_run(task):
+    """Execute one morsel and return its materialized rows.
+
+    ``task`` is (text, options, exchange_index, signature, page_lo,
+    page_hi, params).  The worker compiles the statement against its
+    forked database snapshot, finds the Exchange at ``exchange_index`` in
+    ``plan.walk()`` order, verifies the structural signature, and runs
+    the Exchange's child with the scan restricted to the page range.
+    """
+    from repro.core.pipeline import compile_statement
+    from repro.executor.context import ExecutionContext
+    from repro.executor.run import _null_last_key, rows_iter
+    from repro.optimizer import plans as pl
+
+    text, options, exchange_index, signature, lo, hi, params = task
+    db = _WORKER_DB
+    key = (text, options.cache_key())
+    compiled = _WORKER_PLANS.get(key)
+    if compiled is None:
+        compiled = compile_statement(db, text, options=options)
+        _WORKER_PLANS[key] = compiled
+    node = None
+    for index, candidate in enumerate(compiled.plan.walk()):
+        if index == exchange_index:
+            node = candidate
+            break
+    if not isinstance(node, pl.Exchange) or _signature(node) != signature:
+        raise ExecutionError(
+            "worker plan diverged from the coordinator's: expected %s at "
+            "walk index %d" % (signature, exchange_index))
+
+    ctx = ExecutionContext(db.engine, db.functions, list(params), txn=None)
+    ctx.join_kinds = db.join_kinds
+    ctx.batch_size = options.batch_size
+    ctx.morsel_range = (lo, hi)
+    ctx.morsel_scan = node.morsel_scan
+    rows = list(rows_iter(node.children[0], ctx, {}))
+    if isinstance(node, pl.MergeGather):
+        # Local sort (stable, so ties stay in scan order) and top-K cut:
+        # at most dop * K rows cross the exchange.
+        rows.sort(key=lambda row: _null_last_key(row, node.positions))
+        if node.limit_hint is not None:
+            del rows[node.limit_hint:]
+    return rows
+
+
+def _signature(exchange) -> str:
+    """Structural cross-check that coordinator and worker located the
+    same Exchange, guarding against nondeterministic plan divergence."""
+    return "%s/%s/%s/%d" % (
+        exchange.op_name, exchange.morsel_scan.table.name,
+        exchange.children[0].op_name, exchange.dop)
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+def _carve(pages: int, dop: int) -> List[Tuple[int, int]]:
+    """Split a heap file's pages into contiguous morsel ranges."""
+    if pages <= 0:
+        return []
+    target = max(1, dop * MORSELS_PER_WORKER)
+    size = max(1, -(-pages // target))
+    return [(lo, min(lo + size, pages)) for lo in range(0, pages, size)]
+
+
+def _merge_agg(agg, left, right):
+    """Merge two partial accumulator finals of one aggregate."""
+    if agg.name == "count":
+        return left + right
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if agg.name == "sum":
+        return left + right
+    if agg.name == "min":
+        return left if not right < left else right
+    if agg.name == "max":
+        return left if not left < right else right
+    raise ExecutionError("aggregate %s is not mergeable" % agg.name)
+
+
+def _merge_partial_groups(groupby, results) -> List[Tuple[Any, ...]]:
+    """Merge per-morsel partial GROUP BY outputs.
+
+    Group order is first-seen across morsels in morsel order, which is
+    exactly the serial interpreter's first-seen-in-scan-order.
+    """
+    nkeys = len(groupby.group_exprs)
+    merged: dict = {}
+    order: List[Tuple] = []
+    for part in results:
+        for row in part:
+            key = row[:nkeys]
+            partials = merged.get(key)
+            if partials is None:
+                merged[key] = list(row[nkeys:])
+                order.append(key)
+            else:
+                for index, agg in enumerate(groupby.aggregates):
+                    partials[index] = _merge_agg(
+                        agg, partials[index], row[nkeys + index])
+    return [key + tuple(merged[key]) for key in order]
+
+
+class ParallelRuntime:
+    """Owns one Database's fork-based worker pool.
+
+    The pool is created lazily and recreated whenever the database's data
+    version — (schema_epoch, stats_epoch, dml_clock) — changes: forked
+    workers hold a copy-on-write snapshot, and any parent-side change
+    makes that snapshot stale.  Keeping the pool across queries means a
+    statement-per-query workload (the differential sweep, the plan-cache
+    benchmark) forks once, not per statement.
+    """
+
+    def __init__(self, db):
+        self.db = db
+        self._pool = None
+        self._pool_version = None
+        self._pool_dop = 0
+
+    def data_version(self) -> Tuple:
+        catalog = self.db.catalog
+        return (catalog.schema_epoch, catalog.stats_epoch,
+                catalog.dml_clock)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_version = None
+            self._pool_dop = 0
+
+    def __del__(self):  # backstop; Database.close() is the real path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self, dop: int):
+        version = self.data_version()
+        if (self._pool is not None and version == self._pool_version
+                and dop <= self._pool_dop):
+            return self._pool
+        self.close()
+        global _WORKER_DB
+        _WORKER_DB = self.db
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(processes=dop)
+        self._pool_version = version
+        self._pool_dop = dop
+        return self._pool
+
+    def _inline(self, exchange, ctx, reason: str):
+        from repro.executor.run import rows_iter
+
+        ctx.stats.parallel_fallbacks += 1
+        ctx.stats.parallel_reasons.append(reason)
+        return rows_iter(exchange.children[0], ctx, {})
+
+    def run_exchange(self, exchange, ctx) -> Iterator[Tuple[Any, ...]]:
+        """Run one Exchange: fan its child out over morsels, recombine."""
+        from repro.executor.run import rows_iter
+        from repro.optimizer import plans as pl
+
+        ctx.stats.parallel_exchanges += 1
+        if ctx.txn is not None:
+            # Worker scans take no locks and cannot see this transaction's
+            # isolation scope; stay serial inside explicit transactions.
+            return self._inline(exchange, ctx, "explicit transaction open")
+        if not fork_available():
+            return self._inline(exchange, ctx, disabled_reason())
+        compiled = getattr(ctx, "compiled", None)
+        if compiled is None or compiled.plan is None:
+            return self._inline(
+                exchange, ctx,
+                "no compiled statement attached to the context")
+        pages = self.db.engine.table_page_count(
+            exchange.morsel_scan.table.name)
+        morsels = _carve(pages, exchange.dop)
+        if len(morsels) <= 1:
+            # An empty or single-page table has nothing to fan out; the
+            # inline run is the dop=1 plan by construction (no fallback).
+            return rows_iter(exchange.children[0], ctx, {})
+        exchange_index = next(
+            (index for index, node in enumerate(compiled.plan.walk())
+             if node is exchange), None)
+        if exchange_index is None:
+            return self._inline(exchange, ctx,
+                                "exchange not found in the compiled plan")
+        signature = _signature(exchange)
+        try:
+            pool = self._ensure_pool(exchange.dop)
+            tasks = [(compiled.text, compiled.options, exchange_index,
+                      signature, lo, hi, tuple(ctx.params))
+                     for lo, hi in morsels]
+            results = pool.map(_worker_run, tasks)
+        except Exception as exc:
+            # Pool breakage and genuine query errors both land here; the
+            # inline rerun either succeeds serially or raises the same
+            # deterministic error the serial plan would.
+            self.close()
+            return self._inline(exchange, ctx,
+                                "parallel execution failed: %r" % (exc,))
+        ctx.stats.morsels += len(morsels)
+        if isinstance(exchange, pl.MergeGather):
+            from repro.executor.run import _null_last_key
+
+            positions = exchange.positions
+            rows = list(heapq.merge(
+                *results,
+                key=lambda row: _null_last_key(row, positions)))
+        elif (isinstance(exchange, pl.Gather)
+                and exchange.merge_groups is not None):
+            rows = _merge_partial_groups(exchange.merge_groups, results)
+        else:
+            rows = [row for part in results for row in part]
+        return iter(rows)

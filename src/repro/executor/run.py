@@ -426,7 +426,8 @@ def _run_table_scan(plan: pl.TableScan, ctx: ExecutionContext,
                     env: Env) -> Iterator[Env]:
     evaluator = Evaluator(ctx)
     quantifier = plan.quantifier
-    for rid, row in ctx.engine.scan(ctx.txn, plan.table.name):
+    page_range = ctx.morsel_range if plan is ctx.morsel_scan else None
+    for rid, row in ctx.engine.scan(ctx.txn, plan.table.name, page_range):
         ctx.stats.rows_scanned += 1
         out = dict(env)
         out[quantifier] = row
@@ -697,6 +698,42 @@ def _run_temp_env(plan: pl.Temp, ctx: ExecutionContext,
 
 
 # ---------------------------------------------------------------------------
+# Exchange operators (intra-query parallelism)
+# ---------------------------------------------------------------------------
+
+
+def _run_exchange_rows(plan: pl.Exchange, ctx: ExecutionContext,
+                       env: Env) -> Iterator[Tuple[Any, ...]]:
+    """Run an Exchange: fan the child subtree out over page-range morsels
+    via the database's parallel runtime, or degrade to inline dop=1.
+
+    Inline execution of the child is always byte-identical to the
+    parallel path, so every degradation is safe; reasons are recorded in
+    ``stats.parallel_reasons``.
+    """
+    runtime = ctx.parallel
+    if runtime is None or plan.mode == "repartition":
+        # No runtime attached (serial serve, EXPLAIN, inside a worker) or
+        # the repartition stub: the child runs inline at dop=1.
+        return rows_iter(plan.children[0], ctx, env)
+    if env:
+        # Opened with outer bindings (e.g. as a re-opened join inner):
+        # workers fork from an empty environment, so degrade per subtree.
+        ctx.stats.parallel_fallbacks += 1
+        ctx.stats.parallel_reasons.append(
+            "%s opened with outer bindings" % plan.op_name)
+        return rows_iter(plan.children[0], ctx, env)
+    return runtime.run_exchange(plan, ctx)
+
+
+def _run_exchange_env(plan: pl.Exchange, ctx: ExecutionContext,
+                      env: Env) -> Iterator[Env]:
+    """Exchanges over binding streams are never spliced today; execute
+    the child inline so DBC-built plans still run."""
+    return env_iter(plan.children[0], ctx, env)
+
+
+# ---------------------------------------------------------------------------
 # Dispatch tables
 # ---------------------------------------------------------------------------
 
@@ -716,6 +753,10 @@ _ROW_OPS = {
     pl.InsertPlan: _run_insert,
     pl.UpdatePlan: _run_update,
     pl.DeletePlan: _run_delete,
+    pl.Exchange: _run_exchange_rows,
+    pl.Gather: _run_exchange_rows,
+    pl.MergeGather: _run_exchange_rows,
+    pl.Repartition: _run_exchange_rows,
 }
 
 _ENV_OPS = {
@@ -732,6 +773,10 @@ _ENV_OPS = {
     pl.SubqueryJoin: _run_subquery_join,
     pl.Temp: _run_temp_env,
     pl.Ship: _run_ship_rows,
+    pl.Exchange: _run_exchange_env,
+    pl.Gather: _run_exchange_env,
+    pl.MergeGather: _run_exchange_env,
+    pl.Repartition: _run_exchange_env,
     _SingletonPlan: _run_singleton,
 }
 

@@ -360,8 +360,9 @@ def _b_table_scan(plan: pl.TableScan, ctx: ExecutionContext,
     arity = {quantifier: plan.table.arity}
     preds = plan.batch_preds
     params = ctx.params
+    page_range = ctx.morsel_range if plan is ctx.morsel_scan else None
     for make_rids, records in ctx.engine.scan_batches(
-            ctx.txn, table_name, ctx.batch_size):
+            ctx.txn, table_name, ctx.batch_size, page_range):
         n = len(records)
         ctx.stats.rows_scanned += n
         source = _RecordSource(records, serializer)
@@ -526,6 +527,17 @@ def _concat_thunk(batches: List[EnvBatch], key, fill):
     return thunk
 
 
+def _empty_inner(inner_pad) -> EnvBatch:
+    """Zero-row inner with every value column materialized, so the join
+    tail can still NULL-pad preserved outer rows against it."""
+    arity = _quantifier_arity(inner_pad)
+    batch = EnvBatch(0, arity)
+    for quantifier, width in arity.items():
+        for position in range(width):
+            batch.cols[(quantifier, position)] = []
+    return batch
+
+
 def _b_hash_join(plan: pl.HashJoin, ctx: ExecutionContext,
                  env: Env) -> Iterator[EnvBatch]:
     kind = _kinds(ctx).get(plan.kind, ctx.functions)
@@ -537,7 +549,7 @@ def _b_hash_join(plan: pl.HashJoin, ctx: ExecutionContext,
     # Build: materialize + compact the inner, hash its key columns.
     inner_batches = list(_env_batches(inner_plan, ctx, env))
     inner = (_concat_env(inner_batches) if inner_batches
-             else EnvBatch(0, _quantifier_arity(inner_pad)))
+             else _empty_inner(inner_pad))
     build_idx = inner.indices()
     table: Dict[Tuple, List[int]] = {}
     if build_idx:
@@ -569,56 +581,173 @@ def _b_hash_join(plan: pl.HashJoin, ctx: ExecutionContext,
                     pairs_inner.append(j)
             bounds.append((start, len(pairs_outer)))
 
-        # Candidate merged batch; residual predicates narrow it.
-        arity = dict(obatch.arity)
-        arity.update(inner.arity)
-        if residual and pairs_outer:
-            merged = EnvBatch(len(pairs_outer), arity)
-            for key in obatch.keys():
-                merged.lazy[key] = _gather_thunk(obatch, key, pairs_outer)
-            for key in inner_keys:
-                merged.lazy[key] = _gather_thunk(inner, key, pairs_inner)
-            surviving = _apply_preds(merged, residual, params)
-        else:
-            surviving = list(range(len(pairs_outer)))
+        result = _emit_pairs(obatch, oidx, inner, inner_keys, inner_pad,
+                             pairs_outer, pairs_inner, bounds, residual,
+                             preserves_outer, params)
+        if result is not None:
+            yield result
 
-        # Interleave surviving pairs with padding in outer-row order.
-        out_outer: List[int] = []
-        out_inner: List[int] = []  # -1 = NULL-padded inner row
-        any_pad = False
-        si = 0
-        total = len(surviving)
-        for p, oi in enumerate(oidx):
-            start, end = bounds[p]
-            matched = False
-            while si < total and surviving[si] < end:
-                out_outer.append(oi)
-                out_inner.append(pairs_inner[surviving[si]])
-                matched = True
-                si += 1
-            if not matched and preserves_outer:
-                out_outer.append(oi)
-                out_inner.append(-1)
-                any_pad = True
-        if not out_outer:
-            continue
 
-        result = EnvBatch(len(out_outer), arity)
+def _emit_pairs(obatch: EnvBatch, oidx: List[int], inner: EnvBatch,
+                inner_keys, inner_pad, pairs_outer: List[int],
+                pairs_inner: List[int], bounds: List[Tuple[int, int]],
+                residual, preserves_outer: bool,
+                params) -> Optional[EnvBatch]:
+    """Shared join tail: residual predicates narrow the candidate pairs,
+    survivors interleave with NULL padding in outer-row order."""
+    arity = dict(obatch.arity)
+    arity.update(inner.arity)
+    if residual and pairs_outer:
+        merged = EnvBatch(len(pairs_outer), arity)
         for key in obatch.keys():
-            result.lazy[key] = _gather_thunk(obatch, key, out_outer)
+            merged.lazy[key] = _gather_thunk(obatch, key, pairs_outer)
         for key in inner_keys:
-            result.lazy[key] = _pad_gather_thunk(inner, key, out_inner)
-        if any_pad:
-            for quantifier in inner_pad:
-                present_key = ("present", quantifier)
-                if inner.has(present_key):
-                    base = inner.column(present_key)
-                    col = [j >= 0 and bool(base[j]) for j in out_inner]
-                else:
-                    col = [j >= 0 for j in out_inner]
-                result.lazy.pop(present_key, None)
-                result.cols[present_key] = col
-        yield result
+            merged.lazy[key] = _gather_thunk(inner, key, pairs_inner)
+        surviving = _apply_preds(merged, residual, params)
+    else:
+        surviving = list(range(len(pairs_outer)))
+
+    out_outer: List[int] = []
+    out_inner: List[int] = []  # -1 = NULL-padded inner row
+    any_pad = False
+    si = 0
+    total = len(surviving)
+    for p, oi in enumerate(oidx):
+        _start, end = bounds[p]
+        matched = False
+        while si < total and surviving[si] < end:
+            out_outer.append(oi)
+            out_inner.append(pairs_inner[surviving[si]])
+            matched = True
+            si += 1
+        if not matched and preserves_outer:
+            out_outer.append(oi)
+            out_inner.append(-1)
+            any_pad = True
+    if not out_outer:
+        return None
+
+    result = EnvBatch(len(out_outer), arity)
+    for key in obatch.keys():
+        result.lazy[key] = _gather_thunk(obatch, key, out_outer)
+    for key in inner_keys:
+        result.lazy[key] = _pad_gather_thunk(inner, key, out_inner)
+    if any_pad:
+        for quantifier in inner_pad:
+            present_key = ("present", quantifier)
+            if inner.has(present_key):
+                base = inner.column(present_key)
+                col = [j >= 0 and bool(base[j]) for j in out_inner]
+            else:
+                col = [j >= 0 for j in out_inner]
+            result.lazy.pop(present_key, None)
+            result.cols[present_key] = col
+    return result
+
+
+def _b_nl_join(plan: pl.NLJoin, ctx: ExecutionContext,
+               env: Env) -> Iterator[EnvBatch]:
+    """Batch nested-loop join over a Temp-materialized (uncorrelated)
+    inner: the cross product of each outer batch with the cached inner,
+    narrowed by the join predicates.  Lateral inners (re-opened with
+    outer bindings per row) stay on the tuple interpreter."""
+    kind = _kinds(ctx).get(plan.kind, ctx.functions)
+    outer_plan, inner_plan = plan.children
+    params = ctx.params
+    preserves_outer = kind.preserves_outer
+    inner_pad = _inner_quantifiers(inner_plan)
+
+    inner_batches = list(_env_batches(inner_plan, ctx, env))
+    inner = (_concat_env(inner_batches) if inner_batches
+             else _empty_inner(inner_pad))
+    iidx = inner.indices()
+    n_inner = len(iidx)
+    inner_keys = inner.keys()
+    preds = plan.batch_preds
+
+    for obatch in _env_batches(outer_plan, ctx, env):
+        oidx = obatch.indices()
+        if not oidx:
+            continue
+        pairs_outer: List[int] = []
+        pairs_inner: List[int] = []
+        bounds: List[Tuple[int, int]] = []
+        for oi in oidx:
+            start = len(pairs_outer)
+            pairs_outer.extend([oi] * n_inner)
+            pairs_inner.extend(iidx)
+            bounds.append((start, len(pairs_outer)))
+        result = _emit_pairs(obatch, oidx, inner, inner_keys, inner_pad,
+                             pairs_outer, pairs_inner, bounds, preds,
+                             preserves_outer, params)
+        if result is not None:
+            yield result
+
+
+def _b_merge_join(plan: pl.MergeJoin, ctx: ExecutionContext,
+                  env: Env) -> Iterator[EnvBatch]:
+    """Batch merge join: the inner materializes once and sorts by key;
+    each outer row's matching group is located by binary search (the
+    same semantic merge as the interpreter, so duplicate groups come
+    back in identical order)."""
+    import bisect
+
+    kind = _kinds(ctx).get(plan.kind, ctx.functions)
+    outer_plan, inner_plan = plan.children
+    params = ctx.params
+    preserves_outer = kind.preserves_outer
+    inner_pad = _inner_quantifiers(inner_plan)
+
+    inner_batches = list(_env_batches(inner_plan, ctx, env))
+    inner = (_concat_env(inner_batches) if inner_batches
+             else _empty_inner(inner_pad))
+    build_idx = inner.indices()
+    sorted_pairs: List[Tuple[Tuple, int]] = []
+    if build_idx:
+        key_columns = [fn(inner, build_idx, params)
+                       for fn in plan.batch_inner_keys]
+        for p in range(len(build_idx)):
+            key = tuple(col[p] for col in key_columns)
+            if any(value is None for value in key):
+                continue  # SQL join keys never match on NULL
+            sorted_pairs.append((key, build_idx[p]))
+        sorted_pairs.sort(key=lambda pair: pair[0])
+    keys_only = [pair[0] for pair in sorted_pairs]
+    inner_keys = inner.keys()
+    residual = plan.batch_residual
+
+    for obatch in _env_batches(outer_plan, ctx, env):
+        oidx = obatch.indices()
+        if not oidx:
+            continue
+        okey_columns = [fn(obatch, oidx, params)
+                        for fn in plan.batch_outer_keys]
+        pairs_outer: List[int] = []
+        pairs_inner: List[int] = []
+        bounds: List[Tuple[int, int]] = []
+        for p, oi in enumerate(oidx):
+            key = tuple(col[p] for col in okey_columns)
+            start = len(pairs_outer)
+            if not any(value is None for value in key):
+                index = bisect.bisect_left(keys_only, key)
+                while index < len(sorted_pairs) \
+                        and sorted_pairs[index][0] == key:
+                    pairs_outer.append(oi)
+                    pairs_inner.append(sorted_pairs[index][1])
+                    index += 1
+            bounds.append((start, len(pairs_outer)))
+        result = _emit_pairs(obatch, oidx, inner, inner_keys, inner_pad,
+                             pairs_outer, pairs_inner, bounds, residual,
+                             preserves_outer, params)
+        if result is not None:
+            yield result
+
+
+def _b_temp(plan: pl.Temp, ctx: ExecutionContext,
+            env: Env) -> Iterator[EnvBatch]:
+    """TEMP passes batches through; batch parents that replay (the NL
+    join) materialize the stream themselves."""
+    yield from _env_batches(plan.children[0], ctx, env)
 
 
 def _quantifier_arity(quantifiers) -> Dict[Any, int]:
@@ -817,6 +946,9 @@ _BATCH_ENV_OPS = {
     pl.Filter: _b_filter,
     pl.Sort: _b_sort,
     pl.HashJoin: _b_hash_join,
+    pl.NLJoin: _b_nl_join,
+    pl.MergeJoin: _b_merge_join,
+    pl.Temp: _b_temp,
 }
 
 _BATCH_ROW_OPS = {
@@ -867,6 +999,17 @@ def select_backends(plan: pl.PlanOp, generator, functions, join_kinds,
         return node.exec_backend == "batch"
 
     decide(plan)
+
+    def mark_boundaries(node: pl.PlanOp, parent_batch: bool) -> None:
+        # EXPLAIN annotation: a tuple-marked node under a batch parent is
+        # where this subtree fell back to the stream interpreter (an
+        # adapter sits on this edge at run time).
+        if parent_batch and node.exec_backend != "batch":
+            node.fallback_mark = "tuple"
+        for child in node.children:
+            mark_boundaries(child, node.exec_backend == "batch")
+
+    mark_boundaries(plan, False)
     return compiler
 
 
@@ -902,14 +1045,14 @@ def _capable(node: pl.PlanOp, compiler: ExprCompiler, kinds,
     if node_type is pl.Filter:
         return _prep_preds(
             node, compiler, node.children[0].props.quantifiers)
-    if node_type is pl.HashJoin:
+    if node_type in (pl.HashJoin, pl.MergeJoin):
         try:
             kind = kinds.get(node.kind, functions)
         except Exception:
             return False
-        # The batch hash join implements exactly the binding semantics
-        # (regular/left_outer-shaped kinds); combine-driven semijoins and
-        # scalar kinds keep the interpreter.
+        # The batch hash/merge joins implement exactly the binding
+        # semantics (regular/left_outer-shaped kinds); combine-driven
+        # semijoins and scalar kinds keep the interpreter.
         if not kind.binds_inner or kind.scalar or kind.combine is not None:
             return False
         outer_q = node.children[0].props.quantifiers
@@ -925,6 +1068,28 @@ def _capable(node: pl.PlanOp, compiler: ExprCompiler, kinds,
         node.batch_outer_keys = outer_keys
         node.batch_inner_keys = inner_keys
         node.batch_residual = residual
+        return True
+    if node_type is pl.NLJoin:
+        try:
+            kind = kinds.get(node.kind, functions)
+        except Exception:
+            return False
+        if not kind.binds_inner or kind.scalar or kind.combine is not None:
+            return False
+        # Only Temp'd (uncorrelated, materialized-once) inners: a lateral
+        # inner re-opens with each outer row's bindings, which is exactly
+        # the per-row dispatch batching cannot express.
+        if not isinstance(node.children[1], pl.Temp):
+            return False
+        outer_q = node.children[0].props.quantifiers
+        inner_q = node.children[1].props.quantifiers
+        preds = _compile_all([p.expr for p in node.preds], compiler,
+                             outer_q | inner_q)
+        if preds is None:
+            return False
+        node.batch_preds = preds
+        return True
+    if node_type is pl.Temp:
         return True
     if node_type is pl.Sort:
         keys = _compile_all([expr for expr, _asc in node.keys], compiler,

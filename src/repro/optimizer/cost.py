@@ -28,6 +28,13 @@ DEFAULT_SELECTIVITY = 1.0 / 3.0
 LIKE_SELECTIVITY = 0.1
 EQUALITY_FALLBACK = 0.1
 
+#: Fixed cost of starting one parallel worker (fork + per-worker compile),
+#: in the same abstract units as IO/CPU.  Forking is cheap on Linux but not
+#: free; a dop=4 plan must save at least ~4 * this to win.
+PARALLEL_STARTUP_COST = 50.0
+#: Per-row cost of moving a row through an Exchange (pickle + pipe).
+EXCHANGE_ROW_COST = CPU_WEIGHT * 0.5
+
 
 class CostModel:
     """Selectivity and cost estimation against a catalog."""
@@ -156,3 +163,29 @@ class CostModel:
 
     def per_row_cpu(self, rows: float, factor: float = 1.0) -> float:
         return rows * CPU_WEIGHT * factor
+
+    # -- parallelism ----------------------------------------------------------
+
+    def parallel_startup(self, dop: int) -> float:
+        """Fixed price of spinning up ``dop`` workers."""
+        return PARALLEL_STARTUP_COST * max(0, dop)
+
+    def exchange_cost(self, rows: float) -> float:
+        """Cost of gathering ``rows`` rows through an Exchange."""
+        return max(rows, 0.0) * EXCHANGE_ROW_COST
+
+    def should_parallelize(self, input_rows: float, dop: int) -> bool:
+        """Do ``input_rows`` rows of scan work amortize ``dop`` workers?
+
+        The subtree's serial work is roughly ``input_rows * CPU_WEIGHT``
+        (plus I/O, but forked workers share the page cache); parallel
+        execution saves the (dop-1)/dop share of it and pays startup plus
+        the exchange.  Used by ``parallelism="auto"``; ``"on"`` bypasses
+        this gate so tests can force small-table parallelism.
+        """
+        if dop <= 1:
+            return False
+        serial_work = max(input_rows, 0.0) * (CPU_WEIGHT + IO_WEIGHT * 0.02)
+        saved = serial_work * (dop - 1) / float(dop)
+        return saved > self.parallel_startup(dop) + self.exchange_cost(
+            input_rows / float(dop))

@@ -75,10 +75,13 @@ class PlanOp:
         return self.op_name
 
     def explain(self, depth: int = 0) -> str:
-        lines = ["%s%s  (cost=%.2f card=%.1f%s%s)" % (
+        lines = ["%s%s  (cost=%.2f card=%.1f%s%s%s%s)" % (
             "  " * depth, self.describe(), self.props.cost, self.props.card,
             (" order=" + str(list(self.props.order))) if self.props.order else "",
             " backend=batch" if self.exec_backend == "batch" else "",
+            " dop=%d" % self.props.dop if self.props.dop > 1 else "",
+            " fallback=%s" % self.fallback_mark
+            if getattr(self, "fallback_mark", None) else "",
         )]
         for child in self.children:
             lines.append(child.explain(depth + 1))
@@ -574,6 +577,123 @@ class Temp(PlanOp):
 
     def describe(self) -> str:
         return "TEMP"
+
+
+# ---------------------------------------------------------------------------
+# Exchange operators (intra-query parallelism glue)
+# ---------------------------------------------------------------------------
+
+
+class Exchange(PlanOp):
+    """Base of the Exchange family: glue LOLEPOPs that change the ``dop``
+    property the way SHIP changes ``site``.
+
+    The subtree below runs at ``self.dop`` over page-range morsels of
+    ``morsel_scan`` (a heap-table SCAN marked as the partitioned source);
+    the Exchange re-establishes a single dop=1 stream for its consumer.
+    When the runtime cannot fork, or a worker pool cannot be built, the
+    operator degrades to executing its child inline at dop=1 — counted in
+    ``stats.parallel_fallbacks`` and visible as a ``fallback=`` EXPLAIN
+    mark on the node.
+    """
+
+    op_name = "EXCHANGE"
+    #: "gather" | "merge" | "repartition" — how worker streams recombine.
+    mode = "gather"
+
+    def __init__(self, cm: CostModel, child: PlanOp, dop: int,
+                 morsel_scan: TableScan):
+        self.dop = dop
+        self.morsel_scan = morsel_scan
+        props = child.props.evolve(
+            dop=1,
+            cost=(child.props.cost / float(max(1, dop))
+                  + cm.parallel_startup(dop)
+                  + cm.exchange_cost(child.props.card)),
+        )
+        super().__init__((child,), props)
+        self.produces_rows = child.produces_rows
+
+    def describe(self) -> str:
+        return "%s(dop=%d over %s)" % (self.op_name, self.dop,
+                                       self.morsel_scan.table.name)
+
+
+class Gather(Exchange):
+    """GATHER: concatenate worker result streams in morsel order.
+
+    Morsel order equals serial scan order, so the gathered stream is
+    byte-identical to dop=1 execution.  With ``merge_groups`` set (a
+    GroupBy whose partial results the workers computed per-morsel), the
+    gather instead merges partial groups by key, combining order-safe
+    accumulators (COUNT/MIN/MAX/integer SUM) — the paper's "push work
+    below the glue" move applied to aggregation.
+    """
+
+    op_name = "GATHER"
+    mode = "gather"
+
+    def __init__(self, cm: CostModel, child: PlanOp, dop: int,
+                 morsel_scan: TableScan,
+                 merge_groups: Optional["GroupBy"] = None):
+        self.merge_groups = merge_groups
+        super().__init__(cm, child, dop, morsel_scan)
+
+    def describe(self) -> str:
+        base = Exchange.describe(self)
+        return base + (" merge-partial-aggs" if self.merge_groups else "")
+
+
+class MergeGather(Exchange):
+    """MERGEGATHER: merge locally-sorted worker runs, preserving order.
+
+    Spliced under ORDER BY (+ LIMIT): each worker sorts its morsel's rows
+    on ``positions`` and, with ``limit_hint``, keeps only the local top-K,
+    so at most dop*K rows cross the exchange.  The stable merge emits
+    ties in morsel (= scan) order, matching the serial stable sort.
+    """
+
+    op_name = "MERGEGATHER"
+    mode = "merge"
+
+    def __init__(self, cm: CostModel, child: PlanOp, dop: int,
+                 morsel_scan: TableScan,
+                 positions: Sequence[Tuple[int, bool]],
+                 limit_hint: Optional[int] = None):
+        self.positions = list(positions)
+        self.limit_hint = limit_hint
+        super().__init__(cm, child, dop, morsel_scan)
+        self.props = self.props.evolve(
+            order=tuple(("$%d" % pos, asc) for pos, asc in self.positions))
+
+    def describe(self) -> str:
+        base = Exchange.describe(self)
+        if self.limit_hint is not None:
+            base += " top-%d" % self.limit_hint
+        return base
+
+
+class Repartition(Exchange):
+    """REPARTITION (stub): hash-partition a stream on join keys so both
+    join inputs can be joined partition-wise at dop>1.
+
+    Constructible for DBC experimentation and costed, but the default glue
+    never splices it — parallel joins are a follow-up; the runtime executes
+    its child inline at dop=1.
+    """
+
+    op_name = "REPARTITION"
+    mode = "repartition"
+
+    def __init__(self, cm: CostModel, child: PlanOp, dop: int,
+                 morsel_scan: TableScan, keys: Sequence[qe.QExpr]):
+        self.keys = list(keys)
+        super().__init__(cm, child, dop, morsel_scan)
+
+    def describe(self) -> str:
+        return "%s(dop=%d on %s)" % (
+            self.op_name, self.dop,
+            ", ".join(repr(k) for k in self.keys) or "<no keys>")
 
 
 # ---------------------------------------------------------------------------

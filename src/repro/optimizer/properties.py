@@ -32,18 +32,24 @@ def order_key(expr: QExpr) -> str:
 class PlanProperties:
     """Immutable property bundle attached to every plan operator."""
 
-    __slots__ = ("quantifiers", "preds_applied", "order", "site", "cost",
-                 "card", "extras")
+    __slots__ = ("quantifiers", "preds_applied", "order", "site", "dop",
+                 "cost", "card", "extras")
 
     def __init__(self, quantifiers: FrozenSet = frozenset(),
                  preds_applied: FrozenSet[int] = frozenset(),
                  order: OrderSpec = (), site: str = "local",
+                 dop: int = 1,
                  cost: float = 0.0, card: float = 1.0,
                  extras: Optional[Dict[str, Any]] = None):
         self.quantifiers = quantifiers
         self.preds_applied = preds_applied
         self.order = order
         self.site = site
+        #: Degree of parallelism of the stream this plan produces.  Like
+        #: ``site``, it is an operational property: an Exchange LOLEPOP is
+        #: the glue that re-establishes ``dop == 1`` for consumers that
+        #: need a single stream (the paper's parallelism extension).
+        self.dop = dop
         self.cost = cost
         self.card = card
         self.extras = dict(extras) if extras else {}
@@ -55,6 +61,7 @@ class PlanProperties:
             "preds_applied": self.preds_applied,
             "order": self.order,
             "site": self.site,
+            "dop": self.dop,
             "cost": self.cost,
             "card": self.card,
             "extras": self.extras,
@@ -72,9 +79,10 @@ class PlanProperties:
 
     def interesting_key(self) -> Tuple:
         """Dedup key for the DP memo: plans with the same key compete."""
-        return (self.quantifiers, self.preds_applied, self.order, self.site)
+        return (self.quantifiers, self.preds_applied, self.order, self.site,
+                self.dop)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return ("<Props n=%d cost=%.2f card=%.1f order=%s site=%s>"
+        return ("<Props n=%d cost=%.2f card=%.1f order=%s site=%s dop=%d>"
                 % (len(self.quantifiers), self.cost, self.card,
-                   self.order, self.site))
+                   self.order, self.site, self.dop))

@@ -24,17 +24,25 @@ from repro.errors import ExtensionError, OptimizerError
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plans import (
     DerivedScan,
+    Exchange,
+    Filter,
+    Gather,
+    GroupBy,
     HashJoin,
     IndexScan,
+    LimitOp,
+    MergeGather,
     MergeJoin,
     NLJoin,
     PlanOp,
+    Project,
     Ship,
     Sort,
     SubplanBinding,
     SubqueryJoin,
     TableScan,
     Temp,
+    TopSort,
 )
 from repro.optimizer.properties import order_key
 from repro.qgm import expressions as qe
@@ -508,9 +516,264 @@ def default_star_array() -> Dict[str, STAR]:
                     rank=1.0),
     ])
 
+    # ---- parallelism (refinement-phase glue) --------------------------------
+    #
+    # Evaluated per candidate subtree by :func:`parallelize_plan`:
+    # ``capable`` means the subtree is structurally parallelizable (a
+    # row-producing pyramid over a Filter*/SCAN chain on a local heap
+    # table, self-contained expressions); ``eligible`` carries the
+    # cost-model gate (enough rows read to amortize worker startup).
+    # ``build`` constructs the Exchange when the alternative fires, so a
+    # DBC can replace the glue without knowing how to build the operator.
+
+    def parallel_eligible(gen: PlanGenerator, args: Args) -> bool:
+        return bool(args["capable"]) and (
+            args["mode"] == "on"
+            or (args["mode"] == "auto" and args["eligible"]))
+
+    def serial_only(gen: PlanGenerator, args: Args) -> bool:
+        return not parallel_eligible(gen, args)
+
+    def splice_exchange(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        return [args["build"](gen)]
+
+    def keep_serial(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        return [args["plan"]]
+
+    parallelism = STAR("Parallelism", [
+        Alternative("Exchange", splice_exchange, condition=parallel_eligible,
+                    rank=0.5),
+        Alternative("Serial", keep_serial, condition=serial_only,
+                    rank=1.0),
+    ])
+
     return {
         star.name: star
         for star in (access_root, join_root, nl_star, merge_star, hash_star,
                      subquery_root, require_order, require_site,
-                     exec_backend)
+                     exec_backend, parallelism)
     }
+
+
+# ---------------------------------------------------------------------------
+# Parallel glue driver (refinement phase)
+# ---------------------------------------------------------------------------
+
+
+def _chain_scan(node: PlanOp) -> Optional[TableScan]:
+    """The SCAN leaf of a Filter*/SCAN chain rooted at ``node``, or None.
+
+    Only this shape parallelizes today: the chain carves into page-range
+    morsels with no cross-morsel state.  Any join, sort, subquery stream
+    or derived input breaks the chain.
+    """
+    while isinstance(node, Filter):
+        node = node.children[0]
+    if not isinstance(node, TableScan):
+        return None
+    if node.table.storage_manager != "heap" or node.table.site != "local":
+        return None
+    return node
+
+
+def _chain_preds(node: PlanOp) -> List[Predicate]:
+    preds: List[Predicate] = []
+    while isinstance(node, Filter):
+        preds.extend(node.preds)
+        node = node.children[0]
+    preds.extend(node.preds)
+    return preds
+
+
+def _self_contained(exprs, allowed) -> bool:
+    """Do all expressions reference only quantifiers bound inside the
+    parallel subtree (and parameters/constants)?  Correlated references
+    need the caller's bindings, which forked workers do not have."""
+    for expr in exprs:
+        if expr is not None and not (qe.quantifiers_in(expr) <= allowed):
+            return False
+    return True
+
+
+def _aggregates_mergeable(groupby: GroupBy, catalog, resolve) -> bool:
+    """Can per-morsel partial results of these aggregates be merged
+    without changing the answer byte-for-byte?
+
+    COUNT/MIN/MAX always merge; SUM merges only over provably-integer
+    base columns (float addition is order sensitive); AVG and DBC
+    aggregates never do.  DISTINCT aggregates need global dedup.
+    ``resolve`` traces a ColRef over a derived quantifier down to the
+    expression that produces it.
+    """
+    for agg in groupby.aggregates:
+        if agg.distinct:
+            return False
+        if agg.name == "count" or agg.name in ("min", "max"):
+            continue
+        if agg.name == "sum":
+            arg = resolve(agg.arg)
+            if (isinstance(arg, qe.ColRef)
+                    and isinstance(arg.quantifier.input, BaseTableBox)):
+                table = arg.quantifier.input.table
+                column = next((c for c in table.columns
+                               if c.name == arg.column), None)
+                if column is not None and column.dtype.name == "INTEGER":
+                    continue
+            return False
+        return False
+    return True
+
+
+def _project_candidate(node: PlanOp) -> Optional[TableScan]:
+    """``node`` is a parallelizable PROJECT pyramid: PROJECT over a
+    Filter*/SCAN chain, no subquery streams, self-contained."""
+    if not isinstance(node, Project) or node.subplans:
+        return None
+    scan = _chain_scan(node.children[0])
+    if scan is None:
+        return None
+    exprs = list(node.exprs) + [p.expr for p in _chain_preds(node.children[0])]
+    if not _self_contained(exprs, {scan.quantifier}):
+        return None
+    return scan
+
+
+def _groupby_candidate(node: PlanOp, catalog) -> Optional[TableScan]:
+    """``node`` is a GROUPBY whose input carves into morsels: either a
+    bare Filter*/SCAN chain, or — the shape box lowering actually emits —
+    an ACCESS/PROJECT pyramid over that chain."""
+    if not isinstance(node, GroupBy):
+        return None
+    child = node.children[0]
+    allowed = set()
+    inner_exprs: List[qe.QExpr] = []
+    resolve = lambda expr: expr
+    if isinstance(child, DerivedScan):
+        project = child.children[0]
+        if not isinstance(project, Project) or project.subplans:
+            return None
+        names, derived = project.names, project.exprs
+        quantifier = child.quantifier
+
+        def resolve(expr):
+            # Trace q.col through the derived table to its defining
+            # expression, so SUM's integer-base-column proof still works.
+            if (isinstance(expr, qe.ColRef) and expr.quantifier is quantifier
+                    and expr.column in names):
+                return derived[names.index(expr.column)]
+            return expr
+
+        allowed.add(quantifier)
+        inner_exprs = list(derived) + [p.expr for p in child.preds]
+        child = project.children[0]
+    scan = _chain_scan(child)
+    if scan is None:
+        return None
+    if not _aggregates_mergeable(node, catalog, resolve):
+        return None
+    exprs = (list(node.group_exprs)
+             + [a.arg for a in node.aggregates]
+             + inner_exprs
+             + [p.expr for p in _chain_preds(child)])
+    allowed.add(scan.quantifier)
+    if not _self_contained(exprs, allowed):
+        return None
+    return scan
+
+
+def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
+                     options) -> PlanOp:
+    """Parallel glue phase: splice Exchange LOLEPOPs where eligible.
+
+    Walks the refined plan top-down; for each candidate subtree it asks
+    the ``Parallelism`` STAR whether to splice (``on`` always does,
+    ``auto`` only when the cost model says the rows read amortize worker
+    startup).  Candidates:
+
+    - ``PROJECT`` over Filter*/SCAN        → GATHER above the PROJECT,
+    - ``GROUPBY`` (mergeable aggregates)   → GATHER merging partial
+      per-morsel aggregates,
+    - ``ORDERBY`` [under LIMIT] over such a PROJECT → MERGEGATHER below
+      the ORDERBY, sorting (and top-K truncating) inside the workers.
+
+    Ineligible subtrees are simply left at dop=1 — degradation is per
+    subtree, never per query.  Returns the (possibly new) plan root.
+    """
+    if plan is None or options.parallelism == "off" or options.dop <= 1:
+        return plan
+    from repro.executor.parallel import fork_available
+
+    if not fork_available():
+        # Recorded by executor.parallel; the whole feature degrades to
+        # serial on platforms without fork (the COW snapshot needs it).
+        return plan
+
+    cm = generator.cm
+    dop = options.dop
+
+    def mark_dop(subtree: PlanOp) -> None:
+        for node in subtree.walk():
+            node.props = node.props.evolve(dop=dop)
+
+    def eligible(scan: TableScan) -> bool:
+        pages = cm.catalog.statistics(scan.table.name).page_count
+        return pages >= 2 and cm.should_parallelize(scan.input_rows, dop)
+
+    def ask(node: PlanOp, scan: TableScan, build) -> PlanOp:
+        plans = generator.evaluate(
+            "Parallelism", plan=node, capable=True,
+            mode=options.parallelism, eligible=eligible(scan),
+            build=build)
+        chosen = plans[0] if plans else node
+        if isinstance(chosen, Exchange):
+            mark_dop(chosen.children[0])
+            if chosen.children[0].exec_backend == "batch":
+                # EXPLAIN annotation: the exchange consumes rows, so a
+                # batch→tuple adapter sits directly below it.
+                chosen.fallback_mark = "batch-below"
+        return chosen
+
+    def rewrite(node: PlanOp, limit_above: Optional[int] = None) -> PlanOp:
+        # DML and fixpoint operators re-drive their inputs under locks or
+        # across iterations; leave them (and everything below) serial.
+        from repro.optimizer import plans as pl
+
+        if isinstance(node, (pl.InsertPlan, pl.UpdatePlan, pl.DeletePlan,
+                             pl.Recurse, Exchange)):
+            return node
+
+        # ORDERBY [under LIMIT] over a PROJECT pyramid: push the sort
+        # (and the top-K cut) into the workers via MERGEGATHER.
+        if isinstance(node, TopSort):
+            child = node.children[0]
+            scan = _project_candidate(child)
+            if scan is not None:
+                built = ask(child, scan, lambda gen: MergeGather(
+                    gen.cm, child, dop, scan, node.positions,
+                    limit_hint=limit_above))
+                if built is not child:
+                    node.children = (built,)
+                return node
+
+        scan = _project_candidate(node)
+        if scan is not None:
+            return ask(node, scan,
+                       lambda gen: Gather(gen.cm, node, dop, scan))
+        scan = _groupby_candidate(node, cm.catalog)
+        if scan is not None:
+            return ask(node, scan,
+                       lambda gen: Gather(gen.cm, node, dop, scan,
+                                          merge_groups=node))
+
+        new_children = []
+        changed = False
+        for child in node.children:
+            limit = node.limit if isinstance(node, LimitOp) else None
+            rewritten = rewrite(child, limit)
+            changed = changed or rewritten is not child
+            new_children.append(rewritten)
+        if changed:
+            node.children = tuple(new_children)
+        return node
+
+    return rewrite(plan)

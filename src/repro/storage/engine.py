@@ -249,35 +249,56 @@ class StorageEngine:
         self.log.record(self.log.last_lsn(txn.txn_id)).new_rid = new_rid
         for attachment in self._attachments[table.name]:
             attachment.on_update(rid, new_rid, old_row, prepared)
+        self.catalog.note_mutation()
         return new_rid
 
-    def scan(self, txn: Optional[Transaction],
-             table_name: str) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
-        """Full scan; takes a shared table lock when run inside a txn."""
+    def scan(self, txn: Optional[Transaction], table_name: str,
+             page_range: Optional[Tuple[int, int]] = None
+             ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Full scan; takes a shared table lock when run inside a txn.
+
+        ``page_range`` — a (lo, hi) page-number morsel — restricts heap
+        tables to a slice of their pages (the parallel runtime's unit of
+        work); None scans everything.
+        """
         table = self.catalog.table(table_name)
         if txn is not None:
             self.locks.acquire(txn.txn_id, ("table", table.name), LockMode.SHARED)
-        return self._scan_rows(table.name)
+        return self._scan_rows(table.name, page_range)
 
-    def _scan_rows(self, table_name: str) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+    def _scan_rows(self, table_name: str,
+                   page_range: Optional[Tuple[int, int]] = None
+                   ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
         serializer = self._serializers[table_name]
-        for rid, record in self._storage[table_name].scan():
+        storage = self._storage[table_name]
+        records = (storage.scan(page_range=page_range)
+                   if page_range is not None else storage.scan())
+        for rid, record in records:
             yield rid, serializer.deserialize(record)
 
     def scan_batches(self, txn: Optional[Transaction], table_name: str,
-                     batch_size: int):
+                     batch_size: int,
+                     page_range: Optional[Tuple[int, int]] = None):
         """Batched full scan for the vectorized executor.
 
         Yields ``(make_rids, records)`` pairs of encoded record batches
         plus a lazy RID factory (see ``TableStorage.scan_batches``);
         callers decode the columns they need via the table's
         ``RecordSerializer.decode_columns``.  Takes the same shared table
-        lock as :meth:`scan`.
+        lock as :meth:`scan`; ``page_range`` restricts heap tables to a
+        page-number morsel.
         """
         table = self.catalog.table(table_name)
         if txn is not None:
             self.locks.acquire(txn.txn_id, ("table", table.name), LockMode.SHARED)
-        return self._storage[table.name].scan_batches(batch_size)
+        storage = self._storage[table.name]
+        if page_range is not None:
+            return storage.scan_batches(batch_size, page_range=page_range)
+        return storage.scan_batches(batch_size)
+
+    def table_page_count(self, table_name: str) -> int:
+        """Current number of heap pages (for morsel carving)."""
+        return self._storage[table_name].page_count
 
     def fetch(self, txn: Optional[Transaction], table_name: str,
               rid: RID) -> Tuple[Any, ...]:
@@ -342,6 +363,7 @@ class StorageEngine:
         new_rid = storage.update(rid, record)
         for attachment in self._attachments[table.name]:
             attachment.on_update(rid, new_rid, old_row, new_row)
+        self.catalog.note_mutation()
         return new_rid
 
 

@@ -107,8 +107,16 @@ class HeapTableStorage(TableStorage):
             page.delete(rid.slot)
         self._free_pages.add(rid.page_no)
 
-    def scan(self) -> Iterator[Tuple[RID, bytes]]:
-        for page_no in range(len(self._page_ids)):
+    def _page_range(self, page_range) -> range:
+        """Clamp an optional (lo, hi) page-number pair — a morsel — to the
+        table's current page list; None means the whole table."""
+        if page_range is None:
+            return range(len(self._page_ids))
+        lo, hi = page_range
+        return range(max(0, lo), min(hi, len(self._page_ids)))
+
+    def scan(self, page_range=None) -> Iterator[Tuple[RID, bytes]]:
+        for page_no in self._page_range(page_range):
             page_id = self._page_ids[page_no]
             page = self.pool.fetch(page_id)
             try:
@@ -118,12 +126,12 @@ class HeapTableStorage(TableStorage):
             for slot, record in records:
                 yield RID(page_no, slot), record
 
-    def scan_batches(self, batch_size):
+    def scan_batches(self, batch_size, page_range=None):
         """Page-at-a-time scan: collects whole pages of record bytes and
         defers RID construction to the lazy ``make_rids`` callable."""
         chunks: List[Tuple[int, tuple]] = []  # (page_no, slots)
         records: List[bytes] = []
-        for page_no in range(len(self._page_ids)):
+        for page_no in self._page_range(page_range):
             page_id = self._page_ids[page_no]
             page = self.pool.fetch(page_id)
             try:

@@ -44,19 +44,24 @@ class Config:
     ``repeat`` > 1 executes every query that many times through the
     shared database; executions after the first must be served from the
     plan cache (checked via the cache's hit counter).  With
-    ``byte_identical`` the cached rows are additionally compared — in
-    order — against a fresh ``plan_cache=False`` compile, proving the
-    serving path returns exactly what a cold compile would.
+    ``byte_identical`` the rows are additionally compared — in order —
+    against a reference execution: a fresh ``plan_cache=False`` compile
+    of the same options by default, or a run under ``reference`` options
+    when given (the parallel configs reference the serial dop=1 plan,
+    proving morsel-parallel execution is byte-identical to serial).
     """
 
-    __slots__ = ("name", "options", "repeat", "byte_identical")
+    __slots__ = ("name", "options", "repeat", "byte_identical",
+                 "reference")
 
     def __init__(self, name: str, options: CompileOptions,
-                 repeat: int = 1, byte_identical: bool = False):
+                 repeat: int = 1, byte_identical: bool = False,
+                 reference: Optional[CompileOptions] = None):
         self.name = name
         self.options = options
         self.repeat = repeat
         self.byte_identical = byte_identical
+        self.reference = reference
 
 
 def default_matrix() -> List[Config]:
@@ -87,6 +92,16 @@ def default_matrix() -> List[Config]:
         # Auto-parameterized constants share one plan per query shape.
         Config("constparam",
                base.replace(constant_parameterization=True), repeat=2),
+        # Morsel-parallel execution must be byte-identical — in row
+        # order, not just as a bag — to the serial dop=1 run, both on
+        # the tuple interpreter and combined with the batch backend.
+        Config("parallel", base.replace(parallelism="on", dop=4),
+               byte_identical=True, reference=base),
+        Config("parallel-batch",
+               base.replace(parallelism="on", dop=4,
+                            execution_mode="batch"),
+               byte_identical=True,
+               reference=base.replace(execution_mode="batch")),
     ]
 
 
@@ -281,15 +296,16 @@ class DifferentialRunner:
         for config in self.configs:
             reference_rows = None
             if config.byte_identical:
+                reference_options = (
+                    config.reference if config.reference is not None
+                    else config.options.replace(plan_cache=False))
                 try:
                     reference_rows = self.db.execute(
-                        sql,
-                        options=config.options.replace(
-                            plan_cache=False)).rows
+                        sql, options=reference_options).rows
                 except ReproError as exc:
                     return Divergence(
                         self.seed, self.schema, spec, config,
-                        "cache-off reference compile raised %s: %s "
+                        "reference execution raised %s: %s "
                         "(oracle returned %d rows)"
                         % (type(exc).__name__, exc, len(expected.rows)),
                         expected.rows, None, setup=self.setup)
@@ -331,8 +347,8 @@ class DifferentialRunner:
                         [_canon(r) for r in reference_rows]:
                     return Divergence(
                         self.seed, self.schema, spec, config,
-                        "rows are not byte-identical to the cache-off "
-                        "reference compile%s" % suffix,
+                        "rows are not byte-identical to the reference "
+                        "execution%s" % suffix,
                         reference_rows, result.rows, setup=self.setup)
         self.queries_checked += 1
         return None
@@ -371,16 +387,21 @@ def run_seed(seed: int, queries: int = 4,
     schema = generate_schema(rng)
     runner = DifferentialRunner(schema, seed, configs, setup=setup)
     generator = QueryGenerator(rng, schema)
-    for _ in range(queries):
-        spec = generator.generate()
-        divergence = runner.check_sql(spec)
-        if divergence is not None:
-            if shrink:
-                divergence = shrink_case(divergence)
-            return divergence, runner.queries_checked, \
-                runner.queries_skipped, runner.db.cache_stats()
-    return None, runner.queries_checked, runner.queries_skipped, \
-        runner.db.cache_stats()
+    try:
+        for _ in range(queries):
+            spec = generator.generate()
+            divergence = runner.check_sql(spec)
+            if divergence is not None:
+                if shrink:
+                    divergence = shrink_case(divergence)
+                return divergence, runner.queries_checked, \
+                    runner.queries_skipped, runner.db.cache_stats()
+        return None, runner.queries_checked, runner.queries_skipped, \
+            runner.db.cache_stats()
+    finally:
+        # Release the parallel worker pool (if any config forked one);
+        # a 500-seed sweep must not accumulate idle forked children.
+        runner.db.close()
 
 
 # -- shrinking ----------------------------------------------------------------------
@@ -398,6 +419,8 @@ def _diverges(schema: SchemaSpec, spec: QuerySpec, seed: int,
         return runner.check_sql(spec)
     except (ReproError, RecursionError):
         return None
+    finally:
+        runner.db.close()
 
 
 def shrink_case(divergence: Divergence,

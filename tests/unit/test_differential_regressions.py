@@ -134,3 +134,33 @@ def test_outer_join_with_extra_on_condition_not_eliminated():
     result = db.execute(sql)
     assert sorted(result.rows, key=repr) == \
         sorted([(10, None), (20, 20)], key=repr)
+
+
+def test_differential_seed_228_batch_outer_join_empty_inner():
+    """Seed 228, config batch: a batch left outer join whose inner
+    materializes to zero rows produced a padded batch with the present
+    mask set but no inner value columns at all, so the parent PROJECT
+    raised "batch has no column" instead of emitting NULL-padded rows.
+    (Latent in the hash join; exposed when NL joins became
+    batch-capable, since the optimizer prefers NL over empty inners.)"""
+    db = Database()
+    db.enable_operation('left_outer_join')
+    db.execute('CREATE TABLE t0 (c0 INTEGER, c1 VARCHAR(8), '
+               'c2 DOUBLE NOT NULL, c3 INTEGER NOT NULL)')
+    db.execute('CREATE TABLE t1 (c0 INTEGER NOT NULL, c1 VARCHAR(8))')
+    db.execute('CREATE INDEX ix_t1_0 ON t1 (c1)')
+    db.execute('INSERT INTO t1 VALUES (0, NULL)')
+    db.execute("INSERT INTO t1 VALUES (2, 'xy')")
+    db.execute('CREATE VIEW v0 AS SELECT c0, c1, c2, c3 FROM t0 '
+               'WHERE c3 <= 1')
+    db.analyze()
+    sql = ('SELECT a7.c2 AS c0 FROM t1 a6 '
+           'LEFT OUTER JOIN v0 a7 ON a6.c0 = a7.c2')
+    expected = [(None,), (None,)]
+    # Every forced join method must NULL-pad identically in batch mode.
+    for forced in (None, 'nl', 'hash', 'merge'):
+        options = CompileOptions(execution_mode='batch',
+                                 forced_join_method=forced)
+        result = db.execute(sql, options=options)
+        assert sorted(map(repr, result.rows)) == \
+            sorted(map(repr, expected))

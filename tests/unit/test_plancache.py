@@ -366,3 +366,58 @@ class TestStatisticsRegression:
         assert db.catalog.statistics("seq").n_distinct("id") == 50
         compiled = db.compile("SELECT v FROM seq WHERE id = 25")
         assert compiled.plan.props.card == pytest.approx(1.0)
+
+
+class TestAdmissionPolicy:
+    """Cost-aware admission: a one-off bulk write must not evict the hot
+    parameterized statements the cache exists for."""
+
+    def test_bulk_dml_is_rejected(self):
+        db = make_db()
+        db.execute("CREATE TABLE big (id INTEGER, v VARCHAR(10))")
+        for i in range(600):
+            db.execute("INSERT INTO big VALUES (?, ?)", [i, "x"])
+        db.analyze()
+        before = db.cache_stats()["admissions_rejected"]
+        result = db.execute("UPDATE big SET v = 'y'")
+        assert result.rowcount == 600
+        assert db.cache_stats()["admissions_rejected"] == before + 1
+        # The rejected statement re-executes correctly, still uncached.
+        assert db.execute("UPDATE big SET v = 'z'").rowcount == 600
+        assert db.cache_stats()["admissions_rejected"] == before + 2
+        assert db.execute(
+            "SELECT count(*) FROM big WHERE v = 'z'").scalar() == 600
+
+    def test_point_dml_is_still_admitted(self):
+        db = make_db()
+        entries = db.cache_stats()["entries"]
+        db.execute("UPDATE t SET v = ? WHERE id = ?", ["new", 3])
+        assert db.cache_stats()["entries"] == entries + 1
+        db.execute("UPDATE t SET v = ? WHERE id = ?", ["newer", 3])
+        assert db.cache_stats()["hits"] >= 1
+        assert db.cache_stats()["admissions_rejected"] == 0
+
+    def test_queries_bypass_the_admission_gate(self):
+        db = make_db()
+        db.execute("CREATE TABLE wide (id INTEGER, v VARCHAR(10))")
+        for i in range(600):
+            db.execute("INSERT INTO wide VALUES (?, ?)", [i, "x"])
+        db.analyze()
+        before = db.cache_stats()
+        assert db.execute("SELECT count(*) FROM wide").scalar() == 600
+        after = db.cache_stats()
+        assert after["entries"] == before["entries"] + 1
+        assert after["admissions_rejected"] == before["admissions_rejected"]
+
+    def test_explicit_prepare_skips_admission(self):
+        # PREPARE is a declared intent to reuse; even a bulk statement
+        # goes straight into the cache.
+        db = make_db()
+        db.execute("CREATE TABLE big (id INTEGER, v VARCHAR(10))")
+        for i in range(600):
+            db.execute("INSERT INTO big VALUES (?, ?)", [i, "x"])
+        db.analyze()
+        entries = db.cache_stats()["entries"]
+        db.prepare("UPDATE big SET v = ?")
+        assert db.cache_stats()["entries"] == entries + 1
+        assert db.cache_stats()["admissions_rejected"] == 0

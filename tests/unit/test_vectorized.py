@@ -238,3 +238,67 @@ def test_oracle_evaluates_table_functions(batch_db):
         engine_rows = batch_db.execute(sql).rows
         oracle_rows = oracle.execute(sql).rows
         assert sorted(engine_rows) == sorted(oracle_rows)
+
+
+# ---------------------------------------------------------------------------
+# Batch NL and merge joins
+# ---------------------------------------------------------------------------
+
+JOIN_QUERIES = [
+    # theta join: no equi-key, planner picks NLJOIN over a TEMP inner
+    "SELECT t.a, s.v FROM t, s WHERE t.a + s.k = 41 ORDER BY t.a, s.v",
+    # pure cross product, trimmed by a post-filter
+    "SELECT t.a, s.k FROM t, s WHERE t.a < 3 AND s.k < 3 "
+    "ORDER BY t.a, s.k",
+    # NL with a residual on top of the join predicate
+    "SELECT t.a, s.v FROM t, s WHERE t.a + s.k = 50 AND t.b > 2 "
+    "ORDER BY t.a, s.v",
+]
+
+
+@pytest.mark.parametrize("sql", JOIN_QUERIES)
+def test_batch_nl_join_matches_tuple(batch_db, sql):
+    tuple_result, batch_result = _both(batch_db, sql)
+    assert batch_result.rows == tuple_result.rows
+    assert batch_result.stats.batches > 0
+
+
+@pytest.mark.parametrize("method", ["merge", "nl"])
+def test_forced_join_methods_match_tuple(batch_db, method):
+    sql = ("SELECT t.a, s.v FROM t, s WHERE t.b = s.k AND t.a + s.v > 20 "
+           "ORDER BY t.a, s.v")
+    tuple_result = batch_db.execute(
+        sql, options=_options(batch_db, forced_join_method=method))
+    batch_result = batch_db.execute(
+        sql, options=_options(batch_db, forced_join_method=method,
+                              execution_mode="batch"))
+    assert batch_result.rows == tuple_result.rows
+    assert batch_result.stats.batches > 0
+    text = batch_db.explain(
+        sql, options=_options(batch_db, forced_join_method=method,
+                              execution_mode="batch"))
+    op = "MERGEJOIN" if method == "merge" else "NLJOIN"
+    assert op in text
+    assert "backend=batch" in text.split(op, 1)[1].splitlines()[0]
+
+
+def test_batch_merge_join_left_outer(batch_db):
+    sql = ("SELECT t.a, s.v FROM t LEFT OUTER JOIN s ON t.b = s.k "
+           "WHERE t.a < 60 ORDER BY t.a, s.v")
+    tuple_result = batch_db.execute(
+        sql, options=_options(batch_db, forced_join_method="merge"))
+    batch_result = batch_db.execute(
+        sql, options=_options(batch_db, forced_join_method="merge",
+                              execution_mode="batch"))
+    assert batch_result.rows == tuple_result.rows
+    assert batch_result.stats.batches > 0
+
+
+def test_lateral_inner_keeps_nl_join_tuple(batch_db):
+    # A correlated (lateral-style) inner is re-driven per outer binding;
+    # only TEMP-materialized inners batch, so this NLJOIN stays tuple and
+    # the boundary is marked for EXPLAIN.
+    sql = ("SELECT t.a, (SELECT MIN(s.v) FROM s WHERE s.k > t.b) FROM t "
+           "WHERE t.a < 20 ORDER BY t.a")
+    tuple_result, batch_result = _both(batch_db, sql)
+    assert batch_result.rows == tuple_result.rows
