@@ -39,6 +39,7 @@ from repro.functions.registry import (
 )
 from repro.language import ast
 from repro.language.parser import parse_statement
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.boxopt import OptimizerSettings
 from repro.optimizer.stars import STAR, Alternative, default_star_array
 from repro.core.options import CompileOptions
@@ -98,12 +99,15 @@ class Result:
     def __init__(self, columns: Sequence[str],
                  rows: List[Tuple[Any, ...]],
                  rowcount: Optional[int] = None,
-                 timings=None, stats=None):
+                 timings=None, stats=None, profile=None):
         self.columns = list(columns)
         self.rows = rows
         self.rowcount = rowcount if rowcount is not None else len(rows)
         self.timings = timings
         self.stats = stats
+        #: Per-operator runtime probes (:class:`repro.obs.PlanProfile`)
+        #: when the statement ran with ``options.analyze``; None otherwise.
+        self.profile = profile
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self.rows)
@@ -150,6 +154,32 @@ class Database:
         install_default_rules(self.rewrite_engine)
         #: Lazily created morsel-parallel worker-pool manager.
         self._parallel_runtime = None
+        #: Process-level metrics fed by the execute/serve paths; scrape
+        #: with :meth:`metrics_snapshot` or ``metrics.exposition()``.
+        self.metrics = MetricsRegistry(prefix="repro_")
+        self._m_statements = self.metrics.counter(
+            "statements_total", "Statements executed")
+        self._m_rows = self.metrics.counter(
+            "rows_returned_total", "Rows returned to clients")
+        self._m_cache_hits = self.metrics.counter(
+            "plan_cache_hits_total", "Plan-cache lookups served")
+        self._m_cache_misses = self.metrics.counter(
+            "plan_cache_misses_total", "Plan-cache lookups compiled fresh")
+        self._m_parallel_fallbacks = self.metrics.counter(
+            "parallel_fallbacks_total",
+            "Exchanges degraded to serial execution")
+        self._m_compile_ms = self.metrics.histogram(
+            "compile_ms", "Compile phases wall time (ms)")
+        self._m_execute_ms = self.metrics.histogram(
+            "execute_ms", "Statement execution wall time (ms)")
+        self._m_cache_entries = self.metrics.gauge(
+            "plan_cache_entries", "Plans currently cached")
+        from repro.executor.parallel import available_cores
+
+        self.metrics.gauge(
+            "worker_cores",
+            "CPUs available to the parallel worker pool "
+            "(sched_getaffinity)").set(available_cores())
 
     def parallel_runtime(self):
         """The per-database parallel runtime (created on first use)."""
@@ -163,6 +193,17 @@ class Database:
         """Release external resources (the parallel worker pool)."""
         if self._parallel_runtime is not None:
             self._parallel_runtime.close()
+
+    # ==== metrics ===============================================================
+
+    def metrics_snapshot(self) -> dict:
+        """Every metric's current value (gauges refreshed first)."""
+        self._m_cache_entries.set(len(self.plan_cache))
+        return self.metrics.snapshot()
+
+    def metrics_reset(self) -> None:
+        """Zero all metrics, keeping registrations."""
+        self.metrics.reset()
 
     # ==== statement execution ===================================================
 
@@ -184,12 +225,13 @@ class Database:
                                    txn)
         statement = parse_statement(stripped)
         if isinstance(statement, ast.ExplainStmt):
-            return self._explain_text(stripped, options=options)
+            return self._explain_text(stripped, statement=statement,
+                                      options=options)
         if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
                                   ast.CreateViewStmt, ast.DropStmt)):
             return self._execute_ddl(statement)
-        compiled = compile_statement(self, stripped, options=options)
-        return self.run_compiled(compiled, params, txn)
+        compiled = self._timed_compile(stripped, options)
+        return self.run_compiled(compiled, params, txn, options=options)
 
     def _fingerprint(self, sql: str,
                      options: CompileOptions) -> Optional[Fingerprint]:
@@ -210,9 +252,12 @@ class Database:
         key = (fingerprint.key, options.cache_key())
         entry = self.plan_cache.lookup(self.catalog, key)
         if entry is not None:
+            self._m_cache_hits.inc()
             entry.compiled.timings.pipeline = "cached"
             return self.run_compiled(entry.compiled,
-                                     fingerprint.recipe.bind(params), txn)
+                                     fingerprint.recipe.bind(params), txn,
+                                     options=options)
+        self._m_cache_misses.inc()
         if fingerprint.rewritten:
             # Validate the original text before compiling the
             # parameterized form: lifted literals become untyped
@@ -221,13 +266,14 @@ class Database:
             # The type class is part of the fingerprint, so every
             # statement sharing this key validates identically.
             compile_statement(self, sql, options=options)
-        compiled = compile_statement(
-            self, fingerprint.compile_text(sql), options=options)
+        compiled = self._timed_compile(fingerprint.compile_text(sql),
+                                       options)
         compiled.timings.pipeline = "compiled"
         # Cost-aware admission: one-off bulk DML executes uncached.
         self.plan_cache.admit(self.catalog, key, compiled)
         return self.run_compiled(compiled,
-                                 fingerprint.recipe.bind(params), txn)
+                                 fingerprint.recipe.bind(params), txn,
+                                 options=options)
 
     def prepare(self, sql: str,
                 options: Optional[CompileOptions] = None) -> Prepared:
@@ -249,25 +295,63 @@ class Database:
         return self.plan_cache.stats(self.catalog)
 
     def compile(self, sql: str,
-                options: Optional[CompileOptions] = None
-                ) -> CompiledStatement:
-        """Compile without executing (compilation is storable/reusable)."""
-        return compile_statement(self, sql.strip(), options=options)
+                options: Optional[CompileOptions] = None,
+                trace=None) -> CompiledStatement:
+        """Compile without executing (compilation is storable/reusable).
+
+        ``trace`` is an optional :class:`repro.obs.Trace` that collects
+        rewrite firings and optimizer decisions during this compile.
+        """
+        return self._timed_compile(sql.strip(), options, trace=trace)
+
+    def _timed_compile(self, sql: str,
+                       options: Optional[CompileOptions],
+                       trace=None) -> CompiledStatement:
+        compiled = compile_statement(self, sql, options=options,
+                                     trace=trace)
+        self._m_compile_ms.observe(compiled.timings.compile_total() * 1e3)
+        return compiled
 
     def run_compiled(self, compiled: CompiledStatement,
-                     params: Sequence[Any] = (), txn=None) -> Result:
+                     params: Sequence[Any] = (), txn=None,
+                     options: Optional[CompileOptions] = None) -> Result:
+        """Execute a compiled statement.
+
+        ``options`` carries this *execution's* runtime switches (today:
+        ``analyze``).  A cached plan's ``compiled.options`` reflects the
+        compile that produced it — which may have run with a different
+        analyze flag, since analyze is excluded from the cache key — so
+        callers serving cached plans pass their call-time options here.
+        Plan-shaping settings (batch size, parallelism) always come from
+        ``compiled.options``: they are baked into the plan.
+        """
+        run_options = options if options is not None else compiled.options
         started = time.perf_counter()
         ctx = ExecutionContext(self.engine, self.functions, params, txn)
         ctx.join_kinds = self.join_kinds
         ctx.compiled = compiled
+        profile = None
+        if run_options is not None and run_options.analyze \
+                and compiled.plan is not None:
+            from repro.obs.profile import PlanProfile
+
+            profile = PlanProfile(compiled.plan)
+            ctx.profile = profile
         if compiled.options is not None:
             ctx.batch_size = compiled.options.batch_size
             if compiled.options.parallelism != "off":
                 from repro.executor.parallel import (
-                    disabled_reason, fork_available)
+                    available_cores, disabled_reason, fork_available)
 
                 if fork_available():
                     ctx.parallel = self.parallel_runtime()
+                    cores = available_cores()
+                    if compiled.options.dop > cores:
+                        # Informational, not a fallback: the pool still
+                        # runs, extra workers just time-share cores.
+                        ctx.stats.parallel_reasons.append(
+                            "requested dop=%d exceeds %d available "
+                            "core(s)" % (compiled.options.dop, cores))
                 else:
                     ctx.stats.parallel_fallbacks += 1
                     ctx.stats.parallel_reasons.append(disabled_reason())
@@ -287,9 +371,14 @@ class Database:
         visible = compiled.qgm.visible_columns if compiled.qgm else None
         if visible is not None:
             rows = [row[:visible] for row in rows]
+        self._m_statements.inc()
+        self._m_rows.inc(len(rows))
+        self._m_execute_ms.observe(compiled.timings.execute * 1e3)
+        if ctx.stats.parallel_fallbacks:
+            self._m_parallel_fallbacks.inc(ctx.stats.parallel_fallbacks)
         return Result(compiled.output_columns(), rows,
                       rowcount=ctx.rowcount, timings=compiled.timings,
-                      stats=ctx.stats)
+                      stats=ctx.stats, profile=profile)
 
     def begin(self):
         """Start an explicit transaction (pass it to execute)."""
@@ -304,16 +393,32 @@ class Database:
     # ==== EXPLAIN ==================================================================
 
     def explain(self, sql: str,
-                options: Optional[CompileOptions] = None) -> str:
+                options: Optional[CompileOptions] = None,
+                analyze: bool = False,
+                trace: bool = False) -> str:
         """QGM before/after rewrite plus the chosen plan, as text.
 
         ``options`` (e.g. a non-default ``execution_mode``) flows through
         the whole pipeline, so the rendered plan shows exactly what that
         configuration would run — including per-node backend marks.
+
+        ``analyze`` executes the statement and renders the plan annotated
+        with actual per-operator rows and time (est-vs-actual).
+        ``trace`` appends the structured compile trace (rewrite firings,
+        optimizer decisions); with ``analyze`` it also forces a fresh
+        compile, since a cache hit has no compile phases to trace.
         """
         from repro.qgm.display import render_qgm
 
-        compiled = self.compile(sql, options=options)
+        if analyze:
+            return self._explain_analyze(sql, options, trace)
+
+        trace_obj = None
+        if trace:
+            from repro.obs.trace import Trace
+
+            trace_obj = Trace()
+        compiled = self.compile(sql, options=options, trace=trace_obj)
         parts = []
         if compiled.qgm_before_rewrite:
             parts.append("=== QGM (before rewrite) ===")
@@ -326,7 +431,43 @@ class Database:
         parts.append(compiled.plan.explain())
         parts.append(self._cache_status_line(sql.strip(),
                                              compiled.options))
+        if trace_obj is not None:
+            parts.append("=== trace (%d event(s)) ===" % len(trace_obj))
+            parts.append(trace_obj.render_text())
         return "\n".join(parts) + "\n"
+
+    def _explain_analyze(self, sql: str,
+                         options: Optional[CompileOptions],
+                         trace: bool) -> str:
+        from repro.executor.parallel import available_cores
+        from repro.obs.render import render_analyze
+
+        if options is None:
+            options = self.settings.compile_options()
+        run_options = options if options.analyze \
+            else options.replace(analyze=True)
+
+        trace_obj = None
+        if trace:
+            from repro.obs.trace import Trace
+
+            trace_obj = Trace()
+            compiled = self.compile(sql, options=run_options,
+                                    trace=trace_obj)
+            result = self.run_compiled(compiled, options=run_options)
+        else:
+            # The normal execute path: cache-aware, so EXPLAIN ANALYZE of
+            # a cached statement reports this run's actuals.
+            result = self.execute(sql, options=run_options)
+        if result.profile is None:
+            raise SemanticError(
+                "EXPLAIN ANALYZE needs a plan-producing statement")
+        text = render_analyze(result.profile, result.timings, result.stats,
+                              options=run_options, cores=available_cores())
+        if trace_obj is not None:
+            text += "\n=== trace (%d event(s)) ===\n" % len(trace_obj)
+            text += trace_obj.render_text()
+        return text + "\n"
 
     def _cache_status_line(self, sql: str, options: CompileOptions) -> str:
         """One line of plan-cache status, so EXPLAIN output (and the
@@ -346,12 +487,15 @@ class Database:
         return "plan: cached, epoch=%d, hits=%d, %s" % (
             entry.schema_epoch, entry.hits, epochs)
 
-    def _explain_text(self, sql: str,
+    def _explain_text(self, sql: str, statement=None,
                       options: Optional[CompileOptions] = None) -> Result:
         inner = sql.strip()
-        # strip the leading EXPLAIN keyword
+        # strip the leading EXPLAIN keyword (and ANALYZE when present)
         inner = inner[len("explain"):].lstrip()
-        text = self.explain(inner, options=options)
+        analyze = statement is not None and statement.analyze
+        if analyze and inner[:len("analyze")].lower() == "analyze":
+            inner = inner[len("analyze"):].lstrip()
+        text = self.explain(inner, options=options, analyze=analyze)
         rows = [(line,) for line in text.rstrip("\n").split("\n")]
         return Result(["plan"], rows)
 

@@ -98,13 +98,15 @@ class CompiledStatement:
 
 
 def compile_statement(db, text: str, validate: Optional[bool] = None,
-                      options: Optional[CompileOptions] = None
-                      ) -> CompiledStatement:
+                      options: Optional[CompileOptions] = None,
+                      trace=None) -> CompiledStatement:
     """Run the compile-time phases against a database's registries.
 
     ``options`` carries the whole pipeline configuration; when omitted it
     is snapshotted from ``db.settings``.  ``validate`` (kept for backward
     compatibility) overrides ``options.validate_qgm`` when given.
+    ``trace`` is an optional :class:`repro.obs.Trace` collecting rewrite
+    firings and optimizer decisions as structured events.
     """
     from repro.qgm.display import render_qgm
 
@@ -136,18 +138,25 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
     started = time.perf_counter()
     if options.rewrite_enabled and db.rewrite_engine is not None:
         qgm_before = render_qgm(qgm)
-        rewrite_report = db.rewrite_engine.run(qgm)
+        rewrite_report = db.rewrite_engine.run(qgm, trace=trace)
         if options.validate_qgm:
             validate_qgm(qgm)
     timings.rewrite = time.perf_counter() - started
+    if trace is not None:
+        trace.event("phase", name="rewrite", seconds=timings.rewrite,
+                    fired=(rewrite_report.fired
+                           if rewrite_report is not None else 0))
 
     started = time.perf_counter()
     optimizer = Optimizer(db.catalog, engine=db.engine,
                           settings=options.optimizer_settings(),
                           functions=db.functions,
-                          stars=db.stars)
+                          stars=db.stars,
+                          trace=trace)
     plan = optimizer.optimize(qgm)
     timings.optimize = time.perf_counter() - started
+    if trace is not None:
+        trace.event("phase", name="optimize", seconds=timings.optimize)
 
     # Plan refinement (QEP → executable QEP): verify every operator has an
     # interpreter and compile subquery-free expressions to closures (the
@@ -173,6 +182,8 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
 
         plan = parallelize_plan(plan, optimizer.generator, options)
     timings.refine = time.perf_counter() - started
+    if trace is not None:
+        trace.event("phase", name="refine", seconds=timings.refine)
 
     compiled = CompiledStatement(text, statement, qgm, plan, timings,
                                  qgm_before, rewrite_report)

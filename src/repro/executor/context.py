@@ -37,11 +37,11 @@ class ExecutionStats:
         self.__init__()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return ("<ExecStats scanned=%d emitted=%d probes=%d subq=%d "
-                "cache_hits=%d rec_iters=%d batches=%d fallbacks=%d>"
-                % (self.rows_scanned, self.rows_emitted, self.index_probes,
-                   self.subquery_evaluations, self.subquery_cache_hits,
-                   self.recursion_iterations, self.batches, self.fallbacks))
+        # Generated from vars() so newly added counters can never go
+        # stale in the repr again.
+        fields = " ".join("%s=%r" % (name, value)
+                          for name, value in sorted(vars(self).items()))
+        return "<ExecStats %s>" % fields
 
 
 class ExecutionContext:
@@ -86,6 +86,10 @@ class ExecutionContext:
         #: The owning Database's parallel runtime (worker-pool manager);
         #: None means Exchange operators execute their child inline.
         self.parallel = None
+        #: Per-operator runtime probes (:class:`repro.obs.PlanProfile`);
+        #: None — the default — means every dispatch site skips the
+        #: instrumentation wrappers entirely.
+        self.profile = None
 
     def bind_subplans(self, bindings) -> None:
         for binding in bindings:

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import ExecutionError
@@ -71,6 +72,17 @@ def disabled_reason() -> Optional[str]:
     return _disabled_reason
 
 
+def available_cores() -> int:
+    """Effective worker-pool capacity: the CPUs this process may actually
+    run on (its affinity mask), not the machine's total count — on
+    cgroup-restricted hosts the two differ and ``dop`` beyond the mask
+    just queues tasks."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 # ---------------------------------------------------------------------------
 # Worker side (runs in forked children)
 # ---------------------------------------------------------------------------
@@ -86,13 +98,18 @@ _WORKER_PLANS: dict = {}
 
 
 def _worker_run(task):
-    """Execute one morsel and return its materialized rows.
+    """Execute one morsel and return ``(rows, extra)``.
 
     ``task`` is (text, options, exchange_index, signature, page_lo,
     page_hi, params).  The worker compiles the statement against its
     forked database snapshot, finds the Exchange at ``exchange_index`` in
     ``plan.walk()`` order, verifies the structural signature, and runs
     the Exchange's child with the scan restricted to the page range.
+
+    ``extra`` is None normally; under ``options.analyze`` it is
+    ``(profile_export, stats_export)`` — the worker's per-operator probes
+    keyed by walk index plus its ExecutionStats counters, for the
+    coordinator to merge (EXPLAIN ANALYZE through a Gather).
     """
     from repro.core.pipeline import compile_statement
     from repro.executor.context import ExecutionContext
@@ -121,6 +138,10 @@ def _worker_run(task):
     ctx.batch_size = options.batch_size
     ctx.morsel_range = (lo, hi)
     ctx.morsel_scan = node.morsel_scan
+    if options.analyze:
+        from repro.obs.profile import PlanProfile
+
+        ctx.profile = PlanProfile(compiled.plan)
     rows = list(rows_iter(node.children[0], ctx, {}))
     if isinstance(node, pl.MergeGather):
         # Local sort (stable, so ties stay in scan order) and top-K cut:
@@ -128,7 +149,12 @@ def _worker_run(task):
         rows.sort(key=lambda row: _null_last_key(row, node.positions))
         if node.limit_hint is not None:
             del rows[node.limit_hint:]
-    return rows
+    extra = None
+    if ctx.profile is not None:
+        from repro.obs.profile import export_stats
+
+        extra = (ctx.profile.export(), export_stats(ctx.stats))
+    return rows, extra
 
 
 def _signature(exchange) -> str:
@@ -281,9 +307,16 @@ class ParallelRuntime:
             return self._inline(exchange, ctx,
                                 "exchange not found in the compiled plan")
         signature = _signature(exchange)
+        # A cached plan's options may carry a stale analyze flag (analyze
+        # is excluded from the cache key); workers must follow this run's
+        # actual profile state.  cache_key() ignores analyze, so both
+        # variants share one compiled plan in the worker memo.
+        options = compiled.options
+        if options.analyze != (ctx.profile is not None):
+            options = options.replace(analyze=ctx.profile is not None)
         try:
             pool = self._ensure_pool(exchange.dop)
-            tasks = [(compiled.text, compiled.options, exchange_index,
+            tasks = [(compiled.text, options, exchange_index,
                       signature, lo, hi, tuple(ctx.params))
                      for lo, hi in morsels]
             results = pool.map(_worker_run, tasks)
@@ -295,16 +328,29 @@ class ParallelRuntime:
             return self._inline(exchange, ctx,
                                 "parallel execution failed: %r" % (exc,))
         ctx.stats.morsels += len(morsels)
+        parts = []
+        for part_rows, extra in results:
+            parts.append(part_rows)
+            if extra is not None and ctx.profile is not None:
+                from repro.obs.profile import merge_stats
+
+                exported_probes, exported_stats = extra
+                ctx.profile.merge_worker(exported_probes)
+                merge_stats(ctx.stats, exported_stats)
+        if ctx.profile is not None:
+            ctx.profile.note_exchange(
+                exchange, morsels=len(morsels),
+                workers=min(exchange.dop, len(morsels)))
         if isinstance(exchange, pl.MergeGather):
             from repro.executor.run import _null_last_key
 
             positions = exchange.positions
             rows = list(heapq.merge(
-                *results,
+                *parts,
                 key=lambda row: _null_last_key(row, positions)))
         elif (isinstance(exchange, pl.Gather)
                 and exchange.merge_groups is not None):
-            rows = _merge_partial_groups(exchange.merge_groups, results)
+            rows = _merge_partial_groups(exchange.merge_groups, parts)
         else:
-            rows = [row for part in results for row in part]
+            rows = [row for part in parts for row in part]
         return iter(rows)

@@ -263,7 +263,10 @@ def _env_batches(plan: pl.PlanOp, ctx: ExecutionContext,
     as a fallback)."""
     if plan.exec_backend == "batch":
         handler = _BATCH_ENV_OPS[type(plan)]
-        for batch in handler(plan, ctx, env):
+        stream = handler(plan, ctx, env)
+        if ctx.profile is not None:
+            stream = ctx.profile.iter_batches(plan, stream)
+        for batch in stream:
             ctx.stats.batches += 1
             yield batch
         return
@@ -307,7 +310,10 @@ def _row_batches(plan: pl.PlanOp, ctx: ExecutionContext,
     :func:`_env_batches`."""
     if plan.exec_backend == "batch":
         handler = _BATCH_ROW_OPS[type(plan)]
-        for batch in handler(plan, ctx, env):
+        stream = handler(plan, ctx, env)
+        if ctx.profile is not None:
+            stream = ctx.profile.iter_batches(plan, stream)
+        for batch in stream:
             ctx.stats.batches += 1
             yield batch
         return
@@ -329,7 +335,10 @@ def envs_from_batches(plan: pl.PlanOp, ctx: ExecutionContext, env: Env,
     if count_fallback:
         ctx.stats.fallbacks += 1
     handler = _BATCH_ENV_OPS[type(plan)]
-    for batch in handler(plan, ctx, env):
+    stream = handler(plan, ctx, env)
+    if ctx.profile is not None:
+        stream = ctx.profile.iter_batches(plan, stream)
+    for batch in stream:
         ctx.stats.batches += 1
         yield from batch.envs(env)
 
@@ -342,7 +351,10 @@ def rows_from_batches(plan: pl.PlanOp, ctx: ExecutionContext, env: Env,
     if count_fallback:
         ctx.stats.fallbacks += 1
     handler = _BATCH_ROW_OPS[type(plan)]
-    for batch in handler(plan, ctx, env):
+    stream = handler(plan, ctx, env)
+    if ctx.profile is not None:
+        stream = ctx.profile.iter_batches(plan, stream)
+    for batch in stream:
         ctx.stats.batches += 1
         yield from batch.iter_rows()
 

@@ -513,7 +513,10 @@ class DropStmt(Statement):
 
 
 class ExplainStmt(Statement):
-    __slots__ = ("statement",)
+    __slots__ = ("statement", "analyze")
 
-    def __init__(self, statement: Statement):
+    def __init__(self, statement: Statement, analyze: bool = False):
         self.statement = statement
+        #: EXPLAIN ANALYZE: execute the statement and annotate the plan
+        #: with actual per-operator rows and time.
+        self.analyze = analyze

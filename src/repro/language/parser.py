@@ -91,7 +91,16 @@ class Parser:
         token = self._peek()
         if token.is_keyword("explain"):
             self._next()
-            return ast.ExplainStmt(self._statement())
+            # ANALYZE is deliberately not a reserved keyword (it would
+            # steal a perfectly good column name); match it as the bare
+            # identifier the lexer lowercased.
+            analyze = False
+            following = self._peek()
+            if following.type is TokenType.IDENT \
+                    and following.text == "analyze":
+                self._next()
+                analyze = True
+            return ast.ExplainStmt(self._statement(), analyze=analyze)
         if token.is_keyword("select", "with") or token.is_punct("("):
             return self._query_expression()
         if token.is_keyword("insert"):

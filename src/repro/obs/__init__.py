@@ -1,0 +1,31 @@
+"""Observability: runtime profiles, compile traces, process metrics.
+
+Three independent pieces, all opt-in and all zero-cost when unused:
+
+- :mod:`repro.obs.profile` — per-operator runtime instrumentation behind
+  ``CompileOptions.analyze`` (rows, batches, wall time per LOLEPOP on the
+  tuple, batch and parallel execution paths),
+- :mod:`repro.obs.trace` — structured compile-phase tracing (rewrite rule
+  firings, STAR expansions, optimizer pruning and winner decisions),
+- :mod:`repro.obs.metrics` — a process-level metrics registry (counters,
+  gauges, latency histograms) with Prometheus-style text exposition.
+
+:mod:`repro.obs.render` turns a profile into ``EXPLAIN ANALYZE`` text.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import OpProbe, PlanProfile
+from repro.obs.render import render_analyze
+from repro.obs.trace import Trace, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpProbe",
+    "PlanProfile",
+    "Trace",
+    "TraceEvent",
+    "render_analyze",
+]

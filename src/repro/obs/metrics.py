@@ -1,0 +1,197 @@
+"""A process-level metrics registry: counters, gauges, histograms.
+
+The registry lives on :class:`repro.core.database.Database` and is fed by
+the execute/serve paths (statement counts, compile/execute latency, rows,
+plan-cache hits and misses, parallel fallbacks).  ``snapshot()`` returns a
+plain dict for programmatic scraping; ``exposition()`` renders the
+Prometheus text format so an HTTP handler can serve ``/metrics`` with a
+one-liner.  No dependencies, no locks: the engine is single-threaded per
+Database (parallel workers are processes and report through their task
+results, not through this registry).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default latency buckets, in milliseconds (also fine for row counts —
+#: callers pass their own buckets when the shape differs).
+DEFAULT_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                   100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self.value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; got %r" % (amount,))
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (pool sizes, cache entries)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = name
+        self.help = help_text
+        self.value = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """A latency/size distribution with fixed upper-bound buckets.
+
+    ``counts[i]`` is the number of observations <= ``buckets[i]`` and
+    > the previous bound (non-cumulative internally; the exposition
+    renders the cumulative Prometheus form with a ``+Inf`` bucket).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "overflow", "sum",
+                 "count")
+
+    def __init__(self, name: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.help = help_text
+        self.buckets: Tuple[float, ...] = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not self.buckets:
+            raise ValueError("histogram %s needs at least one bucket"
+                             % name)
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = bisect_left(self.buckets, value)
+        if index < len(self.counts):
+            self.counts[index] += 1
+        else:
+            self.overflow += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def snapshot(self) -> dict:
+        cumulative = 0
+        out = OrderedDict()
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            out[bound] = cumulative
+        return {"count": self.count, "sum": self.sum, "buckets": out}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use and stable thereafter."""
+
+    def __init__(self, prefix: str = ""):
+        self.prefix = prefix
+        self._metrics: "OrderedDict[str, object]" = OrderedDict()
+
+    def _register(self, name: str, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise ValueError(
+                    "metric %s already registered as a %s"
+                    % (name, type(metric).kind))
+            return metric
+        metric = kind(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._register(name, Counter, help_text=help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._register(name, Gauge, help_text=help_text)
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._register(name, Histogram, help_text=help_text,
+                              buckets=buckets)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Every metric's current value as a plain dict."""
+        return {name: metric.snapshot()
+                for name, metric in self._metrics.items()}
+
+    def reset(self) -> None:
+        """Zero every metric, keeping registrations (and help text)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def exposition(self) -> str:
+        """Prometheus text exposition format, one block per metric."""
+        lines: List[str] = []
+        for name, metric in self._metrics.items():
+            full = self.prefix + name
+            if metric.help:
+                lines.append("# HELP %s %s" % (full, metric.help))
+            lines.append("# TYPE %s %s" % (full, metric.kind))
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append('%s_bucket{le="%s"} %d'
+                                 % (full, _fmt(bound), cumulative))
+                lines.append('%s_bucket{le="+Inf"} %d'
+                             % (full, metric.count))
+                lines.append("%s_sum %s" % (full, _fmt(metric.sum)))
+                lines.append("%s_count %d" % (full, metric.count))
+            else:
+                lines.append("%s %s" % (full, _fmt(metric.value)))
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: Union[int, float]) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,121 @@
+"""Render a :class:`PlanProfile` as ``EXPLAIN ANALYZE`` text.
+
+The layout mirrors ``PlanOp.explain`` (same indentation, same static
+marks for order/backend/dop/fallback) with each operator line extended by
+its runtime: actual rows vs the optimizer's estimate, inclusive wall time
+and its share of total execution, loop and batch counts, and — below an
+Exchange — the rows/time the parallel workers spent producing the subtree
+in other processes.  A trailing summary reports worker-pool capacity,
+Figure-1 phase timings, and the execution-stats counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def _ms(nanoseconds: int) -> str:
+    return "%.3f" % (nanoseconds / 1e6)
+
+
+def _node_line(node, profile, total_ns: int, depth: int) -> str:
+    static = "cost=%.2f est=%.1f" % (node.props.cost, node.props.card)
+    marks = ""
+    if node.props.order:
+        marks += " order=" + str(list(node.props.order))
+    if node.exec_backend == "batch":
+        marks += " backend=batch"
+    if node.props.dop > 1:
+        marks += " dop=%d" % node.props.dop
+    if getattr(node, "fallback_mark", None):
+        marks += " fallback=%s" % node.fallback_mark
+
+    probe = profile.probe_for(node)
+    if probe is None or probe.loops == 0 and probe.worker_tasks == 0:
+        actual = "(never executed)"
+    else:
+        pieces = ["rows=%d" % probe.rows]
+        if probe.batches:
+            pieces.append("batches=%d" % probe.batches)
+        if probe.loops > 1:
+            pieces.append("loops=%d" % probe.loops)
+        pieces.append("time=%sms" % _ms(probe.time_ns))
+        if total_ns > 0:
+            pieces.append("%.1f%%" % (100.0 * probe.time_ns / total_ns))
+        if probe.worker_tasks:
+            worker = "workers(rows=%d time=%sms tasks=%d" % (
+                probe.worker_rows, _ms(probe.worker_time_ns),
+                probe.worker_tasks)
+            if probe.worker_batches:
+                worker += " batches=%d" % probe.worker_batches
+            pieces.append(worker + ")")
+        actual = "actual " + " ".join(pieces)
+
+    detail = profile.exchanges.get(id(node))
+    exchange = ""
+    if detail is not None:
+        exchange = " exchange(morsels=%d workers=%d runs=%d)" % (
+            detail["morsels"], detail["workers"], detail["runs"])
+
+    return "%s%s  (%s%s) (%s)%s" % ("  " * depth, node.describe(), static,
+                                    marks, actual, exchange)
+
+
+def _render_tree(node, profile, total_ns: int, depth: int,
+                 lines: List[str]) -> None:
+    lines.append(_node_line(node, profile, total_ns, depth))
+    for child in node.children:
+        _render_tree(child, profile, total_ns, depth + 1, lines)
+    for binding in getattr(node, "subplans", []):
+        lines.append("%s[subquery %s:%s]" % ("  " * (depth + 1),
+                                             binding.quantifier.name,
+                                             binding.quantifier.qtype))
+        _render_tree(binding.plan, profile, total_ns, depth + 2, lines)
+
+
+def render_analyze(profile, timings=None, stats=None, options=None,
+                   cores: Optional[int] = None) -> str:
+    """Text report for one analyzed execution.
+
+    ``profile`` is the populated :class:`PlanProfile`; ``timings`` the
+    :class:`PhaseTimings` (``execute`` supplies the denominator for
+    per-operator percentages), ``stats`` the :class:`ExecutionStats`,
+    ``cores`` the effective worker-pool capacity to report.
+    """
+    total_ns = int(timings.execute * 1e9) if timings is not None else 0
+
+    title = "=== EXPLAIN ANALYZE ==="
+    if options is not None:
+        described = options.describe()
+        if described:
+            title = "=== EXPLAIN ANALYZE (%s) ===" % described
+    lines = [title]
+    _render_tree(profile.plan, profile, total_ns, 0, lines)
+
+    if cores is not None:
+        requested = getattr(options, "dop", None) if options is not None \
+            else None
+        note = "worker pool: %d core(s) available" % cores
+        if requested and requested > cores:
+            note += " (requested dop=%d exceeds cores)" % requested
+        lines.append(note)
+
+    if timings is not None:
+        lines.append(
+            "phases: parse=%.3fms rewrite=%.3fms optimize=%.3fms "
+            "refine=%.3fms execute=%.3fms (%s)"
+            % (timings.parse * 1e3, timings.rewrite * 1e3,
+               timings.optimize * 1e3, timings.refine * 1e3,
+               timings.execute * 1e3, timings.pipeline))
+
+    if stats is not None:
+        lines.append(
+            "execution: scanned=%d emitted=%d batches=%d fallbacks=%d "
+            "exchanges=%d morsels=%d parallel_fallbacks=%d"
+            % (stats.rows_scanned, stats.rows_emitted, stats.batches,
+               stats.fallbacks, stats.parallel_exchanges, stats.morsels,
+               stats.parallel_fallbacks))
+        for reason in stats.parallel_reasons:
+            lines.append("parallel note: %s" % reason)
+
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Structured compile-phase tracing.
+
+A :class:`Trace` is a list of typed :class:`TraceEvent` records emitted
+by the rewrite engine (rule firings: rule name, rule class, box, budget
+spent) and the optimizer (STAR expansions, glue insertions, plans pruned
+with their losing costs, per-box winners with a cost breakdown).  Events
+render as one-line text (``Trace.render_text``) or JSON
+(``Trace.to_json``) — the raw material for auditing which rules fired on
+which boxes and why the optimizer chose what it chose.
+
+Tracing is opt-in: every emit site is guarded by ``trace is not None``,
+so the default compile path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class TraceEvent:
+    """One typed event: a kind plus kind-specific fields.
+
+    Kinds in use today (extensible — DBC code may emit its own):
+
+    - ``phase``            — one Figure-1 compile phase completed,
+    - ``rewrite.fire``     — a rewrite rule fired on a box,
+    - ``rewrite.budget``   — the rewrite budget was exhausted,
+    - ``star``             — a STAR expansion produced plans,
+    - ``glue.parallel``    — the parallel glue spliced an Exchange,
+    - ``optimizer.prune``  — plans pruned with their losing costs,
+    - ``optimizer.winner`` — a box's winning plan and cost,
+    - ``optimizer.plan``   — the final plan's cost breakdown.
+    """
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self, kind: str, **data: Any):
+        self.kind = kind
+        self.data = data
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = {"kind": self.kind}
+        out.update(self.data)
+        return out
+
+    def render(self) -> str:
+        fields = " ".join("%s=%s" % (key, _compact(value))
+                          for key, value in self.data.items())
+        return "%-16s %s" % (self.kind, fields) if fields else self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<TraceEvent %s>" % self.render()
+
+
+def _compact(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.3f" % value
+    if isinstance(value, str):
+        return value if " " not in value else repr(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_compact(v) for v in value) + "]"
+    return repr(value)
+
+
+class Trace:
+    """An append-only event log for one compilation."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def event(self, kind: str, **data: Any) -> TraceEvent:
+        record = TraceEvent(kind, **data)
+        self.events.append(record)
+        return record
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def render_text(self, limit: Optional[int] = None) -> str:
+        """One line per event, in emission order."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [event.render() for event in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append("... (%d more event(s))"
+                         % (len(self.events) - limit))
+        return "\n".join(lines)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps([event.as_dict() for event in self.events],
+                          indent=indent, default=repr)

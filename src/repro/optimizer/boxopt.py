@@ -117,7 +117,8 @@ class Optimizer:
     def __init__(self, catalog, engine=None,
                  settings: Optional[OptimizerSettings] = None,
                  functions=None,
-                 stars: Optional[dict] = None):
+                 stars: Optional[dict] = None,
+                 trace=None):
         self.catalog = catalog
         self.engine = engine
         self.functions = functions
@@ -125,6 +126,10 @@ class Optimizer:
         self.cm = CostModel(catalog)
         context = _PlannerContext(self.cm, engine, self.settings)
         self.generator = PlanGenerator(stars or default_star_array(), context)
+        #: Optional :class:`repro.obs.Trace` for optimizer decisions;
+        #: shared with the generator (STAR expansions) and enumerators.
+        self.trace = trace
+        self.generator.trace = trace
         self.enumerator_stats: List = []
         self._memo: Dict[Box, PlanOp] = {}
         self._recursion_stack: Set[Box] = set()
@@ -140,6 +145,12 @@ class Optimizer:
             plan = TopSort(self.cm, plan, qgm.order_by)
         if qgm.limit is not None:
             plan = LimitOp(self.cm, plan, qgm.limit)
+        if self.trace is not None:
+            self.trace.event(
+                "optimizer.plan", cost=round(plan.props.cost, 2),
+                card=round(plan.props.card, 1),
+                breakdown=[(node.describe(), round(node.props.cost, 2))
+                           for node in plan.walk()])
         return plan
 
     # -- per-box dispatch ---------------------------------------------------------------
@@ -224,10 +235,18 @@ class Optimizer:
                 allow_bushy=self.settings.allow_bushy,
                 allow_cartesian=self.settings.allow_cartesian,
                 strategy=self.settings.join_enumeration,
-                dependencies=dependencies)
+                dependencies=dependencies,
+                trace=self.trace)
             plans = enumerator.enumerate(single_plans, join_preds)
             self.enumerator_stats.append(enumerator.stats)
             plan = min(plans, key=lambda p: p.props.cost)
+            if self.trace is not None:
+                self.trace.event(
+                    "optimizer.winner", box=box.label(),
+                    plan=plan.describe(),
+                    cost=round(plan.props.cost, 2),
+                    card=round(plan.props.card, 1),
+                    considered=len(plans))
         else:
             # SELECT without FROM: one empty binding.
             plan = _SingletonPlan(self.cm)

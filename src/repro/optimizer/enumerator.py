@@ -66,11 +66,14 @@ class JoinEnumerator:
 
     def __init__(self, generator: PlanGenerator, allow_bushy: bool = False,
                  allow_cartesian: bool = False, strategy: str = "dp",
-                 dependencies=None):
+                 dependencies=None, trace=None):
         if strategy not in ("dp", "greedy"):
             raise OptimizerError(
                 "unknown join enumeration strategy %r" % (strategy,))
         self.generator = generator
+        #: Optional :class:`repro.obs.Trace`; pruning decisions emit
+        #: ``optimizer.prune`` events with the losing plans' costs.
+        self.trace = trace
         self.allow_bushy = allow_bushy
         self.allow_cartesian = allow_cartesian
         self.strategy = strategy
@@ -84,6 +87,19 @@ class JoinEnumerator:
 
     def _deps(self, quantifier: Quantifier) -> FrozenSet[Quantifier]:
         return self.dependencies.get(quantifier, frozenset())
+
+    def _emit_prune(self, subset, plans: List[PlanOp],
+                    kept: List[PlanOp]) -> None:
+        if self.trace is None or len(plans) <= len(kept):
+            return
+        kept_ids = {id(plan) for plan in kept}
+        losing = sorted(plan.props.cost for plan in plans
+                        if id(plan) not in kept_ids)
+        self.trace.event(
+            "optimizer.prune",
+            subset=sorted(q.name for q in subset),
+            considered=len(plans), kept=len(kept),
+            losing_costs=[round(cost, 2) for cost in losing[:8]])
 
     def _outer_ok(self, outer_set: FrozenSet[Quantifier]) -> bool:
         """An outer side must be self-contained: it is evaluated before
@@ -154,6 +170,7 @@ class JoinEnumerator:
                             plans.extend(produced)
                 if plans:
                     memo[subset] = prune_plans(plans)
+                    self._emit_prune(subset, plans, memo[subset])
                     self.stats.plans_kept += len(memo[subset])
                     self.stats.sets_enumerated += 1
 
@@ -164,7 +181,8 @@ class JoinEnumerator:
                 fallback = JoinEnumerator(self.generator,
                                           allow_bushy=self.allow_bushy,
                                           allow_cartesian=True,
-                                          dependencies=self.dependencies)
+                                          dependencies=self.dependencies,
+                                          trace=self.trace)
                 result = fallback.enumerate(single_plans, join_preds)
                 self.stats.pairs_considered += fallback.stats.pairs_considered
                 self.stats.plans_generated += fallback.stats.plans_generated
@@ -243,6 +261,7 @@ class JoinEnumerator:
             remaining.remove(chosen)
             current_set = current_set | {chosen}
             current_plans = prune_plans(plans)
+            self._emit_prune(current_set, plans, current_plans)
             self.stats.plans_kept += len(current_plans)
             self.stats.sets_enumerated += 1
         return current_plans

@@ -113,6 +113,9 @@ class PlanGenerator:
                       for name, star in stars.items()}
         self.context = context
         self.stats = GeneratorStats()
+        #: Optional :class:`repro.obs.Trace`; when set, every expansion
+        #: that produces plans emits a ``star`` event.
+        self.trace = None
 
     # -- rule array maintenance (DBC API) -----------------------------------------
 
@@ -163,6 +166,11 @@ class PlanGenerator:
             produced = alternative.produce(self, args)
             self.stats.plans_generated += len(produced)
             plans.extend(produced)
+        if self.trace is not None and plans:
+            self.trace.event(
+                "star", star=star_name, alternatives=len(star.alternatives),
+                produced=len(plans),
+                plans=[plan.describe() for plan in plans[:3]])
         return plans
 
     def cheapest(self, star_name: str, **args: Any) -> Optional[PlanOp]:
@@ -731,6 +739,12 @@ def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
                 # EXPLAIN annotation: the exchange consumes rows, so a
                 # batch→tuple adapter sits directly below it.
                 chosen.fallback_mark = "batch-below"
+        if generator.trace is not None:
+            generator.trace.event(
+                "glue.parallel", node=node.describe(),
+                scan=scan.table.name, eligible=eligible(scan),
+                spliced=(chosen.describe() if isinstance(chosen, Exchange)
+                         else None), dop=dop)
         return chosen
 
     def rewrite(node: PlanOp, limit_above: Optional[int] = None) -> PlanOp:

@@ -181,6 +181,13 @@ class RewriteEngine:
     def rule_count(self) -> int:
         return len(self.rules())
 
+    def class_of(self, rule: Rule) -> Optional[str]:
+        """The rule class a rule is registered under (None if unknown)."""
+        for class_name, rules in self.rule_classes.items():
+            if rule in rules:
+                return class_name
+        return None
+
     # -- search facility ------------------------------------------------------------------
 
     def browse(self, qgm: QGM) -> List[Box]:
@@ -204,8 +211,13 @@ class RewriteEngine:
 
     # -- the engine proper -----------------------------------------------------------------
 
-    def run(self, qgm: QGM) -> RewriteReport:
-        """Fire rules to fixpoint (or until the budget runs out)."""
+    def run(self, qgm: QGM, trace=None) -> RewriteReport:
+        """Fire rules to fixpoint (or until the budget runs out).
+
+        ``trace`` is an optional :class:`repro.obs.Trace`; every firing
+        emits a ``rewrite.fire`` event (rule name, rule class, box label,
+        budget spent so far).
+        """
         report = RewriteReport()
         context = RuleContext(qgm, self.db)
         rng = random.Random(self.seed)
@@ -218,6 +230,8 @@ class RewriteEngine:
                 break
             if remaining <= 0:
                 report.budget_exhausted = True
+                if trace is not None:
+                    trace.event("rewrite.budget", budget=self.budget)
                 break
             rule, box, match = firing
             try:
@@ -230,6 +244,11 @@ class RewriteEngine:
                 ) from exc
             remaining -= 1
             report.firings.append((rule.name, box.label()))
+            if trace is not None:
+                trace.event("rewrite.fire", rule=rule.name,
+                            rule_class=self.class_of(rule),
+                            box=box.label(),
+                            budget_spent=self.budget - remaining)
             qgm.garbage_collect()
         return report
 

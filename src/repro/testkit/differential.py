@@ -102,6 +102,16 @@ def default_matrix() -> List[Config]:
                             execution_mode="batch"),
                byte_identical=True,
                reference=base.replace(execution_mode="batch")),
+        # Observability must never change answers: run with per-operator
+        # instrumentation on, over the heaviest config (parallel + batch,
+        # so every wrapper including the worker-profile merge is live),
+        # and require byte-identical rows vs the uninstrumented run.
+        Config("analyze",
+               base.replace(analyze=True, parallelism="on", dop=4,
+                            execution_mode="batch"),
+               byte_identical=True,
+               reference=base.replace(parallelism="on", dop=4,
+                                      execution_mode="batch")),
     ]
 
 

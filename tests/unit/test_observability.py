@@ -1,0 +1,433 @@
+"""The observability subsystem: per-operator profiles (EXPLAIN ANALYZE),
+compile-phase tracing, and the process-level metrics registry.
+
+The load-bearing properties: analyze-off allocates no wrapper objects
+(zero overhead when disabled), analyze-on never changes answers (also
+enforced by the differential ``analyze`` config), parallel worker probes
+merge back through the Gather, and cached executions report *this run's*
+actuals rather than the cold compile's.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CompileOptions, Database
+from repro.errors import SemanticError
+from repro.executor import parallel
+from repro.executor.context import ExecutionStats
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PlanProfile,
+    Trace,
+)
+
+
+@pytest.fixture(scope="module")
+def obs_db() -> Database:
+    db = Database(pool_capacity=512)
+    db.execute("CREATE TABLE t (id INTEGER, v INTEGER, g INTEGER)")
+    db.execute("CREATE TABLE names (g INTEGER, label VARCHAR(10))")
+    txn = db.begin()
+    for i in range(20000):
+        db.engine.insert(txn, "t", (i, i % 97, i % 7))
+    for i in range(7):
+        db.engine.insert(txn, "names", (i, "g%d" % i))
+    db.commit(txn)
+    db.analyze()
+    yield db
+    db.close()
+
+
+def _options(db, **overrides) -> CompileOptions:
+    return CompileOptions.from_settings(db.settings).replace(**overrides)
+
+
+# ---------------------------------------------------------------------------
+# Per-operator profiles
+# ---------------------------------------------------------------------------
+
+
+class TestPlanProfile:
+    def test_tuple_path_counts_rows_and_time(self, obs_db):
+        result = obs_db.execute("SELECT id FROM t WHERE v < 3",
+                                options=_options(obs_db, analyze=True))
+        profile = result.profile
+        assert profile is not None
+        scan = next(n for n in profile.plan.walk()
+                    if n.op_name == "SCAN")
+        probe = profile.probe_for(scan)
+        assert probe is not None
+        assert probe.rows == len(result.rows)
+        assert probe.time_ns > 0
+        assert probe.loops == 1
+
+    def test_analyze_answers_match_plain(self, obs_db):
+        sql = ("SELECT t.g, count(*), sum(t.v) FROM t, names "
+               "WHERE t.g = names.g GROUP BY t.g")
+        plain = obs_db.execute(sql, options=_options(obs_db))
+        analyzed = obs_db.execute(sql,
+                                  options=_options(obs_db, analyze=True))
+        assert analyzed.rows == plain.rows
+        assert analyzed.columns == plain.columns
+
+    def test_batch_path_counts_batches(self, obs_db):
+        result = obs_db.execute(
+            "SELECT id, v FROM t WHERE v < 50",
+            options=_options(obs_db, execution_mode="batch",
+                             analyze=True))
+        scan = next(n for n in result.profile.plan.walk()
+                    if n.op_name == "SCAN")
+        probe = result.profile.probe_for(scan)
+        assert probe.batches > 0
+        # Batch probes count live (selected) rows, not batch capacity.
+        assert probe.rows == len(result.rows)
+        assert probe.rows < 20000
+
+    def test_analyze_off_allocates_no_wrappers(self, obs_db, monkeypatch):
+        """With analyze off, no PlanProfile (and hence no probe or
+        wrapper generator) may ever be constructed."""
+        def boom(*_args, **_kwargs):
+            raise AssertionError("PlanProfile constructed with analyze off")
+
+        import repro.obs.profile as profile_module
+
+        monkeypatch.setattr(profile_module, "PlanProfile", boom)
+        result = obs_db.execute(
+            "SELECT id FROM t WHERE v < 3",
+            options=_options(obs_db, execution_mode="batch"))
+        assert result.profile is None
+        assert len(result.rows) > 0
+
+    def test_loops_count_reevaluated_subplans(self, obs_db):
+        # rewrite off keeps the correlated subquery as a subplan that is
+        # re-evaluated per outer row (7 distinct correlation values).
+        result = obs_db.execute(
+            "SELECT g FROM names "
+            "WHERE g IN (SELECT g FROM t WHERE t.id = names.g)",
+            options=_options(obs_db, rewrite_enabled=False,
+                             analyze=True))
+        probes = [result.profile.probe_for(node)
+                  for node in result.profile.plan.walk()]
+        assert any(p is not None and p.loops == 7 for p in probes), \
+            "a subplan re-opened per correlation value must show loops=7"
+
+
+class TestParallelMerge:
+    def test_worker_probes_merge_through_gather(self, obs_db):
+        result = obs_db.execute(
+            "SELECT id, v + g FROM t WHERE v < 30",
+            options=_options(obs_db, parallelism="on", dop=4,
+                             analyze=True))
+        profile = result.profile
+        exchange = next(n for n in profile.plan.walk()
+                        if n.op_name.startswith("GATHER"))
+        detail = profile.exchanges[id(exchange)]
+        assert detail["morsels"] >= 2
+        assert detail["workers"] >= 2
+        scan = next(n for n in profile.plan.walk() if n.op_name == "SCAN")
+        probe = profile.probe_for(scan)
+        # The scan ran only inside workers; its rows arrive via merge.
+        assert probe.worker_rows > 0
+        assert probe.worker_time_ns > 0
+        assert probe.worker_tasks == detail["morsels"]
+        # Worker-side execution stats merge into the coordinator's.
+        assert result.stats.rows_scanned == 20000
+
+    def test_parallel_analyze_rows_identical(self, obs_db):
+        sql = "SELECT id, v FROM t WHERE v > 90 ORDER BY v, id LIMIT 13"
+        serial = obs_db.execute(sql, options=_options(obs_db))
+        par = obs_db.execute(
+            sql, options=_options(obs_db, parallelism="on", dop=4,
+                                  execution_mode="batch", analyze=True))
+        assert par.rows == serial.rows
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE rendering
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    def test_parallel_batch_rendering(self, obs_db):
+        """The acceptance-criteria query: parallel + batch EXPLAIN
+        ANALYZE shows actual rows, time, est-vs-actual, worker stats."""
+        text = obs_db.explain(
+            "SELECT id, v + g FROM t WHERE v < 30",
+            options=_options(obs_db, parallelism="on", dop=4,
+                             execution_mode="batch"),
+            analyze=True)
+        assert "EXPLAIN ANALYZE" in text
+        assert "est=" in text and "actual rows=" in text
+        assert "time=" in text and "%" in text
+        assert "workers(rows=" in text
+        assert "exchange(morsels=" in text
+        assert "backend=batch" in text
+        assert "phases:" in text and "execute=" in text
+        assert "worker pool:" in text
+
+    def test_statement_form(self, obs_db):
+        result = obs_db.execute(
+            "EXPLAIN ANALYZE SELECT count(*) FROM t WHERE g = 2")
+        text = "\n".join(line for (line,) in result.rows)
+        assert "EXPLAIN ANALYZE" in text
+        assert "actual rows=" in text
+
+    def test_plain_explain_unchanged(self, obs_db):
+        text = obs_db.explain("SELECT id FROM t WHERE v < 3")
+        assert "=== plan ===" in text
+        assert "actual" not in text
+
+    def test_analyze_of_ddl_rejected(self, obs_db):
+        with pytest.raises(SemanticError):
+            obs_db.explain("CREATE TABLE nope (a INTEGER)", analyze=True)
+
+    def test_dop_exceeding_cores_is_reported(self, obs_db, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cores", lambda: 2)
+        text = obs_db.explain(
+            "SELECT id FROM t WHERE v < 3",
+            options=_options(obs_db, parallelism="on", dop=64),
+            analyze=True)
+        assert "requested dop=64 exceeds" in text
+        result = obs_db.execute(
+            "SELECT id FROM t WHERE v < 3",
+            options=_options(obs_db, parallelism="on", dop=64))
+        assert any("dop=64 exceeds" in reason
+                   for reason in result.stats.parallel_reasons)
+
+
+# ---------------------------------------------------------------------------
+# Cached-plan co-existence (PhaseTimings on the cached path)
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzeWithPlanCache:
+    def test_cached_run_records_fresh_execute_timing(self):
+        db = Database()
+        db.execute("CREATE TABLE c (a INTEGER)")
+        db.execute("INSERT INTO c VALUES (1)")
+        sql = "SELECT a FROM c WHERE a > 0"
+        first = db.execute(sql)
+        assert first.timings.pipeline == "compiled"
+        # Poison the timing; a cache-served run must overwrite it.
+        first.timings.execute = -1.0
+        second = db.execute(sql)
+        assert second.timings.pipeline == "cached"
+        assert second.timings.execute > 0
+        db.close()
+
+    def test_analyze_serves_cached_plan_and_reports_actuals(self):
+        db = Database()
+        db.execute("CREATE TABLE c (a INTEGER)")
+        for i in range(5):
+            db.execute("INSERT INTO c VALUES (%d)" % i)
+        sql = "SELECT a FROM c WHERE a >= 0"
+        db.execute(sql)  # compiled analyze-off, now cached
+        hits_before = db.metrics_snapshot()["plan_cache_hits_total"]
+        analyzed = db.execute(sql, options=CompileOptions(analyze=True))
+        assert analyzed.timings.pipeline == "cached"
+        # analyze is excluded from the cache key: this was a cache HIT
+        # on the plan compiled analyze-off.
+        assert db.metrics_snapshot()["plan_cache_hits_total"] \
+            > hits_before
+        assert analyzed.profile is not None
+        assert len(analyzed.profile) > 0
+        # Grow the table (small DML is not an invalidation event) and
+        # re-analyze: actual rows must be this run's, not the first's.
+        db.execute("INSERT INTO c VALUES (99)")
+        again = db.execute(sql, options=CompileOptions(analyze=True))
+        assert again.timings.pipeline == "cached"
+        root_probe = again.profile.probe_for(again.profile.plan)
+        assert root_probe.rows == 6
+        db.close()
+
+    def test_explain_analyze_of_cached_statement(self):
+        db = Database()
+        db.execute("CREATE TABLE c (a INTEGER)")
+        for i in range(4):
+            db.execute("INSERT INTO c VALUES (%d)" % i)
+        sql = "SELECT a FROM c WHERE a >= 0"
+        db.execute(sql)
+        text = db.explain(sql, analyze=True)
+        assert "(cached)" in text
+        assert "actual rows=4" in text
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Compile-phase tracing
+# ---------------------------------------------------------------------------
+
+
+class TestTrace:
+    def test_rewrite_and_optimizer_events(self, obs_db):
+        trace = Trace()
+        obs_db.compile(
+            "SELECT t.id FROM t, names WHERE t.g = names.g AND t.v IN "
+            "(SELECT v FROM t WHERE id < 10)",
+            trace=trace)
+        kinds = {event.kind for event in trace}
+        assert "rewrite.fire" in kinds
+        assert "optimizer.winner" in kinds
+        assert "optimizer.prune" in kinds
+        assert "star" in kinds
+        assert "optimizer.plan" in kinds
+        fire = trace.of_kind("rewrite.fire")[0]
+        assert fire.data["rule"]
+        assert fire.data["rule_class"]
+        assert fire.data["budget_spent"] >= 1
+        prune = trace.of_kind("optimizer.prune")[0]
+        assert prune.data["considered"] > prune.data["kept"]
+        assert prune.data["losing_costs"]
+        winner = trace.of_kind("optimizer.winner")[0]
+        assert winner.data["cost"] > 0
+
+    def test_glue_event_under_parallelism(self, obs_db):
+        trace = Trace()
+        obs_db.compile("SELECT id FROM t WHERE v < 3",
+                       options=_options(obs_db, parallelism="on", dop=4),
+                       trace=trace)
+        glue = trace.of_kind("glue.parallel")
+        assert glue and glue[0].data["spliced"] is not None
+
+    def test_render_text_and_json(self, obs_db):
+        trace = Trace()
+        obs_db.compile("SELECT id FROM t WHERE v < 3", trace=trace)
+        text = trace.render_text()
+        assert "optimizer.plan" in text
+        events = json.loads(trace.to_json())
+        assert events and all("kind" in event for event in events)
+
+    def test_untraced_compile_emits_nothing(self, obs_db):
+        compiled = obs_db.compile("SELECT id FROM t WHERE v < 3")
+        assert compiled._optimizer.trace is None
+
+    def test_explain_trace_section(self, obs_db):
+        text = obs_db.explain("SELECT id FROM t WHERE v < 3", trace=True)
+        assert "=== trace (" in text
+        assert "optimizer.winner" in text
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", "help text")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.dec(2)
+        assert gauge.value == 5
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["buckets"][1.0] == 2
+        assert snap["buckets"][10.0] == 3  # cumulative
+        assert histogram.overflow == 1
+
+    def test_get_or_create_is_stable_and_type_checked(self):
+        registry = MetricsRegistry()
+        first = registry.counter("n")
+        assert registry.counter("n") is first
+        with pytest.raises(ValueError):
+            registry.gauge("n")
+
+    def test_reset_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.counter("n", "kept help").inc(3)
+        registry.reset()
+        assert registry.counter("n").value == 0
+        assert registry.get("n").help == "kept help"
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry(prefix="repro_")
+        registry.counter("queries", "Queries run").inc(2)
+        registry.histogram("ms", buckets=(1.0, 5.0)).observe(3.0)
+        text = registry.exposition()
+        assert "# HELP repro_queries Queries run" in text
+        assert "# TYPE repro_queries counter" in text
+        assert "repro_queries 2" in text
+        assert 'repro_ms_bucket{le="1"} 0' in text
+        assert 'repro_ms_bucket{le="5"} 1' in text
+        assert 'repro_ms_bucket{le="+Inf"} 1' in text
+        assert "repro_ms_sum 3" in text
+        assert "repro_ms_count 1" in text
+
+
+class TestDatabaseMetrics:
+    def test_execute_paths_feed_the_registry(self):
+        db = Database()
+        db.execute("CREATE TABLE m (a INTEGER)")
+        db.execute("INSERT INTO m VALUES (1)")
+        db.execute("SELECT a FROM m")
+        db.execute("SELECT a FROM m")  # cache hit
+        snap = db.metrics_snapshot()
+        assert snap["statements_total"] >= 3
+        assert snap["rows_returned_total"] >= 2
+        assert snap["plan_cache_hits_total"] >= 1
+        assert snap["plan_cache_misses_total"] >= 1
+        assert snap["plan_cache_entries"] >= 1
+        # DDL never compiles and the repeated SELECT is a cache hit, so
+        # only the INSERT and the first SELECT go through the compiler.
+        assert snap["compile_ms"]["count"] >= 2
+        assert snap["execute_ms"]["count"] >= 3
+        assert snap["worker_cores"] == parallel.available_cores()
+        db.metrics_reset()
+        assert db.metrics_snapshot()["statements_total"] == 0
+        db.close()
+
+    def test_parallel_fallback_counter(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_FORCED_START_METHODS", ["spawn"])
+        db = Database()
+        db.execute("CREATE TABLE m (a INTEGER)")
+        db.execute("INSERT INTO m VALUES (1)")
+        db.execute("SELECT a FROM m",
+                   options=CompileOptions(parallelism="on", dop=4))
+        assert db.metrics_snapshot()["parallel_fallbacks_total"] >= 1
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# ExecutionStats repr (regenerated from vars, never stale)
+# ---------------------------------------------------------------------------
+
+
+def test_execution_stats_repr_includes_every_counter():
+    stats = ExecutionStats()
+    stats.morsels = 3
+    stats.parallel_exchanges = 2
+    stats.parallel_fallbacks = 1
+    text = repr(stats)
+    for name in vars(stats):
+        assert name in text
+    assert "morsels=3" in text
+    assert "parallel_exchanges=2" in text
+
+
+def test_plan_profile_export_roundtrip(obs_db):
+    compiled = obs_db.compile("SELECT id FROM t WHERE v < 3")
+    sender = PlanProfile(compiled.plan)
+    nodes = list(compiled.plan.walk())
+    probe = sender.probe(nodes[1])
+    probe.rows, probe.loops, probe.time_ns = 42, 1, 1000
+    receiver = PlanProfile(compiled.plan)
+    receiver.merge_worker(sender.export())
+    merged = receiver.probe_for(nodes[1])
+    assert merged.worker_rows == 42
+    assert merged.worker_time_ns == 1000
+    assert merged.worker_tasks == 1
