@@ -62,6 +62,9 @@ class Settings:
         #: Query rewrite can be "bypassed for faster query compilation at
         #: the expense of potentially lower runtime performance" (Fig. 1).
         self.rewrite_enabled = True
+        #: "default" (one forward-chaining pass) or "search" (budgeted
+        #: cost-driven exploration of alternative firing sequences).
+        self.rewrite_strategy = "default"
         self.optimizer = OptimizerSettings()
         #: Validate QGM after parse and rewrite (debug aid; cheap).
         self.validate_qgm = True
@@ -347,11 +350,12 @@ class Database:
                     ctx.parallel = self.parallel_runtime()
                     cores = available_cores()
                     if compiled.options.dop > cores:
-                        # Informational, not a fallback: the pool still
-                        # runs, extra workers just time-share cores.
+                        # Informational, not a fallback: the pool runs,
+                        # sized down to the affinity mask.
                         ctx.stats.parallel_reasons.append(
                             "requested dop=%d exceeds %d available "
-                            "core(s)" % (compiled.options.dop, cores))
+                            "core(s); pool clamped to %d"
+                            % (compiled.options.dop, cores, cores))
                 else:
                     ctx.stats.parallel_fallbacks += 1
                     ctx.stats.parallel_reasons.append(disabled_reason())

@@ -12,7 +12,7 @@ the same answer.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.optimizer.boxopt import OptimizerSettings
 
@@ -31,11 +31,18 @@ EXECUTION_MODES = ("tuple", "batch", "auto")
 #: (used by tests and the differential matrix on small tables).
 PARALLELISM_MODES = ("off", "auto", "on")
 
+#: Legal values for :attr:`CompileOptions.rewrite_strategy`.  ``default``
+#: is the single forward-chaining pass; ``search`` explores alternative
+#: rule-firing sequences under the engine budget and keeps the variant
+#: with the lowest optimizer-estimated cost.
+REWRITE_STRATEGIES = ("default", "search")
+
 
 class CompileOptions:
     """One compilation's worth of pipeline configuration."""
 
-    __slots__ = ("rewrite_enabled", "validate_qgm", "compile_expressions",
+    __slots__ = ("rewrite_enabled", "rewrite_strategy", "rewrite_only_rules",
+                 "validate_qgm", "compile_expressions",
                  "allow_bushy", "allow_cartesian", "rank_cutoff",
                  "sort_by_rank", "naive_recursion", "forced_join_method",
                  "join_enumeration", "execution_mode", "batch_size",
@@ -44,6 +51,8 @@ class CompileOptions:
 
     def __init__(self,
                  rewrite_enabled: bool = True,
+                 rewrite_strategy: str = "default",
+                 rewrite_only_rules: Optional[Sequence[str]] = None,
                  validate_qgm: bool = True,
                  compile_expressions: bool = True,
                  allow_bushy: bool = False,
@@ -61,6 +70,10 @@ class CompileOptions:
                  plan_cache: bool = True,
                  constant_parameterization: bool = False,
                  label: Optional[str] = None):
+        if rewrite_strategy not in REWRITE_STRATEGIES:
+            raise ValueError(
+                "rewrite_strategy must be one of %r, got %r"
+                % (REWRITE_STRATEGIES, rewrite_strategy))
         if forced_join_method is not None \
                 and forced_join_method not in JOIN_METHODS:
             raise ValueError(
@@ -83,6 +96,14 @@ class CompileOptions:
         if dop < 1:
             raise ValueError("dop must be >= 1, got %r" % (dop,))
         self.rewrite_enabled = rewrite_enabled
+        #: "default" (one forward-chaining pass) or "search" (budgeted
+        #: cost-driven exploration of alternative firing sequences).
+        self.rewrite_strategy = rewrite_strategy
+        #: Restrict rewrite to the named rules regardless of class
+        #: enabling — the rulecheck harness's forced-fire switch.
+        self.rewrite_only_rules = (tuple(rewrite_only_rules)
+                                   if rewrite_only_rules is not None
+                                   else None)
         self.validate_qgm = validate_qgm
         self.compile_expressions = compile_expressions
         self.allow_bushy = allow_bushy
@@ -119,6 +140,7 @@ class CompileOptions:
         optimizer = settings.optimizer
         return cls(
             rewrite_enabled=settings.rewrite_enabled,
+            rewrite_strategy=getattr(settings, "rewrite_strategy", "default"),
             validate_qgm=settings.validate_qgm,
             compile_expressions=settings.compile_expressions,
             allow_bushy=optimizer.allow_bushy,
@@ -162,6 +184,10 @@ class CompileOptions:
         parts = []
         if not self.rewrite_enabled:
             parts.append("no-rewrite")
+        if self.rewrite_strategy != "default":
+            parts.append("rw-%s" % self.rewrite_strategy)
+        if self.rewrite_only_rules is not None:
+            parts.append("only[%s]" % ",".join(self.rewrite_only_rules))
         if not self.compile_expressions:
             parts.append("interpreted")
         if self.forced_join_method:

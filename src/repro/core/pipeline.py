@@ -138,7 +138,11 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
     started = time.perf_counter()
     if options.rewrite_enabled and db.rewrite_engine is not None:
         qgm_before = render_qgm(qgm)
-        rewrite_report = db.rewrite_engine.run(qgm, trace=trace)
+        rewrite_report = db.rewrite_engine.run(
+            qgm, trace=trace,
+            only_rules=options.rewrite_only_rules,
+            strategy=options.rewrite_strategy,
+            optimizer_settings=options.optimizer_settings())
         if options.validate_qgm:
             validate_qgm(qgm)
     timings.rewrite = time.perf_counter() - started

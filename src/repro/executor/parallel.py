@@ -83,6 +83,14 @@ def available_cores() -> int:
         return os.cpu_count() or 1
 
 
+def pool_size(dop: int) -> int:
+    """Worker-pool size for a requested ``dop``: clamped to the process's
+    CPU affinity mask (never below one).  Forking more workers than
+    runnable cores only adds scheduler churn — the requested ``dop``
+    still carves morsels, but the pool is sized to real capacity."""
+    return max(1, min(dop, available_cores()))
+
+
 # ---------------------------------------------------------------------------
 # Worker side (runs in forked children)
 # ---------------------------------------------------------------------------
@@ -256,17 +264,18 @@ class ParallelRuntime:
             pass
 
     def _ensure_pool(self, dop: int):
+        size = pool_size(dop)
         version = self.data_version()
         if (self._pool is not None and version == self._pool_version
-                and dop <= self._pool_dop):
+                and size <= self._pool_dop):
             return self._pool
         self.close()
         global _WORKER_DB
         _WORKER_DB = self.db
         context = multiprocessing.get_context("fork")
-        self._pool = context.Pool(processes=dop)
+        self._pool = context.Pool(processes=size)
         self._pool_version = version
-        self._pool_dop = dop
+        self._pool_dop = size
         return self._pool
 
     def _inline(self, exchange, ctx, reason: str):

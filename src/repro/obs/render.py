@@ -97,7 +97,8 @@ def render_analyze(profile, timings=None, stats=None, options=None,
             else None
         note = "worker pool: %d core(s) available" % cores
         if requested and requested > cores:
-            note += " (requested dop=%d exceeds cores)" % requested
+            note += (" (requested dop=%d exceeds cores; pool clamped "
+                     "to %d)" % (requested, cores))
         lines.append(note)
 
     if timings is not None:

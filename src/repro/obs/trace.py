@@ -26,6 +26,10 @@ class TraceEvent:
     - ``phase``            — one Figure-1 compile phase completed,
     - ``rewrite.fire``     — a rewrite rule fired on a box,
     - ``rewrite.budget``   — the rewrite budget was exhausted,
+    - ``rewrite.search``   — search-mode progress: ``phase`` is
+      ``baseline`` (sequential fixpoint costed), ``explore`` (one
+      alternative firing tried on a snapshot), ``fire`` (a firing of the
+      adopted sequence) or ``done`` (summary: chosen variant, cost),
     - ``star``             — a STAR expansion produced plans,
     - ``glue.parallel``    — the parallel glue spliced an Exchange,
     - ``optimizer.prune``  — plans pruned with their losing costs,

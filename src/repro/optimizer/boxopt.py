@@ -483,6 +483,11 @@ class Optimizer:
         quantifier = box.input_quantifier
         child = self.plan_box(quantifier.input)
         stream = DerivedScan(self.cm, child, quantifier.input, quantifier)
+        if box.predicates:
+            # Predicates on a groupby box range over its input quantifier
+            # (push_into_groupby parks group-key filters here), so they
+            # apply to the stream *before* aggregation.
+            stream = Filter(self.cm, stream, list(box.predicates))
         aggregates = [c.expr for c in box.head.columns
                       if isinstance(c.expr, qe.AggCall)]
         plan = GroupBy(self.cm, stream, box.group_keys, aggregates,

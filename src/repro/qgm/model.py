@@ -28,6 +28,7 @@ Built-in iterator types:
 
 from __future__ import annotations
 
+import copy
 import enum
 import itertools
 from typing import Any, Dict, List, Optional, Tuple
@@ -400,6 +401,44 @@ class QGM:
         self.boxes.remove(box)
         if isinstance(box, BaseTableBox):
             self._base_tables.pop(box.table.name, None)
+
+    # -- snapshots ---------------------------------------------------------------------
+
+    def snapshot(self) -> "QGM":
+        """A deep copy of the graph that shares catalog objects.
+
+        The rewrite engine's search mode explores alternative rule-firing
+        sequences on snapshots, costing each variant, without disturbing
+        the original graph.  Table definitions and data types are *shared*
+        (pinned in the deepcopy memo): they belong to the catalog, not to
+        the query, and rules never mutate them.
+        """
+        memo: Dict[int, Any] = {}
+        for box in self.boxes:
+            table = getattr(box, "table", None)
+            if table is not None:
+                memo[id(table)] = table
+            for column in box.head.columns:
+                if column.dtype is not None:
+                    memo[id(column.dtype)] = column.dtype
+        return copy.deepcopy(self, memo)
+
+    def adopt(self, other: "QGM") -> None:
+        """Take over another graph's contents (same QGM object identity).
+
+        Used by search-mode rewrite: the winning snapshot's boxes become
+        this graph's boxes, so callers holding a reference to this QGM see
+        the rewritten query.
+        """
+        self.boxes = other.boxes
+        self.root = other.root
+        self._base_tables = other._base_tables
+        self._quantifier_names = other._quantifier_names
+        self._used_names = other._used_names
+        self.order_by = other.order_by
+        self.limit = other.limit
+        self.parameter_count = other.parameter_count
+        self.visible_columns = other.visible_columns
 
     # -- graph queries -----------------------------------------------------------------
 

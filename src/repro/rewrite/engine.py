@@ -103,6 +103,14 @@ class RewriteReport:
         self.conditions_checked = 0
         self.budget_exhausted = False
         self.passes = 0
+        #: "default" (one forward-chaining pass to fixpoint) or "search"
+        #: (budgeted cost-driven exploration of firing sequences).
+        self.strategy = "default"
+        #: Search mode: variants explored, and the optimizer-estimated
+        #: costs of the un-rewritten graph / the adopted variant.
+        self.explored = 0
+        self.base_cost: Optional[float] = None
+        self.best_cost: Optional[float] = None
 
     @property
     def fired(self) -> int:
@@ -112,9 +120,13 @@ class RewriteReport:
         return sum(1 for name, _ in self.firings if name == rule_name)
 
     def __repr__(self) -> str:
-        return ("%d firing(s), %d condition(s) checked, %d pass(es)%s"
+        extra = ""
+        if self.strategy == "search":
+            extra = ", search explored %d variant(s)" % self.explored
+        return ("%d firing(s), %d condition(s) checked, %d pass(es)%s%s"
                 % (self.fired, self.conditions_checked, self.passes,
-                   ", budget exhausted" if self.budget_exhausted else ""))
+                   ", budget exhausted" if self.budget_exhausted else "",
+                   extra))
 
 
 class RewriteEngine:
@@ -147,6 +159,10 @@ class RewriteEngine:
         #: Rule indexing (§5's "rule indexing" future work): skip condition
         #: evaluation on boxes whose kind a rule declares it cannot match.
         self.use_rule_index = True
+        #: Search-mode knobs: beam width over variants, and a cap on
+        #: explored firings (further bounded by the engine budget).
+        self.search_beam = 2
+        self.search_expansions = 24
 
     # -- rule management -------------------------------------------------------------
 
@@ -166,8 +182,16 @@ class RewriteEngine:
     def enable_rule(self, name: str) -> None:
         self.disabled_rules.discard(name)
 
-    def rules(self) -> List[Rule]:
-        """Active rules honouring class enabling and per-rule switches."""
+    def rules(self, only: Optional[Tuple[str, ...]] = None) -> List[Rule]:
+        """Active rules honouring class enabling and per-rule switches.
+
+        ``only`` restricts the run to the named rules regardless of class
+        enabling or per-rule disables — the rulecheck harness uses it to
+        force-fire one rule (or one combination) in isolation.
+        """
+        if only is not None:
+            wanted = set(only)
+            return [rule for rule in self.all_rules() if rule.name in wanted]
         class_names = (self.enabled_classes
                        if self.enabled_classes is not None
                        else list(self.rule_classes))
@@ -177,6 +201,11 @@ class RewriteEngine:
                 if rule.name not in self.disabled_rules:
                     active.append(rule)
         return active
+
+    def all_rules(self) -> List[Rule]:
+        """Every registered rule, insertion-ordered, ignoring switches."""
+        return [rule for rules in self.rule_classes.values()
+                for rule in rules]
 
     def rule_count(self) -> int:
         return len(self.rules())
@@ -211,13 +240,23 @@ class RewriteEngine:
 
     # -- the engine proper -----------------------------------------------------------------
 
-    def run(self, qgm: QGM, trace=None) -> RewriteReport:
+    def run(self, qgm: QGM, trace=None,
+            only_rules: Optional[Tuple[str, ...]] = None,
+            strategy: Optional[str] = None,
+            optimizer_settings=None) -> RewriteReport:
         """Fire rules to fixpoint (or until the budget runs out).
 
         ``trace`` is an optional :class:`repro.obs.Trace`; every firing
         emits a ``rewrite.fire`` event (rule name, rule class, box label,
-        budget spent so far).
+        budget spent so far).  ``only_rules`` restricts the run to the
+        named rules (forced-fire mode).  ``strategy="search"`` dispatches
+        to the budgeted cost-driven sequence search instead of the single
+        forward-chaining pass; ``optimizer_settings`` is only consulted by
+        the search-mode cost estimator.
         """
+        if strategy == "search":
+            return self.run_search(qgm, trace=trace, only_rules=only_rules,
+                                   optimizer_settings=optimizer_settings)
         report = RewriteReport()
         context = RuleContext(qgm, self.db)
         rng = random.Random(self.seed)
@@ -225,7 +264,8 @@ class RewriteEngine:
 
         while True:
             report.passes += 1
-            firing = self._find_firing(context, report, rng)
+            firing = self._find_firing(context, report, rng,
+                                       only=only_rules)
             if firing is None:
                 break
             if remaining <= 0:
@@ -253,10 +293,11 @@ class RewriteEngine:
         return report
 
     def _find_firing(self, context: RuleContext, report: RewriteReport,
-                     rng: random.Random):
+                     rng: random.Random,
+                     only: Optional[Tuple[str, ...]] = None):
         """Locate the next (rule, box, match) per the control strategy."""
         boxes = self.browse(context.qgm)
-        rules = self.rules()
+        rules = self.rules(only=only)
         if self.control == self.PRIORITY:
             rules = sorted(rules, key=lambda r: -r.priority)
         elif self.control == self.STATISTICAL:
@@ -275,3 +316,145 @@ class RewriteEngine:
                 if match:
                     return rule, box, match
         return None
+
+    # -- cost-driven sequence search (strategy="search") ------------------------------------
+
+    #: Relative cost margin a variant must beat the sequential fixpoint by
+    #: before search abandons the (byte-identity-preserving) default plan.
+    SEARCH_MARGIN = 1e-6
+
+    def run_search(self, qgm: QGM, trace=None,
+                   only_rules: Optional[Tuple[str, ...]] = None,
+                   optimizer_settings=None) -> RewriteReport:
+        """Budgeted beam search over rule-firing sequences.
+
+        The sequential fixpoint is computed first (on a snapshot) and is
+        the variant to beat: alternative firing orders explored from the
+        un-rewritten graph only replace it when the optimizer estimates a
+        *strictly* lower cost.  Every explored firing — baseline and
+        alternatives alike — is charged against the engine budget, so
+        search never fires more actions than ``budget`` allows.  Progress
+        is emitted as ``rewrite.search`` trace events.
+        """
+        report = RewriteReport()
+        report.strategy = "search"
+        estimate = self._cost_estimator(optimizer_settings)
+        report.base_cost = estimate(qgm)
+
+        # 1. The sequential fixpoint, computed on a snapshot so the input
+        #    graph stays pristine for alternative-order exploration.
+        baseline = qgm.snapshot()
+        seq_report = self.run(baseline, only_rules=only_rules)
+        report.conditions_checked = seq_report.conditions_checked
+        report.passes = seq_report.passes
+        report.budget_exhausted = seq_report.budget_exhausted
+        best = (baseline, list(seq_report.firings), estimate(baseline))
+        if trace is not None:
+            trace.event("rewrite.search", phase="baseline",
+                        fired=len(best[1]),
+                        cost=best[2], base_cost=report.base_cost)
+
+        # 2. Explore alternative firing orders from the original graph.
+        remaining = max(0, self.budget - seq_report.fired)
+        expansions = min(remaining, self.search_expansions)
+        frontier = [(qgm, [], report.base_cost)]
+        threshold = best[2] - abs(best[2]) * self.SEARCH_MARGIN
+        while frontier and expansions > 0:
+            frontier.sort(key=lambda entry: (entry[2], len(entry[1])))
+            level, frontier = frontier[:self.search_beam], []
+            for parent, firings, _cost in level:
+                context = RuleContext(parent, self.db)
+                candidates = self._candidate_firings(context, report,
+                                                     only_rules)
+                for index in range(len(candidates)):
+                    if expansions <= 0:
+                        break
+                    child = parent.snapshot()
+                    child_context = RuleContext(child, self.db)
+                    replayed = self._candidate_firings(
+                        child_context, report, only_rules)
+                    if index >= len(replayed):
+                        continue
+                    rule, box, match = replayed[index]
+                    try:
+                        rule.action(child_context, box, match)
+                    except RewriteError:
+                        raise
+                    except Exception as exc:
+                        raise RewriteError(
+                            "rule %s failed on %s: %s"
+                            % (rule.name, box.label(), exc)) from exc
+                    expansions -= 1
+                    report.explored += 1
+                    child.garbage_collect()
+                    child_cost = estimate(child)
+                    child_firings = firings + [(rule.name, box.label())]
+                    if trace is not None:
+                        trace.event("rewrite.search", phase="explore",
+                                    rule=rule.name, box=box.label(),
+                                    depth=len(child_firings),
+                                    cost=child_cost,
+                                    explored=report.explored)
+                    if child_cost < threshold:
+                        best = (child, child_firings, child_cost)
+                        threshold = (child_cost
+                                     - abs(child_cost) * self.SEARCH_MARGIN)
+                    frontier.append((child, child_firings, child_cost))
+
+        # 3. Adopt the winner into the caller's graph object.
+        chosen, firings, cost = best
+        qgm.adopt(chosen)
+        report.firings = firings
+        report.best_cost = cost
+        if trace is not None:
+            for step, (rule_name, box_label) in enumerate(firings):
+                trace.event("rewrite.search", phase="fire", step=step,
+                            rule=rule_name, box=box_label)
+            trace.event("rewrite.search", phase="done",
+                        chosen=("variant" if chosen is not baseline
+                                else "baseline"),
+                        fired=len(firings), explored=report.explored,
+                        cost=cost, base_cost=report.base_cost)
+        return report
+
+    def _candidate_firings(self, context: RuleContext,
+                           report: RewriteReport,
+                           only: Optional[Tuple[str, ...]] = None):
+        """All (rule, box, match) firings possible on the current graph.
+
+        Deterministic: rules in registration order, boxes in browse order —
+        so re-running it on a snapshot yields the same candidate list and
+        an index identifies the same firing on both graphs.
+        """
+        boxes = self.browse(context.qgm)
+        candidates = []
+        for rule in self.rules(only=only):
+            for box in boxes:
+                if self.use_rule_index and not rule.applies_to(box):
+                    continue
+                report.conditions_checked += 1
+                match = rule.condition(context, box)
+                if match:
+                    candidates.append((rule, box, match))
+        return candidates
+
+    def _cost_estimator(self, optimizer_settings=None):
+        """A QGM → optimizer-estimated plan cost function for search mode."""
+        from repro.optimizer.boxopt import Optimizer
+
+        db = self.db
+
+        def estimate(qgm: QGM) -> float:
+            if qgm.root is None:
+                return float("inf")
+            try:
+                optimizer = Optimizer(db.catalog, engine=db.engine,
+                                      settings=optimizer_settings,
+                                      functions=db.functions,
+                                      stars=db.stars)
+                plan = optimizer.optimize(qgm)
+            except Exception:
+                return float("inf")
+            return plan.props.cost
+
+        return estimate

@@ -12,11 +12,15 @@ Four cooperating pieces, all deterministic from one integer seed:
 - :mod:`repro.testkit.differential` — runs each query through the real
   pipeline under a matrix of :class:`~repro.core.options.CompileOptions`
   configurations, compares bags against the oracle, and shrinks failures
-  to ready-to-paste reproductions.
+  to ready-to-paste reproductions,
+- :mod:`repro.testkit.rulecheck` — per-rewrite-rule verification: forces
+  each rule to fire in isolation (and with the full rule set) on
+  match-biased generated queries plus pinned templates, comparing against
+  the no-rewrite reference.
 
 Command line: ``python -m repro.testkit --seed 7`` replays one seed;
-``--seeds 0:200`` sweeps a range.  See "Correctness harness" in the
-README.
+``--seeds 0:200`` sweeps a range; ``python -m repro.testkit rules``
+verifies every rewrite rule.  See "Correctness harness" in the README.
 """
 
 from repro.testkit.datagen import (SchemaSpec, build_database,
@@ -25,21 +29,31 @@ from repro.testkit.differential import (Config, Divergence,
                                         DifferentialRunner, default_matrix,
                                         run_seed, shrink_case)
 from repro.testkit.oracle import OracleError, OracleResult, ReferenceOracle
-from repro.testkit.querygen import QueryGenerator, QuerySpec
+from repro.testkit.querygen import GenBias, QueryGenerator, QuerySpec
+from repro.testkit.rulecheck import (RULE_TEMPLATES, RuleCheckReport,
+                                     RuleDivergence, check_all, check_rule,
+                                     registered_rules)
 
 __all__ = [
     "Config",
     "DifferentialRunner",
     "Divergence",
+    "GenBias",
     "OracleError",
     "OracleResult",
     "QueryGenerator",
     "QuerySpec",
     "ReferenceOracle",
+    "RULE_TEMPLATES",
+    "RuleCheckReport",
+    "RuleDivergence",
     "SchemaSpec",
     "build_database",
+    "check_all",
+    "check_rule",
     "default_matrix",
     "generate_schema",
+    "registered_rules",
     "run_seed",
     "shrink_case",
 ]

@@ -3,6 +3,12 @@
 Exit status is 0 when every checked seed agrees with the oracle, 1 when a
 divergence was found (the shrunk reproduction is printed, and written to
 ``--output`` when given — CI uploads that file as the failure artifact).
+
+``python -m repro.testkit rules`` runs the rulecheck harness instead:
+every registered rewrite rule is forced-fire verified against the
+no-rewrite reference over ``--seeds`` schemas (default 50) plus its
+pinned templates.  Exit 1 on any divergence or any rule that was never
+exercised.
 """
 
 from __future__ import annotations
@@ -21,11 +27,63 @@ def _parse_seed_range(text: str):
     return range(value, value + 1)
 
 
+def _rules_main(argv) -> int:
+    from repro.testkit.rulecheck import check_rule, registered_rules
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit rules",
+        description="Forced-fire differential verification of every "
+                    "registered rewrite rule.")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="schemas fuzzed per rule (default 50)")
+    parser.add_argument("--queries", type=int, default=3,
+                        help="queries generated per schema (default 3)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule names (default: all)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report the first divergence unshrunk")
+    parser.add_argument("--output", default=None,
+                        help="also write the reproduction to this file")
+    args = parser.parse_args(argv)
+
+    names = (args.rules.split(",") if args.rules is not None
+             else registered_rules())
+    failed = False
+    for name in names:
+        report = check_rule(name, seeds=args.seeds, queries=args.queries,
+                            shrink=not args.no_shrink)
+        print(report.summary())
+        if report.ok:
+            continue
+        failed = True
+        if report.divergence is not None:
+            repro = report.divergence.repro()
+            print("DIVERGENCE %s" % report.divergence.summary())
+            print()
+            print(repro)
+            if args.output:
+                with open(args.output, "w") as handle:
+                    handle.write(report.divergence.summary() + "\n\n"
+                                 + repro + "\n")
+        else:
+            print("rule %s was never exercised: no generated query or "
+                  "template fired it" % name)
+    if not failed:
+        print("all rules verified clean")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "rules":
+        return _rules_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.testkit",
         description="Differential fuzzing of the query pipeline against "
-                    "the naive reference oracle.")
+                    "the naive reference oracle.  Subcommand 'rules' "
+                    "runs per-rewrite-rule forced-fire verification.")
     parser.add_argument("--seed", type=int, default=None,
                         help="check exactly one seed")
     parser.add_argument("--seeds", type=_parse_seed_range, default=None,

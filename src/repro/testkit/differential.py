@@ -74,6 +74,12 @@ def default_matrix() -> List[Config]:
         Config("no-rewrite-interpreted",
                base.replace(rewrite_enabled=False,
                             compile_expressions=False)),
+        # Cost-driven rewrite search must be byte-identical — row order
+        # included — to the sequential pass: it only abandons the
+        # sequential fixpoint for a variant the optimizer proves strictly
+        # cheaper, and such a variant must still compute the same rows.
+        Config("rewrite-search", base.replace(rewrite_strategy="search"),
+               byte_identical=True, reference=base),
         Config("force-nl", base.replace(forced_join_method="nl")),
         Config("force-hash", base.replace(forced_join_method="hash")),
         Config("force-merge", base.replace(forced_join_method="merge")),

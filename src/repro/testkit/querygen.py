@@ -45,6 +45,41 @@ def _fallback_const(kind: str) -> str:
     return _CONST_BY_KIND[kind][0]
 
 
+class GenBias:
+    """Tunable probabilities for :class:`QueryGenerator`.
+
+    The defaults are exactly the generator's historical constants, so a
+    default-constructed bias changes nothing — same (seed, schema) pair,
+    same query stream.  The rulecheck harness passes skewed biases to
+    steer generation toward QGM shapes a particular rewrite rule's
+    condition can match (more subqueries for subquery_to_join, more
+    joins for predicate_transitivity, ...).
+    """
+
+    __slots__ = ("single_source", "left_join", "join_pred", "subquery",
+                 "grouped", "distinct", "setop", "sub_correlated",
+                 "sub_distinct")
+
+    def __init__(self, single_source: float = 0.35,
+                 left_join: float = 0.35,
+                 join_pred: float = 0.85,
+                 subquery: float = 0.30,
+                 grouped: float = 0.3,
+                 distinct: float = 0.2,
+                 setop: float = 0.25,
+                 sub_correlated: float = 0.6,
+                 sub_distinct: float = 0.2):
+        self.single_source = single_source
+        self.left_join = left_join
+        self.join_pred = join_pred
+        self.subquery = subquery
+        self.grouped = grouped
+        self.distinct = distinct
+        self.setop = setop
+        self.sub_correlated = sub_correlated
+        self.sub_distinct = sub_distinct
+
+
 class SelectItem:
     """One select-list entry: SQL text plus its output kind."""
 
@@ -306,9 +341,11 @@ class QuerySpec:
 class QueryGenerator:
     """Draws reproducible :class:`QuerySpec` values from one rng."""
 
-    def __init__(self, rng: random.Random, schema: SchemaSpec):
+    def __init__(self, rng: random.Random, schema: SchemaSpec,
+                 bias: Optional[GenBias] = None):
         self.rng = rng
         self.schema = schema
+        self.bias = bias if bias is not None else GenBias()
         self.relations = schema.relations()
         self._alias_counter = 0
 
@@ -325,8 +362,9 @@ class QueryGenerator:
     def _query(self, depth: int,
                outer_sources: Sequence[Source] = ()) -> QuerySpec:
         rng = self.rng
+        bias = self.bias
         max_sources = 3 if depth == 0 else 2
-        source_count = 1 if rng.random() < 0.35 else \
+        source_count = 1 if rng.random() < bias.single_source else \
             rng.randint(1, max_sources)
         sources = self._sources(source_count)
 
@@ -337,14 +375,14 @@ class QueryGenerator:
         for index in range(1, len(sources)):
             if sources[index].left_join:
                 continue
-            if rng.random() < 0.85:
+            if rng.random() < bias.join_pred:
                 pred = self._join_pred(sources[:index], sources[index])
                 if pred is not None:
                     where.append(pred)
         for _ in range(rng.randint(0, 2)):
             where.append(self._predicate(sources, outer_sources, depth))
 
-        grouped = depth == 0 and rng.random() < 0.3
+        grouped = depth == 0 and rng.random() < bias.grouped
         group_by: List[SelectItem] = []
         having: List[Pred] = []
         if grouped:
@@ -352,10 +390,10 @@ class QueryGenerator:
         else:
             items = self._select_items(sources)
 
-        distinct = not grouped and rng.random() < 0.2
+        distinct = not grouped and rng.random() < bias.distinct
 
         setop = None
-        if depth == 0 and rng.random() < 0.25:
+        if depth == 0 and rng.random() < bias.setop:
             op = rng.choice(("union", "intersect", "except"))
             all_rows = rng.random() < 0.5
             setop = (op, all_rows, self._setop_side(self.kinds_of(items)))
@@ -385,7 +423,7 @@ class QueryGenerator:
             relation = rng.choice(self.relations)
             alias = self._fresh_alias()
             source = Source(relation.name, alias, relation.columns)
-            if index > 0 and rng.random() < 0.35:
+            if index > 0 and rng.random() < self.bias.left_join:
                 on = self._join_pred([sources[-1]], source)
                 if on is not None:
                     source.left_join = True
@@ -504,7 +542,7 @@ class QueryGenerator:
                    outer_sources: Sequence[Source], depth: int) -> Pred:
         rng = self.rng
         roll = rng.random()
-        if depth < 2 and roll < 0.30:
+        if depth < 2 and roll < self.bias.subquery:
             return self._subquery_pred(sources, outer_sources, depth)
         if roll < 0.42:
             left = self._predicate_simple(sources)
@@ -617,7 +655,7 @@ class QueryGenerator:
         alias = self._fresh_alias()
         source = Source(relation.name, alias, relation.columns)
         where: List[Pred] = []
-        if outer_scope and rng.random() < 0.6:
+        if outer_scope and rng.random() < self.bias.sub_correlated:
             pred = self._correlation_pred(source, outer_scope)
             if pred is not None:
                 where.append(pred)
@@ -627,7 +665,7 @@ class QueryGenerator:
             items = [SelectItem("1", "int", set())]
         else:
             items = [self._item_of_kind(source, kind) for kind in signature]
-        distinct = rng.random() < 0.2
+        distinct = rng.random() < self.bias.sub_distinct
         return QuerySpec(items, [source], where=where, distinct=distinct)
 
     def _scalar_subquery(self, depth: int, outer_scope: Sequence[Source],
@@ -645,7 +683,7 @@ class QueryGenerator:
         else:
             sql = "COUNT(*)"
         where: List[Pred] = []
-        if outer_scope and rng.random() < 0.6:
+        if outer_scope and rng.random() < self.bias.sub_correlated:
             pred = self._correlation_pred(source, outer_scope)
             if pred is not None:
                 where.append(pred)

@@ -1,0 +1,522 @@
+"""Per-rule semantic verification: the rulecheck harness.
+
+Every rewrite rule must be an *equivalence*: firing it cannot change a
+query's answer.  The differential sweep only exercises a rule when a
+random query happens to both match its condition and get it scheduled, so
+a rule can sit untested for hundreds of seeds.  This module checks rules
+as first-class artifacts instead:
+
+- **forced-fire isolation** — the engine's ``only_rules`` switch compiles
+  a query with exactly one rule active, so a divergence implicates that
+  rule and nothing else;
+- **match-targeted generation** — queries come from the shared
+  :class:`~repro.testkit.querygen.QueryGenerator` under a per-rule
+  :class:`~repro.testkit.querygen.GenBias` that skews the draw toward QGM
+  shapes the rule's condition can match (more subqueries for
+  ``subquery_to_join``, more joins for ``predicate_transitivity``, ...);
+  queries where the rule does not fire are discarded and redrawn;
+- **deterministic templates** — some rules need shapes the generator
+  cannot produce (``magic_seed_restriction`` wants WITH RECURSIVE,
+  ``push_into_setop`` wants a predicate above a union view).
+  :data:`RULE_TEMPLATES` pins at least one hand-built firing query per
+  built-in rule, so every rule gets a guaranteed forced-fire check even
+  when generation misses;
+- **no-rewrite reference** — results are compared as type-aware bags
+  against the same engine with rewrite disabled (plus ordered-prefix
+  comparison under ORDER BY, and error-class equivalence when the
+  reference raises).
+
+A rule registered through the extension API
+(:meth:`Database.register_rewrite_rule`) is verified the same way: pass a
+``setup`` hook that installs it into every database the harness builds,
+plus optional ``extra_templates``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.database import Database
+from repro.core.options import CompileOptions
+from repro.errors import DivisionByZeroError, ReproError
+from repro.testkit.datagen import build_database, generate_schema
+from repro.testkit.differential import _bag, format_rows
+from repro.testkit.querygen import GenBias, QueryGenerator, QuerySpec
+
+# ---------------------------------------------------------------------------
+# Match-targeted generation biases (defaults are the generator's own).
+# ---------------------------------------------------------------------------
+
+RULE_BIASES: Dict[str, GenBias] = {
+    # View merging and projection narrowing want plain selects over the
+    # schema's view; suppress the shapes that bury it.
+    "merge_select": GenBias(grouped=0.1, setop=0.05, subquery=0.15),
+    "push_into_select": GenBias(grouped=0.1, setop=0.05, subquery=0.15),
+    "projection_pushdown": GenBias(grouped=0.1, setop=0.05, subquery=0.15),
+    # Transitivity wants multi-source equi-joins plus constant equalities.
+    "predicate_transitivity": GenBias(single_source=0.05, join_pred=0.95,
+                                      subquery=0.1, setop=0.05),
+    # Subquery rules want lots of subqueries; distinct relaxing wants
+    # DISTINCT inside them, join conversion prefers uncorrelated ones.
+    "subquery_to_join": GenBias(subquery=0.85, sub_correlated=0.25,
+                                setop=0.05, grouped=0.1),
+    "relax_subquery_distinct": GenBias(subquery=0.85, sub_distinct=0.9,
+                                       setop=0.05, grouped=0.1),
+    # The PF receive rule needs a LEFT OUTER JOIN whose preserved side is
+    # a select box — only the schema's view qualifies, so maximize joins.
+    "push_through_pf": GenBias(single_source=0.05, left_join=0.9,
+                               subquery=0.1, setop=0.05, grouped=0.1),
+    # Self-joins on the PK table are the only generator shape this rule
+    # can match.
+    "redundant_join_elimination": GenBias(single_source=0.0, join_pred=0.95,
+                                          subquery=0.05, setop=0.05,
+                                          grouped=0.05),
+    # HAVING over group keys is the generator's only path above a groupby.
+    "push_into_groupby": GenBias(grouped=0.9, setop=0.05, subquery=0.1),
+    "push_into_setop": GenBias(setop=0.9, grouped=0.1, subquery=0.1),
+}
+
+# ---------------------------------------------------------------------------
+# Deterministic forced-fire templates: (setup statements, query) pairs
+# verified to fire the rule at least once.  These double as the pinned
+# regression floor — a rule whose template stops firing, or fires and
+# changes the answer, fails the harness without any random generation.
+# ---------------------------------------------------------------------------
+
+RULE_TEMPLATES: Dict[str, List[Tuple[List[str], str]]] = {
+    "merge_select": [(
+        ["CREATE TABLE t(a INT, b INT)",
+         "INSERT INTO t VALUES (1,2),(3,4),(1,5),(NULL,6)",
+         "CREATE VIEW v AS SELECT a, b FROM t WHERE a > 0"],
+        "SELECT a, b FROM v WHERE b < 10",
+    )],
+    "push_into_select": [(
+        ["CREATE TABLE t(a INT, b INT)",
+         "INSERT INTO t VALUES (1,2),(3,4),(1,5),(NULL,6)",
+         "CREATE VIEW v AS SELECT DISTINCT a, b FROM t"],
+        "SELECT a, b FROM v WHERE a = 1",
+    )],
+    "predicate_transitivity": [(
+        ["CREATE TABLE t1(a INT, b INT)",
+         "CREATE TABLE t2(a INT, c INT)",
+         "INSERT INTO t1 VALUES (1,2),(2,3),(3,4)",
+         "INSERT INTO t2 VALUES (1,7),(2,8),(4,9)"],
+        "SELECT t1.b, t2.c FROM t1, t2 WHERE t1.a = t2.a AND t1.a = 2",
+    )],
+    "push_into_setop": [(
+        ["CREATE TABLE t1(a INT)", "CREATE TABLE t2(a INT)",
+         "INSERT INTO t1 VALUES (1),(2),(3)",
+         "INSERT INTO t2 VALUES (2),(3),(4)",
+         "CREATE VIEW u AS SELECT a FROM t1 UNION ALL SELECT a FROM t2"],
+        "SELECT a FROM u WHERE a > 1",
+    )],
+    "push_into_groupby": [(
+        ["CREATE TABLE t(a INT, b INT)",
+         "INSERT INTO t VALUES (1,2),(1,3),(2,4),(2,5)"],
+        "SELECT a, SUM(b) AS s FROM t GROUP BY a HAVING a = 1",
+    )],
+    "push_through_pf": [(
+        ["CREATE TABLE t1(a INT, b INT)", "CREATE TABLE t2(a INT, c INT)",
+         "INSERT INTO t1 VALUES (1,2),(2,3)",
+         "INSERT INTO t2 VALUES (1,7),(3,9)",
+         "CREATE VIEW v1 AS SELECT a, b FROM t1 WHERE a > 0"],
+        "SELECT v1.b, t2.c FROM v1 LEFT OUTER JOIN t2 ON v1.a = t2.a "
+        "WHERE v1.b = 2",
+    )],
+    "subquery_to_join": [(
+        ["CREATE TABLE t1(a INT, b INT)",
+         "CREATE TABLE t2(a INT PRIMARY KEY)",
+         "INSERT INTO t1 VALUES (1,2),(2,3),(3,4)",
+         "INSERT INTO t2 VALUES (1),(3)"],
+        "SELECT b FROM t1 WHERE a IN (SELECT a FROM t2)",
+    )],
+    "relax_subquery_distinct": [(
+        ["CREATE TABLE t1(a INT, b INT)", "CREATE TABLE t2(a INT)",
+         "INSERT INTO t1 VALUES (1,2),(2,3),(3,4)",
+         "INSERT INTO t2 VALUES (1),(1),(3)"],
+        "SELECT b FROM t1 WHERE a IN (SELECT DISTINCT a FROM t2)",
+    )],
+    "magic_seed_restriction": [(
+        ["CREATE TABLE edges(src INT, dst INT)",
+         "INSERT INTO edges VALUES (1,2),(2,3),(3,4),(5,6)"],
+        "WITH RECURSIVE tc(s, d) AS ("
+        "SELECT src, dst FROM edges UNION ALL "
+        "SELECT t.s, e.dst FROM tc t, edges e WHERE e.src = t.d) "
+        "SELECT s, d FROM tc WHERE s = 2",
+    )],
+    "redundant_join_elimination": [(
+        ["CREATE TABLE dim(k INT PRIMARY KEY, name TEXT)",
+         "INSERT INTO dim VALUES (1,'a'),(2,'b'),(3,'c')"],
+        "SELECT d1.name FROM dim d1, dim d2 "
+        "WHERE d1.k = d2.k AND d2.name = 'a'",
+    )],
+    "projection_pushdown": [(
+        ["CREATE TABLE t(a INT, b INT, c INT, d INT)",
+         "INSERT INTO t VALUES (1,2,3,4),(5,6,7,8)",
+         "CREATE VIEW w AS SELECT a, b, c, d FROM t WHERE a > 0"],
+        "SELECT a FROM w WHERE b < 10 ORDER BY 1",
+    )],
+}
+
+
+class RuleDivergence:
+    """One confirmed semantic break attributable to a rewrite rule."""
+
+    def __init__(self, rule: str, seed: Optional[int], sql: str,
+                 mode: str, detail: str,
+                 expected: Optional[List[Tuple]],
+                 actual: Optional[List[Tuple]],
+                 statements: Sequence[str]):
+        self.rule = rule
+        self.seed = seed
+        self.sql = sql
+        #: "solo" (forced-fire isolation), "combo" (full rule set) or
+        #: "template" (a pinned template query).
+        self.mode = mode
+        self.detail = detail
+        self.expected = expected
+        self.actual = actual
+        self.statements = list(statements)
+
+    def summary(self) -> str:
+        where = "seed=%s" % self.seed if self.seed is not None \
+            else "template"
+        return "rule=%s mode=%s %s: %s\n  query: %s" % (
+            self.rule, self.mode, where, self.detail, self.sql)
+
+    def repro(self) -> str:
+        """A ready-to-paste failing pytest function."""
+        lines = [
+            "# Rulecheck counterexample (rule %s, mode %s)."
+            % (self.rule, self.mode),
+            "# %s" % self.detail,
+            "def test_rulecheck_%s():" % self.rule,
+            "    from repro import CompileOptions, Database",
+            "    db = Database()",
+            "    db.enable_operation('left_outer_join')",
+        ]
+        for statement in self.statements:
+            lines.append("    db.execute(%r)" % statement)
+        lines.append("    db.analyze()")
+        only = ("rewrite_only_rules=(%r,), " % self.rule
+                if self.mode == "solo" else "")
+        lines.append("    options = CompileOptions(%splan_cache=False)"
+                     % only)
+        lines.append("    result = db.execute(%r, options=options)"
+                     % self.sql)
+        expected = self.expected if self.expected is not None else []
+        lines.append("    expected = %r" % [tuple(r) for r in expected])
+        lines.append("    assert sorted(map(repr, result.rows)) == "
+                     "sorted(map(repr, expected))")
+        lines.append("")
+        lines.append("# no-rewrite reference rows:")
+        lines.append("\n".join("#" + line for line
+                               in format_rows(expected).splitlines()))
+        lines.append("# rewritten (actual) rows:")
+        actual = self.actual if self.actual is not None else []
+        lines.append("\n".join("#" + line for line
+                               in format_rows(actual).splitlines()))
+        return "\n".join(lines)
+
+
+class RuleCheckReport:
+    """The outcome of verifying one rule."""
+
+    def __init__(self, rule: str):
+        self.rule = rule
+        self.seeds = 0
+        #: Queries drawn (including ones the rule did not fire on).
+        self.attempts = 0
+        #: Generated queries the rule actually fired on (and were checked).
+        self.fired_queries = 0
+        #: Pinned template queries checked.
+        self.template_queries = 0
+        #: Queries whose forced-fire compile raised (skipped, counted).
+        self.compile_errors = 0
+        self.divergence: Optional[RuleDivergence] = None
+
+    @property
+    def checked(self) -> int:
+        return self.fired_queries + self.template_queries
+
+    @property
+    def ok(self) -> bool:
+        """Clean AND meaningful: no divergence, and the rule was really
+        exercised at least once (a rule nothing fires on is a finding)."""
+        return self.divergence is None and self.checked > 0
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else \
+            ("NEVER FIRED" if self.divergence is None else "DIVERGED")
+        return ("%-28s %-11s fired=%d/%d template=%d seeds=%d"
+                % (self.rule, status, self.fired_queries, self.attempts,
+                   self.template_queries, self.seeds))
+
+
+# ---------------------------------------------------------------------------
+# Core comparison
+# ---------------------------------------------------------------------------
+
+
+def _rule_seed(rule_name: str, seed: int) -> int:
+    """Deterministic per-(rule, seed) stream, stable across processes."""
+    return zlib.crc32(rule_name.encode("utf-8")) ^ seed
+
+
+def _compare(db: Database, rule: str, seed: Optional[int], sql: str,
+             spec: Optional[QuerySpec],
+             reference_options: CompileOptions,
+             configs: Sequence[Tuple[str, CompileOptions]],
+             statements: Sequence[str]) -> Optional[RuleDivergence]:
+    """Bag-compare every config against the no-rewrite reference."""
+    try:
+        expected = db.execute(sql, options=reference_options)
+    except ReproError as exc:
+        expected = exc
+    if isinstance(expected, ReproError):
+        # The reference raised: every rewritten run must raise the same
+        # error class (a rewrite that silences or changes an error is as
+        # wrong as one that changes rows).
+        expected_type = (DivisionByZeroError
+                         if isinstance(expected, DivisionByZeroError)
+                         else ReproError)
+        for mode, options in configs:
+            try:
+                db.execute(sql, options=options)
+            except expected_type:
+                continue
+            except ReproError as exc:
+                return RuleDivergence(
+                    rule, seed, sql, mode,
+                    "reference raised %s but the rewritten run raised "
+                    "%s: %s" % (type(expected).__name__,
+                                type(exc).__name__, exc),
+                    None, None, statements)
+            except Exception as exc:  # bare exception = engine bug
+                return RuleDivergence(
+                    rule, seed, sql, mode,
+                    "rewritten run raised untyped %s: %s"
+                    % (type(exc).__name__, exc), None, None, statements)
+            return RuleDivergence(
+                rule, seed, sql, mode,
+                "reference raised %s but the rewritten run returned rows"
+                % type(expected).__name__, None, None, statements)
+        return None
+    expected_rows = expected.rows
+    for mode, options in configs:
+        try:
+            result = db.execute(sql, options=options)
+        except ReproError as exc:
+            return RuleDivergence(
+                rule, seed, sql, mode,
+                "rewritten run raised %s: %s (reference returned %d "
+                "row(s))" % (type(exc).__name__, exc, len(expected_rows)),
+                expected_rows, None, statements)
+        except Exception as exc:
+            return RuleDivergence(
+                rule, seed, sql, mode,
+                "rewritten run raised untyped %s: %s"
+                % (type(exc).__name__, exc), expected_rows, None,
+                statements)
+        if _bag(result.rows) != _bag(expected_rows):
+            missing = _bag(expected_rows) - _bag(result.rows)
+            extra = _bag(result.rows) - _bag(expected_rows)
+            return RuleDivergence(
+                rule, seed, sql, mode,
+                "result bags differ: %d row(s) missing, %d spurious"
+                % (sum(missing.values()), sum(extra.values())),
+                expected_rows, result.rows, statements)
+        if spec is not None and spec.order_by:
+            positions = [pos for pos, _asc in spec.order_by]
+            expected_keys = [tuple(row[pos] for pos in positions)
+                             for row in expected_rows]
+            actual_keys = [tuple(row[pos] for pos in positions)
+                           for row in result.rows]
+            if expected_keys != actual_keys:
+                return RuleDivergence(
+                    rule, seed, sql, mode,
+                    "ORDER BY produced a different row order",
+                    expected_rows, result.rows, statements)
+    return None
+
+
+def _firing_count(db: Database, sql: str,
+                  options: CompileOptions, rule: str) -> int:
+    compiled = db.compile(sql, options=options)
+    report = compiled.rewrite_report
+    return report.count(rule) if report is not None else 0
+
+
+def _shrink(db: Database, divergence: RuleDivergence, spec: QuerySpec,
+            rule: str, solo_options: CompileOptions,
+            reference_options: CompileOptions,
+            configs: Sequence[Tuple[str, CompileOptions]],
+            statements: Sequence[str],
+            max_steps: int = 60) -> RuleDivergence:
+    """Greedy query-level shrink: keep a simplification only while the
+    rule still fires on it and the divergence survives."""
+    steps = 0
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+        for candidate in spec.simplifications():
+            steps += 1
+            if steps >= max_steps:
+                break
+            sql = candidate.render()
+            try:
+                if _firing_count(db, sql, solo_options, rule) == 0:
+                    continue
+                smaller = _compare(db, rule, divergence.seed, sql,
+                                   candidate, reference_options, configs,
+                                   statements)
+            except (ReproError, RecursionError):
+                continue
+            if smaller is not None:
+                divergence, spec = smaller, candidate
+                changed = True
+                break
+    return divergence
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def check_rule(rule_name: str, seeds: int = 50, queries: int = 3,
+               start_seed: int = 0,
+               setup: Optional[Callable[[Database], None]] = None,
+               include_templates: bool = True,
+               extra_templates: Optional[
+                   Sequence[Tuple[List[str], str]]] = None,
+               shrink: bool = True,
+               stop_on_divergence: bool = True) -> RuleCheckReport:
+    """Verify one rule: forced-fire differential over ``seeds`` schemas.
+
+    ``setup(db)`` runs on every database the harness builds — use it to
+    register extension-API rules (or, in the mutation smoke test, to
+    break a built-in one).  The report's :attr:`~RuleCheckReport.ok`
+    requires at least one real firing to have been checked.
+    """
+    report = RuleCheckReport(rule_name)
+    base = CompileOptions()
+    solo = base.replace(rewrite_only_rules=(rule_name,), plan_cache=False,
+                        label="only[%s]" % rule_name)
+    combo = base.replace(plan_cache=False, label="all-rules")
+    reference = base.replace(rewrite_enabled=False, plan_cache=False,
+                             label="no-rewrite-ref")
+    configs = (("solo", solo), ("combo", combo))
+    bias = RULE_BIASES.get(rule_name)
+
+    for index in range(seeds):
+        seed = start_seed + index
+        report.seeds += 1
+        rng = random.Random(_rule_seed(rule_name, seed))
+        schema = generate_schema(rng)
+        db = build_database(schema)
+        try:
+            if setup is not None:
+                setup(db)
+            generator = QueryGenerator(rng, schema, bias=bias)
+            statements = schema.statements()
+            for _ in range(queries):
+                spec = generator.generate()
+                sql = spec.render()
+                report.attempts += 1
+                try:
+                    fired = _firing_count(db, sql, solo, rule_name)
+                except ReproError:
+                    report.compile_errors += 1
+                    continue
+                if fired == 0:
+                    continue
+                report.fired_queries += 1
+                divergence = _compare(db, rule_name, seed, sql, spec,
+                                      reference, configs, statements)
+                if divergence is not None:
+                    if shrink:
+                        divergence = _shrink(db, divergence, spec,
+                                             rule_name, solo, reference,
+                                             configs, statements)
+                    if report.divergence is None:
+                        report.divergence = divergence
+                    if stop_on_divergence:
+                        return report
+        finally:
+            db.close()
+
+    templates: List[Tuple[List[str], str]] = []
+    if include_templates:
+        templates.extend(RULE_TEMPLATES.get(rule_name, []))
+    if extra_templates:
+        templates.extend(extra_templates)
+    for statements, sql in templates:
+        db = Database()
+        try:
+            db.enable_operation("left_outer_join")
+            if setup is not None:
+                setup(db)
+            for statement in statements:
+                db.execute(statement)
+            db.analyze()
+            try:
+                fired = _firing_count(db, sql, solo, rule_name)
+            except ReproError as exc:
+                divergence = RuleDivergence(
+                    rule_name, None, sql, "template",
+                    "template failed to compile: %s" % exc, None, None,
+                    statements)
+                if report.divergence is None:
+                    report.divergence = divergence
+                if stop_on_divergence:
+                    return report
+                continue
+            if fired == 0:
+                # A template that stops firing is a rule-condition
+                # regression even if answers stay right.
+                divergence = RuleDivergence(
+                    rule_name, None, sql, "template",
+                    "pinned template no longer fires the rule",
+                    None, None, statements)
+                if report.divergence is None:
+                    report.divergence = divergence
+                if stop_on_divergence:
+                    return report
+                continue
+            report.template_queries += 1
+            divergence = _compare(db, rule_name, None, sql, None,
+                                  reference, configs, statements)
+            if divergence is not None:
+                if report.divergence is None:
+                    report.divergence = divergence
+                if stop_on_divergence:
+                    return report
+        finally:
+            db.close()
+    return report
+
+
+def registered_rules(setup: Optional[Callable[[Database], None]] = None
+                     ) -> List[str]:
+    """Names of every rule a fresh database registers (plus ``setup``'s)."""
+    db = Database()
+    try:
+        if setup is not None:
+            setup(db)
+        return [rule.name for rule in db.rewrite_engine.all_rules()]
+    finally:
+        db.close()
+
+
+def check_all(seeds: int = 50, queries: int = 3, start_seed: int = 0,
+              rules: Optional[Sequence[str]] = None,
+              setup: Optional[Callable[[Database], None]] = None,
+              shrink: bool = True) -> List[RuleCheckReport]:
+    """Run :func:`check_rule` for every registered (or named) rule."""
+    names = list(rules) if rules is not None else registered_rules(setup)
+    return [check_rule(name, seeds=seeds, queries=queries,
+                       start_seed=start_seed, setup=setup, shrink=shrink)
+            for name in names]

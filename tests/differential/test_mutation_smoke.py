@@ -17,6 +17,7 @@ from repro.qgm.model import SelectBox
 from repro.rewrite.engine import Rule
 from repro.testkit import Config, default_matrix, run_seed
 from repro.testkit.differential import shrink_case
+from repro.testkit.rulecheck import check_rule
 
 
 def _drop_join_pred_condition(context, box):
@@ -45,6 +46,43 @@ BROKEN_RULE = Rule("mutation_drop_join_pred",
 
 def _inject(db):
     db.rewrite_engine.add_rule(BROKEN_RULE, rule_class="mutation")
+
+
+def _lossy_push_select_action(context, box, match):
+    # The broken half of push_into_select's action: the predicate is
+    # removed from the outer box but never lands on the inner one.
+    predicate, _target, _inner = match
+    box.remove_predicate(predicate)
+
+
+def _break_push_select(db):
+    for rule in db.rewrite_engine.all_rules():
+        if rule.name == "push_into_select":
+            rule.action = _lossy_push_select_action
+
+
+def test_rulecheck_catches_broken_rule_action():
+    # Mutate a built-in rule — push_into_select forgets to transfer the
+    # predicate it removed — and the per-rule harness must flag it
+    # within the smoke budget (the pinned template alone guarantees a
+    # deterministic catch even if no generated query fires the rule).
+    report = check_rule("push_into_select", seeds=5, queries=3,
+                        setup=_break_push_select)
+    assert report.divergence is not None, \
+        "rulecheck missed a dropped predicate transfer"
+    divergence = report.divergence
+    assert divergence.rule == "push_into_select"
+    assert divergence.mode in ("solo", "combo", "template")
+    repro = divergence.repro()
+    assert divergence.sql in repro
+
+
+def test_rulecheck_clean_on_unbroken_rule():
+    # Control: the same budget on the intact rule reports no divergence,
+    # so the catch above is the mutation's doing, not harness noise.
+    report = check_rule("push_into_select", seeds=5, queries=3)
+    assert report.divergence is None
+    assert report.ok
 
 
 def test_injected_rewrite_bug_is_caught_and_shrunk():

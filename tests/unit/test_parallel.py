@@ -213,3 +213,55 @@ class TestPoolLifecycle:
         db = Database()
         db.close()
         db.close()
+
+
+class TestPoolClamp:
+    def test_pool_size_clamps_to_affinity(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cores", lambda: 2)
+        assert parallel.pool_size(64) == 2
+        assert parallel.pool_size(2) == 2
+        assert parallel.pool_size(1) == 1
+        assert parallel.pool_size(0) == 1  # never below one worker
+
+    def test_runtime_forks_clamped_pool(self, monkeypatch):
+        # A dop far beyond the affinity mask must not fork that many
+        # workers: the pool is sized to real capacity while the dop
+        # still carves morsels.
+        monkeypatch.setattr(parallel, "available_cores", lambda: 2)
+        db = Database(pool_capacity=128)
+        try:
+            db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+            txn = db.begin()
+            for i in range(4000):
+                db.engine.insert(txn, "t", (i, i % 10))
+            db.commit(txn)
+            db.analyze()
+            options = _options(db, parallelism="on", dop=16)
+            result = db.execute("SELECT sum(v) FROM t", options=options)
+            assert result.scalar() == sum(i % 10 for i in range(4000))
+            runtime = db.parallel_runtime()
+            assert runtime._pool_dop == 2
+            note = "requested dop=16 exceeds 2 available core(s)"
+            assert any(note in reason
+                       for reason in result.stats.parallel_reasons)
+        finally:
+            db.close()
+
+    def test_explain_analyze_mentions_clamp(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cores", lambda: 2)
+        db = Database(pool_capacity=128)
+        try:
+            db.execute("CREATE TABLE t (id INTEGER, v INTEGER)")
+            txn = db.begin()
+            for i in range(4000):
+                db.engine.insert(txn, "t", (i, i % 10))
+            db.commit(txn)
+            db.analyze()
+            options = _options(db, parallelism="on", dop=16)
+            result = db.execute("EXPLAIN ANALYZE SELECT sum(v) FROM t",
+                                options=options)
+            text = "\n".join(str(row[0]) for row in result.rows)
+            assert "dop=16 exceeds" in text
+            assert "pool clamped to 2" in text
+        finally:
+            db.close()
