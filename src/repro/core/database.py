@@ -71,8 +71,9 @@ class Settings:
         #: Plan refinement compiles subquery-free expressions to closures.
         self.compile_expressions = True
         #: Execution backend: "tuple" (stream interpreter), "batch"
-        #: (vectorized where supported), or "auto" (refinement decides
-        #: per subtree).
+        #: (vectorized where supported), "compiled" (pipeline-fusion
+        #: codegen where fusable), or "auto" (refinement decides per
+        #: subtree).
         self.execution_mode = "tuple"
         #: Rows per batch for the vectorized backend.
         self.batch_size = 1024
@@ -294,8 +295,19 @@ class Database:
         return prepare_statement(self, sql.strip(), options)
 
     def cache_stats(self) -> dict:
-        """Plan-cache counters plus per-entry hit/invalidation detail."""
-        return self.plan_cache.stats(self.catalog)
+        """Plan-cache counters plus per-entry hit/invalidation detail.
+
+        Includes the codegen backend's cross-statement pipeline cache
+        under ``codegen``: generated pipeline functions are keyed by
+        their source text (a structural fingerprint), so ``hits`` counts
+        pipelines that reused a code object compiled for a structurally
+        identical pipeline — possibly from a different statement.
+        """
+        stats = self.plan_cache.stats(self.catalog)
+        from repro.executor.codegen import codegen_cache_stats
+
+        stats["codegen"] = codegen_cache_stats()
+        return stats
 
     def compile(self, sql: str,
                 options: Optional[CompileOptions] = None,

@@ -22,8 +22,11 @@ JOIN_METHODS = ("nl", "merge", "hash")
 #: Legal values for :attr:`CompileOptions.join_enumeration`.
 ENUMERATION_STRATEGIES = ("dp", "greedy")
 
-#: Legal values for :attr:`CompileOptions.execution_mode`.
-EXECUTION_MODES = ("tuple", "batch", "auto")
+#: Legal values for :attr:`CompileOptions.execution_mode`.  ``compiled``
+#: selects the pipeline-fusion codegen backend where fusable (falling
+#: back per subtree to batch, then tuple); ``auto`` lets refinement pick
+#: per subtree, escalating large fusable plans to codegen.
+EXECUTION_MODES = ("tuple", "batch", "compiled", "auto")
 
 #: Legal values for :attr:`CompileOptions.parallelism`.  ``off`` never
 #: splices Exchanges; ``auto`` parallelizes only when the cost model says

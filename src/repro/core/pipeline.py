@@ -30,14 +30,18 @@ from repro.qgm.validate import validate_qgm
 class PhaseTimings:
     """Seconds spent in each compile phase (Figure 1 reproduction)."""
 
-    __slots__ = ("parse", "rewrite", "optimize", "refine", "execute",
-                 "pipeline")
+    __slots__ = ("parse", "rewrite", "optimize", "refine", "codegen",
+                 "execute", "pipeline")
 
     def __init__(self):
         self.parse = 0.0
         self.rewrite = 0.0
         self.optimize = 0.0
         self.refine = 0.0
+        #: Pipeline-fusion code generation (execution_mode "compiled" /
+        #: "auto"): emitting and ``compile()``ing the fused per-pipeline
+        #: functions.  Paid once per cached plan.
+        self.codegen = 0.0
         self.execute = 0.0
         #: How the plan reached the executor: "compiled" for a fresh run
         #: of the Figure-1 phases, "cached" when the plan cache served it
@@ -45,7 +49,8 @@ class PhaseTimings:
         self.pipeline = "compiled"
 
     def compile_total(self) -> float:
-        return self.parse + self.rewrite + self.optimize + self.refine
+        return (self.parse + self.rewrite + self.optimize + self.refine
+                + self.codegen)
 
     def as_dict(self) -> dict:
         return {
@@ -53,6 +58,7 @@ class PhaseTimings:
             "rewrite": self.rewrite,
             "optimize": self.optimize,
             "refine": self.refine,
+            "codegen": self.codegen,
             "execute": self.execute,
             "pipeline": self.pipeline,
         }
@@ -174,8 +180,14 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
         refiner = refine_plan(plan, db.functions)
     if options.execution_mode != "tuple":
         # Backend selection is a refinement too: the ExecBackend STAR
-        # marks each subtree for the vectorized engine where supported.
-        from repro.executor.vectorized import select_backends
+        # marks each subtree for the vectorized engine where supported;
+        # the codegen selector additionally offers the fused backend for
+        # whole pipelines (and attaches the batch closures it can always
+        # fall back to).
+        if options.execution_mode in ("compiled", "auto"):
+            from repro.executor.codegen import select_backends
+        else:
+            from repro.executor.vectorized import select_backends
 
         select_backends(plan, optimizer.generator, db.functions,
                         db.join_kinds, options)
@@ -188,6 +200,20 @@ def compile_statement(db, text: str, validate: Optional[bool] = None,
     timings.refine = time.perf_counter() - started
     if trace is not None:
         trace.event("phase", name="refine", seconds=timings.refine)
+
+    if options.execution_mode in ("compiled", "auto") and plan is not None:
+        # Program generation runs after the parallel glue: exchange
+        # splices reshape the tree, and regions they break demote to the
+        # batch engine here rather than fusing a stale shape.
+        from repro.executor.codegen import generate_programs
+
+        started = time.perf_counter()
+        pipelines = generate_programs(plan, db.functions, options,
+                                      trace=trace)
+        timings.codegen = time.perf_counter() - started
+        if trace is not None:
+            trace.event("phase", name="codegen", seconds=timings.codegen,
+                        pipelines=pipelines)
 
     compiled = CompiledStatement(text, statement, qgm, plan, timings,
                                  qgm_before, rewrite_report)

@@ -21,8 +21,12 @@ class ExecutionStats:
         #: produced (0 under pure tuple execution).
         self.batches = 0
         #: Number of batch/tuple boundary crossings: plan fragments that
-        #: fell back to the tuple interpreter under a batch-mode plan.
+        #: fell back to the tuple interpreter under a batch-mode plan
+        #: (and compiled→batch demotions consumed mid-plan).
         self.fallbacks = 0
+        #: Number of fused pipeline functions the codegen backend ran
+        #: (0 unless execution_mode is "compiled"/"auto").
+        self.codegen_pipelines = 0
         #: Number of Exchange operators executed by the parallel runtime.
         self.parallel_exchanges = 0
         #: Number of page-range morsels dispatched to workers.

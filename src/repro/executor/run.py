@@ -42,6 +42,11 @@ def execute_plan(plan: pl.PlanOp, ctx: ExecutionContext
         # adaptation is the contract, not a fallback.
         return vectorized.rows_from_batches(plan, ctx, {},
                                             count_fallback=False)
+    if plan.exec_backend == "compiled":
+        from repro.executor import codegen
+
+        return codegen.rows_from_compiled(plan, ctx, {},
+                                          count_fallback=False)
     return rows_iter(plan, ctx, {})
 
 
@@ -56,6 +61,10 @@ def rows_iter(plan: pl.PlanOp, ctx: ExecutionContext,
         from repro.executor import vectorized
 
         return vectorized.rows_from_batches(plan, ctx, env)
+    if plan.exec_backend == "compiled":
+        from repro.executor import codegen
+
+        return codegen.rows_from_compiled(plan, ctx, env)
     handler = _ROW_OPS.get(type(plan))
     if handler is None:
         raise ExecutionError("no interpreter for %s" % plan.op_name)
@@ -407,6 +416,10 @@ def env_iter(plan: pl.PlanOp, ctx: ExecutionContext,
         from repro.executor import vectorized
 
         return vectorized.envs_from_batches(plan, ctx, env)
+    if plan.exec_backend == "compiled":
+        from repro.executor import codegen
+
+        return codegen.envs_from_compiled(plan, ctx, env)
     handler = _ENV_OPS.get(type(plan))
     if handler is None:
         raise ExecutionError("no binding interpreter for %s" % plan.op_name)

@@ -46,8 +46,8 @@ import itertools
 from collections import Counter
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-from repro.errors import ExecutionError
-from repro.executor.compiled import ExprCompiler
+from repro.errors import ExecutionError, SubqueryError
+from repro.executor.compiled import ExprCompiler, _NotCompilable
 from repro.executor.context import ExecutionContext
 from repro.executor.evaluator import Env, Evaluator
 from repro.executor.kinds import default_join_kinds
@@ -771,17 +771,66 @@ def _quantifier_arity(quantifiers) -> Dict[Any, int]:
 # ---------------------------------------------------------------------------
 
 
+class _PendingSubquery:
+    """Placeholder in an uncorrelated scalar subquery's result cell.
+
+    ``_b_project`` seeds each cell with one of these at stream open; the
+    first compiled column closure that actually reads the cell swaps it
+    for the subquery's single row (or None when it returns no rows).
+    Keeping the fill inside the *read* preserves the tuple evaluator's
+    evaluate-on-demand laziness: a subquery behind a short-circuited
+    operand (``FALSE AND (SELECT ...)``) is never run, so an error it
+    would raise — a multi-row result, a division by zero inside it —
+    stays masked exactly as on the scalar path.
+    """
+
+    __slots__ = ("binding", "ctx", "env")
+
+    def __init__(self, binding, ctx: ExecutionContext, env: Env):
+        self.binding = binding
+        self.ctx = ctx
+        self.env = env
+
+    def fill(self) -> Optional[Tuple[Any, ...]]:
+        rows = Evaluator(self.ctx).subquery_rows(self.binding, self.env)
+        if len(rows) > 1:
+            raise SubqueryError(
+                "scalar subquery returned %d rows" % len(rows))
+        return rows[0] if rows else None
+
+
 def _b_project(plan: pl.Project, ctx: ExecutionContext,
                env: Env) -> Iterator[RowBatch]:
     params = ctx.params
     fns = plan.batch_exprs
-    for batch in _env_batches(plan.children[0], ctx, env):
-        idx = batch.indices()
-        if not idx:
-            continue
-        columns = [fn(batch, idx, params) for fn in fns]
-        ctx.stats.rows_emitted += len(idx)
-        yield RowBatch(columns, len(idx))
+    cells = getattr(plan, "batch_subquery_cells", None)
+    if not cells:
+        for batch in _env_batches(plan.children[0], ctx, env):
+            idx = batch.indices()
+            if not idx:
+                continue
+            columns = [fn(batch, idx, params) for fn in fns]
+            ctx.stats.rows_emitted += len(idx)
+            yield RowBatch(columns, len(idx))
+        return
+    # Uncorrelated scalar subqueries: bind for the evaluator, seed each
+    # result cell lazily, and clear on close so a cached plan's next
+    # execution re-evaluates against its own context.
+    ctx.bind_subplans(plan.subplans)
+    try:
+        for binding, cell in cells:
+            cell[0] = _PendingSubquery(binding, ctx, env)
+        for batch in _env_batches(plan.children[0], ctx, env):
+            idx = batch.indices()
+            if not idx:
+                continue
+            columns = [fn(batch, idx, params) for fn in fns]
+            ctx.stats.rows_emitted += len(idx)
+            yield RowBatch(columns, len(idx))
+    finally:
+        ctx.unbind_subplans(plan.subplans)
+        for _binding, cell in cells:
+            cell[0] = None
 
 
 def _b_distinct(plan: pl.Distinct, ctx: ExecutionContext,
@@ -987,7 +1036,9 @@ def select_backends(plan: pl.PlanOp, generator, functions, join_kinds,
     """Mark each node's ``exec_backend`` via the ExecBackend STAR.
 
     Walks children only (subplan bindings always run on the tuple
-    interpreter — they are the evaluate-on-demand machinery), checks per
+    interpreter — they are the evaluate-on-demand machinery; a Project
+    over *uncorrelated scalar* subqueries still batches, feeding the
+    tuple-evaluated result through a cell), checks per
     node whether the batch engine structurally supports it (operator
     type, batch-compilable and *self-contained* expressions, supported
     join kind), and lets the STAR decide.  In ``batch`` mode every
@@ -1113,7 +1164,26 @@ def _capable(node: pl.PlanOp, compiler: ExprCompiler, kinds,
         return True
     if node_type is pl.Project:
         if node.subplans:
-            return False
+            # Uncorrelated scalar subqueries batch fine: the subplan is
+            # still evaluated by the tuple machinery (once, on demand),
+            # and its single row feeds the column closures through a
+            # shared cell.  Correlation would need per-row re-evaluation
+            # — that stays on the tuple interpreter.
+            cells: Dict[Any, List[Any]] = {}
+            for binding in node.subplans:
+                if binding.correlation or binding.quantifier.qtype != "S":
+                    return False
+                cells[binding.quantifier] = [None]
+            sub_compiler = _ScalarSubqueryCompiler(functions, cells)
+            allowed = set(node.children[0].props.quantifiers) | set(cells)
+            exprs = _compile_all(node.exprs, sub_compiler, allowed)
+            if exprs is None:
+                return False
+            node.batch_exprs = exprs
+            node.batch_subquery_cells = [
+                (binding, cells[binding.quantifier])
+                for binding in node.subplans]
+            return True
         exprs = _compile_all(node.exprs, compiler,
                              node.children[0].props.quantifiers)
         if exprs is None:
@@ -1149,6 +1219,57 @@ def _prep_preds(node: pl.PlanOp, compiler: ExprCompiler, allowed) -> bool:
         return False
     node.batch_preds = fns
     return True
+
+
+class _ScalarSubqueryCompiler(ExprCompiler):
+    """Batch compiler that additionally resolves uncorrelated scalar
+    subquery quantifiers: a reference reads the quantifier's result cell
+    (filled lazily with the subquery's single row by
+    :class:`_PendingSubquery`) and broadcasts the value down the batch.
+    """
+
+    def __init__(self, functions, cells: Dict[Any, List[Any]]):
+        super().__init__(functions)
+        self.cells = cells
+
+    def compile_batch(self, expr: qe.QExpr):
+        for quantifier in qe.quantifiers_in(expr):
+            if not quantifier.is_setformer and quantifier not in self.cells:
+                self.batch_fallback_count += 1
+                return None
+        try:
+            fn = self._compile_batch(expr)
+        except _NotCompilable:
+            self.batch_fallback_count += 1
+            return None
+        self.batch_compiled_count += 1
+        return fn
+
+    def _can_raise(self, expr: qe.QExpr) -> bool:
+        # A subquery reference can raise (multi-row result, or any error
+        # inside the subplan), so it must keep the scalar short-circuit
+        # treatment: only evaluate where the guarding operand demands it.
+        for node in qe.walk(expr):
+            if isinstance(node, qe.ColRef) and node.quantifier in self.cells:
+                return True
+        return ExprCompiler._can_raise(expr)
+
+    def _cb_colref(self, expr: qe.ColRef):
+        cell = self.cells.get(expr.quantifier)
+        if cell is None:
+            return super()._cb_colref(expr)
+        position = expr.quantifier.input.head.index_of(expr.column)
+
+        def get_subquery_column(batch, idx, params):
+            if not idx:
+                return []
+            row = cell[0]
+            if type(row) is _PendingSubquery:
+                row = cell[0] = row.fill()
+            value = None if row is None else row[position]
+            return [value] * len(idx)
+
+        return get_subquery_column
 
 
 def _compile_all(exprs, compiler: ExprCompiler, allowed) -> Optional[List]:

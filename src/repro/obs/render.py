@@ -23,8 +23,11 @@ def _node_line(node, profile, total_ns: int, depth: int) -> str:
     marks = ""
     if node.props.order:
         marks += " order=" + str(list(node.props.order))
-    if node.exec_backend == "batch":
-        marks += " backend=batch"
+    if node.exec_backend != "tuple":
+        marks += " backend=%s" % node.exec_backend
+    program = getattr(node, "codegen_program", None)
+    if program is not None:
+        marks += " fused=%d" % program.n_pipelines
     if node.props.dop > 1:
         marks += " dop=%d" % node.props.dop
     if getattr(node, "fallback_mark", None):
@@ -102,20 +105,26 @@ def render_analyze(profile, timings=None, stats=None, options=None,
         lines.append(note)
 
     if timings is not None:
+        codegen = ""
+        if getattr(timings, "codegen", 0.0):
+            codegen = " codegen=%.3fms" % (timings.codegen * 1e3)
         lines.append(
             "phases: parse=%.3fms rewrite=%.3fms optimize=%.3fms "
-            "refine=%.3fms execute=%.3fms (%s)"
+            "refine=%.3fms%s execute=%.3fms (%s)"
             % (timings.parse * 1e3, timings.rewrite * 1e3,
                timings.optimize * 1e3, timings.refine * 1e3,
-               timings.execute * 1e3, timings.pipeline))
+               codegen, timings.execute * 1e3, timings.pipeline))
 
     if stats is not None:
+        pipelines = ""
+        if getattr(stats, "codegen_pipelines", 0):
+            pipelines = " pipelines=%d" % stats.codegen_pipelines
         lines.append(
-            "execution: scanned=%d emitted=%d batches=%d fallbacks=%d "
+            "execution: scanned=%d emitted=%d batches=%d fallbacks=%d%s "
             "exchanges=%d morsels=%d parallel_fallbacks=%d"
             % (stats.rows_scanned, stats.rows_emitted, stats.batches,
-               stats.fallbacks, stats.parallel_exchanges, stats.morsels,
-               stats.parallel_fallbacks))
+               stats.fallbacks, pipelines, stats.parallel_exchanges,
+               stats.morsels, stats.parallel_fallbacks))
         for reason in stats.parallel_reasons:
             lines.append("parallel note: %s" % reason)
 

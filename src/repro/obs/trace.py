@@ -30,6 +30,9 @@ class TraceEvent:
       ``baseline`` (sequential fixpoint costed), ``explore`` (one
       alternative firing tried on a snapshot), ``fire`` (a firing of the
       adopted sequence) or ``done`` (summary: chosen variant, cost),
+    - ``codegen.pipeline`` — the codegen backend emitted one fused
+      pipeline function (region, table, build/sink kind, whether the
+      code object was shared from the cross-statement cache),
     - ``star``             — a STAR expansion produced plans,
     - ``glue.parallel``    — the parallel glue spliced an Exchange,
     - ``optimizer.prune``  — plans pruned with their losing costs,

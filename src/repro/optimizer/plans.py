@@ -60,8 +60,9 @@ class PlanOp:
     #: True when the operator emits plain tuples rather than bindings.
     produces_rows = False
     #: Which executor backend runs this node: "tuple" (the stream
-    #: interpreter) or "batch" (the vectorized engine).  The refinement
-    #: phase flips this per subtree via the ExecBackend STAR.
+    #: interpreter), "batch" (the vectorized engine) or "compiled" (the
+    #: pipeline-fusion codegen backend).  The refinement phase flips this
+    #: per subtree via the ExecBackend STAR.
     exec_backend = "tuple"
 
     def __init__(self, children: Sequence["PlanOp"],
@@ -75,10 +76,13 @@ class PlanOp:
         return self.op_name
 
     def explain(self, depth: int = 0) -> str:
-        lines = ["%s%s  (cost=%.2f card=%.1f%s%s%s%s)" % (
+        program = getattr(self, "codegen_program", None)
+        lines = ["%s%s  (cost=%.2f card=%.1f%s%s%s%s%s)" % (
             "  " * depth, self.describe(), self.props.cost, self.props.card,
             (" order=" + str(list(self.props.order))) if self.props.order else "",
-            " backend=batch" if self.exec_backend == "batch" else "",
+            " backend=%s" % self.exec_backend
+            if self.exec_backend != "tuple" else "",
+            " fused=%d" % program.n_pipelines if program is not None else "",
             " dop=%d" % self.props.dop if self.props.dop > 1 else "",
             " fallback=%s" % self.fallback_mark
             if getattr(self, "fallback_mark", None) else "",

