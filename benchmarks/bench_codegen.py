@@ -26,7 +26,8 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bulk_insert, print_table
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
 from repro import CompileOptions, Database
 
 ROWS = 100_000
@@ -113,6 +114,7 @@ def test_e22_codegen(cg_db, benchmark):
               cg_db.compile(SCAN_SQL, options=fused_options))
     report = {
         "rows": ROWS,
+        "cores": affinity_cores(),
         "scan_filter_project": scan,
         "hash_join": join,
         "group_by": group,
@@ -131,5 +133,7 @@ def test_e22_codegen(cg_db, benchmark):
                          ("hash join", join), ("group by", group)]])
     # ISSUE acceptance: >=1.5x over the batch backend on both the
     # scan-filter-project chain and the hash join.
+    # Backend-vs-backend speedups are single-process and hold on any
+    # core count, so they stay asserted unconditionally.
     assert scan["speedup_vs_batch"] >= 1.5, scan
     assert join["speedup_vs_batch"] >= 1.5, join

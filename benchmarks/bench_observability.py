@@ -28,7 +28,8 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bulk_insert, print_table
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
 from repro import CompileOptions, Database
 
 ROWS = 100_000
@@ -109,6 +110,7 @@ def test_observability_overhead(obs_bench_db, benchmark):
     benchmark(db.run_compiled, db.compile(SCAN_SQL, options=base))
     report = {
         "rows": ROWS,
+        "cores": affinity_cores(),
         "scan_filter_project_batch": scan,
         "hash_join_batch": join,
         "scan_filter_project_tuple": scan_tuple,

@@ -23,7 +23,8 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bulk_insert, print_table
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
 from repro import CompileOptions, Database
 
 ROWS = 200_000
@@ -36,13 +37,6 @@ _JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
 AGG_SQL = ("SELECT count(*), sum(b), min(a), max(a) FROM events "
            "WHERE b < 70 AND a % 3 <> 0")
 GROUP_SQL = "SELECT g, count(*), sum(b) FROM events GROUP BY g"
-
-
-def _cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux fallback
-        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -87,7 +81,7 @@ def _measure(db: Database, sql: str):
 
 
 def test_e18_parallel(par_db, benchmark):
-    cores = _cores()
+    cores = affinity_cores()
     agg = _measure(par_db, AGG_SQL)
     group = _measure(par_db, GROUP_SQL)
     par4 = CompileOptions.from_settings(par_db.settings).replace(

@@ -19,7 +19,8 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bulk_insert, print_table
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
 from repro import CompileOptions, Database
 
 PARTS = 2_000
@@ -100,6 +101,7 @@ def test_e18_plan_cache(serving_db, benchmark):
 
     report = {
         "executions": EXECUTIONS,
+        "cores": affinity_cores(),
         "pool": [name for name, _sql, _params in POOL],
         "compile_every_time_s": round(compile_s, 4),
         "plan_cache_s": round(cached_s, 4),
@@ -123,4 +125,6 @@ def test_e18_plan_cache(serving_db, benchmark):
     # every execution after the warm-up round must be served from cache
     assert hits >= EXECUTIONS - len(POOL)
     # ISSUE acceptance: >=5x end-to-end on the serving workload.
+    # Compile-avoidance is single-process and core-independent, so the
+    # speedup stays asserted unconditionally.
     assert speedup >= 5.0, report

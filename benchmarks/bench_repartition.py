@@ -1,0 +1,155 @@
+"""E23 — partitioned parallel execution: REPARTITION vs Gather-merge.
+
+Two workloads over a hash-sharded ``orders`` table (200k rows,
+PARTITIONS 4) that the Gather family handles poorly and partition-wise
+execution targets directly:
+
+- hash join ``orders ⋈ cust`` on the partitioning key: only the small
+  ``cust`` side crosses process boundaries (one REPARTITION), the big
+  sharded side is read co-located,
+- ``GROUP BY cust`` with AVG: not order-safe mergeable, so the Gather
+  partial-agg path cannot take it — partition-wise GROUP BY runs the
+  full aggregate per shard and only ships finished groups.
+
+The baseline is the same query at the same dop with ``repartition=False``
+(the pre-existing Gather/serial path).  Results go to
+``BENCH_repartition.json``; ``cores`` is recorded so readers can judge
+the speedup column.  Assertions:
+
+- byte-identity and zero fallbacks, always,
+- cost model honesty, always: the optimizer's wire-bytes estimate for
+  every exchange must land within 2x of the measured transfer,
+- >=1.3x over the baseline, only when the host has >=2 cores (forked
+  workers on one core just time-slice it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
+from repro import CompileOptions, Database
+from repro.optimizer import plans as pl
+
+ROWS = 200_000
+CUSTOMERS = 2_000
+PARTITIONS = 4
+REPEATS = 3
+
+_JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_repartition.json")
+
+JOIN_SQL = ("SELECT o.id, c.name FROM orders o, cust c "
+            "WHERE o.cust = c.cid AND o.amt > 8.0")
+GROUP_SQL = "SELECT cust, avg(amt), count(*) FROM orders GROUP BY cust"
+
+
+@pytest.fixture(scope="module")
+def shard_db() -> Database:
+    db = Database(pool_capacity=4096)
+    db.execute("CREATE TABLE orders (id INTEGER, cust INTEGER, amt DOUBLE)"
+               " PARTITION BY HASH(cust) PARTITIONS %d" % PARTITIONS)
+    db.execute("CREATE TABLE cust (cid INTEGER, name VARCHAR(16))")
+    bulk_insert(db, "orders",
+                [(i, (i * 13) % CUSTOMERS, float(i % 41) / 4.0)
+                 for i in range(ROWS)])
+    bulk_insert(db, "cust",
+                [(c, "cust%04d" % c) for c in range(CUSTOMERS)])
+    db.analyze()
+    yield db
+    db.close()
+
+
+def _time(db: Database, sql: str, options: CompileOptions):
+    compiled = db.compile(sql, options=options)
+    best = None
+    result = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        result = db.run_compiled(compiled)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result, compiled
+
+
+def _estimated_wire_bytes(plan) -> int:
+    return int(sum(node.est_wire_bytes for node in plan.walk()
+                   if isinstance(node, pl.PartitionGather)))
+
+
+def _measure(db: Database, sql: str, cores: int):
+    base = CompileOptions.from_settings(db.settings)
+    serial_s, serial, _c = _time(db, sql, base)
+    part = base.replace(parallelism="on", dop=PARTITIONS)
+    part_s, partitioned, compiled = _time(db, sql, part)
+    base_s, baseline, _c = _time(db, sql,
+                                 part.replace(repartition=False))
+
+    text = compiled.plan.explain()
+    assert "PARTITIONGATHER" in text, text
+    assert partitioned.rows == serial.rows  # byte-identity, always
+    assert baseline.rows == serial.rows
+    assert partitioned.stats.parallel_fallbacks == 0, \
+        partitioned.stats.parallel_reasons
+
+    estimated = _estimated_wire_bytes(compiled.plan)
+    measured = partitioned.stats.exchange_bytes
+    if measured:
+        # Cost-model honesty: the wire-bytes term the optimizer priced
+        # the exchange with must be within 2x of what actually moved.
+        ratio = estimated / measured
+        assert 0.5 <= ratio <= 2.0, (estimated, measured)
+    else:
+        ratio = None  # fully co-located: nothing crossed a process
+
+    speedup = base_s / part_s
+    if cores >= 2:
+        assert speedup >= 1.3, (base_s, part_s)
+    return {
+        "serial_s": round(serial_s, 6),
+        "gather_baseline_s": round(base_s, 6),
+        "partitioned_s": round(part_s, 6),
+        "speedup_vs_baseline": round(speedup, 2),
+        "wire_bytes_estimated": estimated,
+        "wire_bytes_measured": measured,
+        "wire_estimate_ratio": round(ratio, 3) if ratio else None,
+        "rows_out": len(serial.rows),
+    }
+
+
+def test_e23_repartition(shard_db, benchmark):
+    cores = affinity_cores()
+    join = _measure(shard_db, JOIN_SQL, cores)
+    group = _measure(shard_db, GROUP_SQL, cores)
+    part = CompileOptions.from_settings(shard_db.settings).replace(
+        parallelism="on", dop=PARTITIONS)
+    benchmark(shard_db.run_compiled,
+              shard_db.compile(JOIN_SQL, options=part))
+    report = {
+        "rows": ROWS,
+        "partitions": PARTITIONS,
+        "cores": cores,
+        "speedup_asserted": cores >= 2,
+        "partitioned_join": join,
+        "partition_wise_group_by": group,
+    }
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print_table(
+        "E23: partitioned execution vs Gather-merge (%d rows, %d shard(s),"
+        " %d core(s))" % (ROWS, PARTITIONS, cores),
+        ["workload", "serial (s)", "gather (s)", "partitioned (s)",
+         "speedup", "wire est/meas"],
+        [(name, "%.4f" % m["serial_s"], "%.4f" % m["gather_baseline_s"],
+          "%.4f" % m["partitioned_s"],
+          "%.2fx" % m["speedup_vs_baseline"],
+          "%d/%d" % (m["wire_bytes_estimated"], m["wire_bytes_measured"]))
+         for name, m in (("partitioned-join", join),
+                         ("partition-wise-group-by", group))])

@@ -22,7 +22,8 @@ import time
 
 import pytest
 
-from benchmarks.conftest import bulk_insert, print_table
+from benchmarks.conftest import bulk_insert, cores as affinity_cores, \
+    print_table
 from repro import CompileOptions, Database
 
 ROWS = 100_000
@@ -99,6 +100,7 @@ def test_e17_vectorized(vec_db, benchmark):
               vec_db.compile(SCAN_SQL, options=batch_options))
     report = {
         "rows": ROWS,
+        "cores": affinity_cores(),
         "batch_size": CompileOptions().batch_size,
         "scan_filter_project": scan,
         "hash_join": join,
@@ -116,5 +118,7 @@ def test_e17_vectorized(vec_db, benchmark):
           "%.4f" % join["batch_s"], "%.2fx" % join["speedup"],
           join["rows_out"])])
     # ISSUE acceptance: >=3x on scan-filter-project, >=2x on hash join.
+    # Backend-vs-backend speedups are single-process and hold on any
+    # core count, so they stay asserted unconditionally.
     assert scan["speedup"] >= 3.0, scan
     assert join["speedup"] >= 2.0, join

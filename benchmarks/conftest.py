@@ -8,9 +8,26 @@ to see them; EXPERIMENTS.md records a reference run.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import Database
+
+
+def cores() -> int:
+    """CPU cores this process may actually run on.
+
+    Every ``BENCH_*.json`` records this so a reader can judge the
+    speedup columns: parallel-execution speedups are only asserted when
+    >=2 cores are available (forked workers on one core just time-slice
+    it), while single-process speedups (backend, plan cache) hold on
+    any host and stay asserted unconditionally.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux fallback
+        return os.cpu_count() or 1
 
 
 def bulk_insert(db: Database, table: str, rows) -> None:

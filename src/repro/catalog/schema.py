@@ -41,7 +41,9 @@ class TableDef:
 
     def __init__(self, name: str, columns: Sequence[ColumnDef],
                  storage_manager: str = "heap", site: str = "local",
-                 primary_key: Optional[Sequence[str]] = None):
+                 primary_key: Optional[Sequence[str]] = None,
+                 partition_by: Optional[str] = None,
+                 partitions: int = 0):
         self.name = normalize_name(name)
         self.columns: List[ColumnDef] = list(columns)
         if not self.columns:
@@ -62,6 +64,25 @@ class TableDef:
                 raise CatalogError(
                     "primary key column %s not in table %s" % (key_col, name)
                 )
+        #: HASH partitioning: column name and shard count (0 = unpartitioned).
+        self.partition_by: Optional[str] = (
+            normalize_name(partition_by) if partition_by else None)
+        self.partitions: int = int(partitions or 0)
+        if (self.partition_by is None) != (self.partitions == 0):
+            raise CatalogError(
+                "table %s: PARTITION BY and PARTITIONS go together" % name)
+        if self.partition_by is not None:
+            if self.partition_by not in seen:
+                raise CatalogError(
+                    "partitioning column %s not in table %s"
+                    % (self.partition_by, name))
+            if self.partitions < 1:
+                raise CatalogError(
+                    "table %s needs at least 1 partition" % name)
+            if storage_manager != "heap":
+                raise CatalogError(
+                    "PARTITION BY requires the heap storage manager "
+                    "(table %s uses %s)" % (name, storage_manager))
         #: Assigned by the catalog on registration.
         self.table_id: int = -1
 

@@ -547,7 +547,9 @@ class Database:
         table = TableDef(statement.name, columns,
                          storage_manager=statement.storage_manager or "heap",
                          site=statement.site or "local",
-                         primary_key=primary_key or None)
+                         primary_key=primary_key or None,
+                         partition_by=statement.partition_by,
+                         partitions=statement.partitions or 0)
         self.engine.create_table(table)
         if primary_key:
             self.engine.create_index(IndexDef(

@@ -36,6 +36,12 @@ class ExecutionStats:
         self.parallel_fallbacks = 0
         #: Human-readable reasons for each parallel fallback.
         self.parallel_reasons: list = []
+        #: Bytes moved between processes by Repartition/Ship exchanges
+        #: (measured wire-format bytes, not pickle overhead).
+        self.exchange_bytes = 0
+        #: Partitions skipped by equality-predicate partition pruning on
+        #: sharded table scans.
+        self.partitions_pruned = 0
 
     def reset(self) -> None:
         self.__init__()
@@ -87,6 +93,14 @@ class ExecutionContext:
         self.morsel_range: Optional[Tuple[int, int]] = None
         #: The SCAN node the morsel restriction applies to (identity).
         self.morsel_scan = None
+        #: Inside partition-wise workers: ``id(scan node) → partition``
+        #: restricting co-located sharded scans to one partition.
+        self.partition_map: Optional[Dict[int, int]] = None
+        #: Inside partition-wise workers: ``id(repartition node) → list
+        #: of (seq, env)`` — the shuffled feed replacing the node's
+        #: child stream.  None during serial execution (the node is a
+        #: pass-through then).
+        self.repartition_feeds: Optional[Dict[int, Any]] = None
         #: The owning Database's parallel runtime (worker-pool manager);
         #: None means Exchange operators execute their child inline.
         self.parallel = None

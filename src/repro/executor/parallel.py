@@ -17,7 +17,20 @@ module supplies the machinery that runs them:
   signature,
 - **small results** — partial aggregation (GATHER merge-partial-aggs)
   and local top-K (MERGEGATHER) run inside the workers, so only merged
-  group rows or dop·K sorted rows cross the exchange.
+  group rows or dop·K sorted rows cross the exchange,
+- **real data movement** — REPARTITION producers hash-route wire-encoded
+  row batches into per-destination queues created before the fork; the
+  coordinator drains them and hands each partition's feed to a consumer
+  worker (PARTITIONGATHER), and SHIP runs its child in a worker standing
+  in for the remote site, returning the stream wire-encoded.
+
+The coordinator — not the consumer workers — unloads the shuffle
+queues.  A queue's feeder thread flushes blobs in FIFO order, so a
+blocked write to one destination pipe can hide messages bound for
+another; with a pool smaller than the partition count, consumer-side
+draining could deadlock on that ordering.  Round-robin polling in the
+parent always drains whatever is ready and terminates because the
+producer tasks have already returned (every blob is in flight).
 
 Every failure path — no fork on this platform, pool creation failure, a
 worker error, an open explicit transaction, a plan-shape mismatch —
@@ -104,9 +117,40 @@ _WORKER_DB = None
 #: Lives only in the children; dies with the pool on data-version change.
 _WORKER_PLANS: dict = {}
 
+#: Shuffle queues for REPARTITION exchanges.  Created in the parent
+#: immediately before pool creation (multiprocessing queues cannot cross
+#: the pickle boundary of ``pool.map``); children inherit them through
+#: fork.  Index scheme: source slot ``s``, destination partition ``p`` →
+#: ``_WORKER_QUEUES[s * dop + p]``.
+_WORKER_QUEUES: list = []
+
+
+def _worker_node(text, options, node_index, signature):
+    """Compile the statement in this worker (memoized) and locate the
+    coordinator's node by ``plan.walk()`` index, cross-checked against
+    the structural signature."""
+    from repro.core.pipeline import compile_statement
+
+    db = _WORKER_DB
+    key = (text, options.cache_key())
+    compiled = _WORKER_PLANS.get(key)
+    if compiled is None:
+        compiled = compile_statement(db, text, options=options)
+        _WORKER_PLANS[key] = compiled
+    node = None
+    for index, candidate in enumerate(compiled.plan.walk()):
+        if index == node_index:
+            node = candidate
+            break
+    if node is None or _signature(node) != signature:
+        raise ExecutionError(
+            "worker plan diverged from the coordinator's: expected %s at "
+            "walk index %d" % (signature, node_index))
+    return db, compiled, node
+
 
 def _worker_run(task):
-    """Execute one morsel and return ``(rows, extra)``.
+    """Execute one morsel and return ``(rows, extra, elapsed)``.
 
     ``task`` is (text, options, exchange_index, signature, page_lo,
     page_hi, params).  The worker compiles the statement against its
@@ -118,28 +162,21 @@ def _worker_run(task):
     ``(profile_export, stats_export)`` — the worker's per-operator probes
     keyed by walk index plus its ExecutionStats counters, for the
     coordinator to merge (EXPLAIN ANALYZE through a Gather).
+    ``elapsed`` is the task's wall seconds, for the skew view.
     """
-    from repro.core.pipeline import compile_statement
+    from time import perf_counter
+
     from repro.executor.context import ExecutionContext
     from repro.executor.run import _null_last_key, rows_iter
     from repro.optimizer import plans as pl
 
     text, options, exchange_index, signature, lo, hi, params = task
-    db = _WORKER_DB
-    key = (text, options.cache_key())
-    compiled = _WORKER_PLANS.get(key)
-    if compiled is None:
-        compiled = compile_statement(db, text, options=options)
-        _WORKER_PLANS[key] = compiled
-    node = None
-    for index, candidate in enumerate(compiled.plan.walk()):
-        if index == exchange_index:
-            node = candidate
-            break
-    if not isinstance(node, pl.Exchange) or _signature(node) != signature:
-        raise ExecutionError(
-            "worker plan diverged from the coordinator's: expected %s at "
-            "walk index %d" % (signature, exchange_index))
+    started = perf_counter()
+    db, compiled, node = _worker_node(text, options, exchange_index,
+                                      signature)
+    if not isinstance(node, pl.Exchange):
+        raise ExecutionError("expected an Exchange at walk index %d"
+                             % exchange_index)
 
     ctx = ExecutionContext(db.engine, db.functions, list(params), txn=None)
     ctx.join_kinds = db.join_kinds
@@ -162,15 +199,226 @@ def _worker_run(task):
         from repro.obs.profile import export_stats
 
         extra = (ctx.profile.export(), export_stats(ctx.stats))
-    return rows, extra
+    return rows, extra, perf_counter() - started
 
 
-def _signature(exchange) -> str:
+def _worker_shuffle(task):
+    """Producer half of a REPARTITION shuffle.
+
+    Runs the Repartition's child chain over one page-range morsel,
+    routes every binding by the stable hash of its key column, and ships
+    each destination's buffer wire-encoded to that partition's queue —
+    always exactly one blob per destination (empty ones included), so
+    the coordinator knows how many messages to drain.
+
+    Rows cross the wire as ``(seq_page, seq_slot, *row)``; the sequence
+    pair restores serial scan order on the consumer side.  ``seq_page``
+    counts page *transitions* from the morsel's low page rather than
+    trusting raw page numbers, which keeps tags order-isomorphic to scan
+    order even when predicates skip whole pages.
+
+    ``task`` is (text, options, repart_index, signature, page_lo,
+    page_hi, source_slot, params).  Returns ``(rows_routed, elapsed)``.
+    """
+    from time import perf_counter
+
+    from repro.executor.context import ExecutionContext
+    from repro.executor.run import env_iter
+    from repro.optimizer import plans as pl
+    from repro.storage.heap import stable_partition_hash
+    from repro.storage.record import pack_rows
+
+    text, options, repart_index, signature, lo, hi, slot, params = task
+    started = perf_counter()
+    db, compiled, node = _worker_node(text, options, repart_index,
+                                      signature)
+    if not isinstance(node, pl.Repartition):
+        raise ExecutionError("expected a REPARTITION at walk index %d"
+                             % repart_index)
+    for sub in node.walk():
+        # Sequence tags ride in tuple-interpreter envs (RID entries);
+        # the batch/compiled backends would lose them.
+        sub.exec_backend = "tuple"
+    n = node.dop
+    ctx = ExecutionContext(db.engine, db.functions, list(params), txn=None)
+    ctx.join_kinds = db.join_kinds
+    ctx.batch_size = options.batch_size
+    ctx.morsel_range = (lo, hi)
+    ctx.morsel_scan = node.morsel_scan
+    quantifier = node.morsel_scan.quantifier
+    key_pos = node.morsel_scan.table.column_index(node.keys[0].column)
+    rid_key = ("rid", quantifier)
+    buffers: List[list] = [[] for _ in range(n)]
+    page_index = lo - 1
+    last_page = None
+    routed = 0
+    for env in env_iter(node.children[0], ctx, {}):
+        rid = env[rid_key]
+        if rid.page_no != last_page:
+            last_page = rid.page_no
+            page_index += 1
+        row = env[quantifier]
+        buffers[stable_partition_hash(row[key_pos]) % n].append(
+            (page_index, rid.slot) + tuple(row))
+        routed += 1
+    base = slot * n
+    for dest, rows in enumerate(buffers):
+        _WORKER_QUEUES[base + dest].put(pack_rows(rows))
+    return routed, perf_counter() - started
+
+
+def _seq_getter(side):
+    """Build a reader for a binding's serial-order tag on one input side
+    of a partition-wise plan: the shuffle sequence for a REPARTITION
+    feed, the global ``(page, slot)`` RID for a co-located sharded scan
+    (its global page number is its scan-order position).  The reader
+    returns None for pad rows (outer-join padding)."""
+    from repro.optimizer import plans as pl
+
+    if isinstance(side, pl.Repartition):
+        key = ("#exchange-seq", id(side))
+    else:
+        node = side
+        while isinstance(node, pl.Filter):
+            node = node.children[0]
+        key = ("rid", node.quantifier)
+
+    def seq_of(env, _key=key):
+        value = env.get(_key)
+        if value is None:
+            return None
+        return (value[0], value[1])
+
+    return seq_of
+
+
+def _worker_partition(task):
+    """Consumer half of a partition-wise plan: rebuild this partition's
+    shuffled feeds, restrict co-located scans to the partition, execute
+    the PartitionGather's child, and tag every output row with its
+    serial sequence so the coordinator's merge reproduces dop=1 order.
+
+    ``task`` is (text, options, gather_index, signature, partition,
+    source_blobs, params) with ``source_blobs`` aligned to
+    ``gather.sources`` — each entry the wire blobs routed to this
+    partition.  Returns ``(tagged_rows, elapsed)``.
+    """
+    from time import perf_counter
+
+    from repro.executor.context import ExecutionContext
+    from repro.executor.evaluator import Evaluator
+    from repro.executor.run import _eval_head, env_iter, rows_iter
+    from repro.optimizer import plans as pl
+    from repro.storage.record import unpack_rows
+
+    (text, options, gather_index, signature, partition, source_blobs,
+     params) = task
+    started = perf_counter()
+    db, compiled, node = _worker_node(text, options, gather_index,
+                                      signature)
+    if not isinstance(node, pl.PartitionGather):
+        raise ExecutionError("expected a PARTITIONGATHER at walk index %d"
+                             % gather_index)
+    for sub in node.walk():
+        # Feeds and sequence tags live in tuple-interpreter envs; the
+        # batch/compiled backends would bypass both.
+        sub.exec_backend = "tuple"
+
+    ctx = ExecutionContext(db.engine, db.functions, list(params), txn=None)
+    ctx.join_kinds = db.join_kinds
+    ctx.batch_size = options.batch_size
+    ctx.partition_map = {id(scan): partition
+                         for scan in node.colocated_scans}
+    feeds = {}
+    for source, blobs in zip(node.sources, source_blobs):
+        entries = []
+        for blob in blobs:
+            for decoded in unpack_rows(blob):
+                entries.append(((decoded[0], decoded[1]), decoded[2:]))
+        entries.sort(key=lambda entry: entry[0])
+        quantifier = source.morsel_scan.quantifier
+        seq_key = ("#exchange-seq", id(source))
+        feeds[id(source)] = [{quantifier: row, seq_key: seq}
+                             for seq, row in entries]
+    ctx.repartition_feeds = feeds
+
+    evaluator = Evaluator(ctx)
+    child = node.children[0]
+    tagged = []
+    if node.tag_exprs is not None:
+        # Partition-wise GROUP BY: every row of a group lands in this
+        # partition, so a key's local first-seen sequence IS its global
+        # first-seen sequence — the group's serial output position.
+        groupby = child
+        feed_root = groupby.children[0]
+        if isinstance(feed_root, pl.DerivedScan):
+            feed_root = feed_root.children[0].children[0]
+        seq_of = _seq_getter(feed_root)
+        first_seen = {}
+        for env in env_iter(feed_root, ctx, {}):
+            key = tuple(evaluator.eval(expr, env)
+                        for expr in node.tag_exprs)
+            if key not in first_seen:
+                first_seen[key] = seq_of(env)
+        nkeys = len(groupby.group_exprs)
+        for row in rows_iter(groupby, ctx, {}):
+            tagged.append((first_seen[row[:nkeys]], row))
+    else:
+        # Partition-wise HASHJOIN under a PROJECT head: serial output
+        # order is lexicographic in (outer seq, inner seq), and each
+        # partition's stream already comes out in exactly that order
+        # (the feed is seq-sorted; the build dict preserves feed order).
+        project = child
+        join = project.children[0]
+        outer_seq = _seq_getter(join.children[0])
+        inner_seq = _seq_getter(join.children[1])
+        compiled_exprs = getattr(project, "compiled_exprs", None)
+        if compiled_exprs is None:
+            compiled_exprs = [None] * len(project.exprs)
+        pad = (-1, -1)
+        for env in env_iter(join, ctx, {}):
+            row = tuple(
+                fn(env, ctx.params) if fn is not None
+                else _eval_head(evaluator, expr, env)
+                for fn, expr in zip(compiled_exprs, project.exprs))
+            tagged.append(((outer_seq(env), inner_seq(env) or pad), row))
+    return tagged, perf_counter() - started
+
+
+def _worker_ship(task):
+    """Run a SHIP's child in a worker — the stand-in for the remote
+    site — and return the result stream wire-encoded, plus elapsed
+    seconds.  ``task`` is (text, options, ship_index, signature,
+    params)."""
+    from time import perf_counter
+
+    from repro.executor.context import ExecutionContext
+    from repro.executor.run import rows_iter
+    from repro.optimizer import plans as pl
+    from repro.storage.record import pack_rows
+
+    text, options, ship_index, signature, params = task
+    started = perf_counter()
+    db, compiled, node = _worker_node(text, options, ship_index, signature)
+    if not isinstance(node, pl.Ship):
+        raise ExecutionError("expected a SHIP at walk index %d"
+                             % ship_index)
+    ctx = ExecutionContext(db.engine, db.functions, list(params), txn=None)
+    ctx.join_kinds = db.join_kinds
+    ctx.batch_size = options.batch_size
+    rows = list(rows_iter(node.children[0], ctx, {}))
+    return pack_rows(rows), perf_counter() - started
+
+
+def _signature(node) -> str:
     """Structural cross-check that coordinator and worker located the
-    same Exchange, guarding against nondeterministic plan divergence."""
+    same node, guarding against nondeterministic plan divergence."""
+    scan = getattr(node, "morsel_scan", None)
+    anchor = (scan.table.name if scan is not None
+              else getattr(node, "to_site", "-"))
     return "%s/%s/%s/%d" % (
-        exchange.op_name, exchange.morsel_scan.table.name,
-        exchange.children[0].op_name, exchange.dop)
+        node.op_name, anchor, node.children[0].op_name,
+        getattr(node, "dop", node.props.dop))
 
 
 # ---------------------------------------------------------------------------
@@ -243,6 +491,14 @@ class ParallelRuntime:
         self._pool = None
         self._pool_version = None
         self._pool_dop = 0
+        self._pool_queues = 0
+        # The exact queue list this runtime's pool children inherited at
+        # fork.  The coordinator must drain *this* list, never the
+        # module global: several Databases (and therefore runtimes) can
+        # live in one process, and whichever forks last re-points
+        # ``_WORKER_QUEUES`` — draining the global would silently watch
+        # queues the reused pool's children have never seen.
+        self._queues: list = []
 
     def data_version(self) -> Tuple:
         catalog = self.db.catalog
@@ -250,12 +506,21 @@ class ParallelRuntime:
                 catalog.dml_clock)
 
     def close(self) -> None:
+        global _WORKER_QUEUES
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_version = None
             self._pool_dop = 0
+            self._pool_queues = 0
+            # Queues belong to the dead pool's fork generation; a stale
+            # one could leak messages into the next pool's exchanges.
+            # Only clear the global if it is still ours — another
+            # runtime may have re-pointed it for its own fork since.
+            if _WORKER_QUEUES is self._queues:
+                _WORKER_QUEUES = []
+            self._queues = []
 
     def __del__(self):  # backstop; Database.close() is the real path
         try:
@@ -263,19 +528,28 @@ class ParallelRuntime:
         except Exception:
             pass
 
-    def _ensure_pool(self, dop: int):
+    def _ensure_pool(self, dop: int, queue_count: int = 0):
         size = pool_size(dop)
         version = self.data_version()
         if (self._pool is not None and version == self._pool_version
-                and size <= self._pool_dop):
+                and size <= self._pool_dop
+                and queue_count <= self._pool_queues):
             return self._pool
         self.close()
-        global _WORKER_DB
+        global _WORKER_DB, _WORKER_QUEUES
         _WORKER_DB = self.db
         context = multiprocessing.get_context("fork")
+        # Shuffle queues must exist before the fork: children inherit
+        # them as pipe descriptors, they cannot cross pool.map's pickle
+        # boundary.  A few spares avoid rebuilding the pool when a later
+        # query needs slightly more.
+        count = max(queue_count, 2 * dop if queue_count else 0)
+        self._queues = [context.Queue() for _ in range(count)]
+        _WORKER_QUEUES = self._queues
         self._pool = context.Pool(processes=size)
         self._pool_version = version
         self._pool_dop = size
+        self._pool_queues = count
         return self._pool
 
     def _inline(self, exchange, ctx, reason: str):
@@ -338,8 +612,10 @@ class ParallelRuntime:
                                 "parallel execution failed: %r" % (exc,))
         ctx.stats.morsels += len(morsels)
         parts = []
-        for part_rows, extra in results:
+        times = []
+        for part_rows, extra, elapsed in results:
             parts.append(part_rows)
+            times.append(elapsed)
             if extra is not None and ctx.profile is not None:
                 from repro.obs.profile import merge_stats
 
@@ -349,7 +625,8 @@ class ParallelRuntime:
         if ctx.profile is not None:
             ctx.profile.note_exchange(
                 exchange, morsels=len(morsels),
-                workers=min(exchange.dop, len(morsels)))
+                workers=min(exchange.dop, len(morsels)),
+                worker_times=times)
         if isinstance(exchange, pl.MergeGather):
             from repro.executor.run import _null_last_key
 
@@ -363,3 +640,184 @@ class ParallelRuntime:
         else:
             rows = [row for part in parts for row in part]
         return iter(rows)
+
+    def _drain_queues(self, sources, counts, n: int):
+        """Drain every (source slot, partition) shuffle queue in the
+        coordinator, round-robin (see the module docstring for why the
+        parent and not the consumers must do this).  ``counts[s]`` is
+        the number of producer tasks — and therefore blobs per queue —
+        for source slot ``s``.  Returns ``({(slot, partition): [blob]},
+        total_bytes)``.
+
+        Drains ``self._queues`` — the list this pool's children
+        inherited — and raises if no blob arrives for 10s: the producer
+        wave already completed, so a prolonged dry spell means the
+        messages can never arrive (e.g. a respawned worker that forked
+        off a different queue generation); the caller turns the raise
+        into the byte-identical inline fallback instead of hanging."""
+        import queue as queue_module
+        from time import monotonic
+
+        pending = {}
+        blobs = {}
+        for slot in range(len(sources)):
+            for p in range(n):
+                pending[(slot, p)] = counts[slot]
+                blobs[(slot, p)] = []
+        moved = 0
+        last_progress = monotonic()
+        while pending:
+            drained_any = False
+            for key in list(pending):
+                slot, p = key
+                try:
+                    blob = self._queues[slot * n + p].get_nowait()
+                except queue_module.Empty:
+                    continue
+                drained_any = True
+                blobs[key].append(blob)
+                moved += len(blob)
+                pending[key] -= 1
+                if not pending[key]:
+                    del pending[key]
+            if drained_any:
+                last_progress = monotonic()
+            elif pending:
+                if monotonic() - last_progress > 10.0:
+                    raise ExecutionError(
+                        "shuffle drain stalled: %d queue message(s) "
+                        "never arrived" % sum(pending.values()))
+                # Nothing ready anywhere: block briefly on one queue so
+                # the poll loop doesn't spin while feeders catch up.
+                key = next(iter(pending))
+                slot, p = key
+                try:
+                    blob = self._queues[slot * n + p].get(timeout=0.05)
+                except queue_module.Empty:
+                    continue
+                blobs[key].append(blob)
+                moved += len(blob)
+                pending[key] -= 1
+                if not pending[key]:
+                    del pending[key]
+                last_progress = monotonic()
+        return blobs, moved
+
+    def run_partitioned(self, gather, ctx) -> Iterator[Tuple[Any, ...]]:
+        """Run one PartitionGather: shuffle (or partition-restrict) its
+        inputs, execute the child once per partition, and merge the
+        per-partition streams by their serial sequence tags — output is
+        byte-identical to dop=1 execution by construction."""
+        from repro.executor.run import rows_iter
+
+        ctx.stats.parallel_exchanges += 1
+        if ctx.txn is not None:
+            return self._inline(gather, ctx, "explicit transaction open")
+        if not fork_available():
+            return self._inline(gather, ctx, disabled_reason())
+        compiled = getattr(ctx, "compiled", None)
+        if compiled is None or compiled.plan is None:
+            return self._inline(
+                gather, ctx,
+                "no compiled statement attached to the context")
+        n = gather.dop
+        if n <= 1:
+            return rows_iter(gather.children[0], ctx, {})
+        index_of = {id(node): index
+                    for index, node in enumerate(compiled.plan.walk())}
+        gather_index = index_of.get(id(gather))
+        if gather_index is None:
+            return self._inline(gather, ctx,
+                                "exchange not found in the compiled plan")
+        options = compiled.options
+        if options.analyze:
+            # Partition workers export no probes; keep their compile
+            # memo on the analyze=False variant (same cache key).
+            options = options.replace(analyze=False)
+        producer_tasks = []
+        counts = []
+        for slot, source in enumerate(gather.sources):
+            source_index = index_of.get(id(source))
+            if source_index is None:
+                return self._inline(
+                    gather, ctx,
+                    "repartition source missing from the compiled plan")
+            pages = self.db.engine.table_page_count(
+                source.morsel_scan.table.name)
+            morsels = _carve(pages, n)
+            counts.append(len(morsels))
+            sig = _signature(source)
+            producer_tasks.extend(
+                (compiled.text, options, source_index, sig, lo, hi, slot,
+                 tuple(ctx.params))
+                for lo, hi in morsels)
+        try:
+            pool = self._ensure_pool(
+                n, queue_count=max(1, len(gather.sources) * n))
+            if producer_tasks:
+                shuffle_stats = pool.map(_worker_shuffle, producer_tasks)
+            else:
+                shuffle_stats = []
+            blobs, moved = self._drain_queues(gather.sources, counts, n)
+            consumer_tasks = [
+                (compiled.text, options, gather_index, _signature(gather),
+                 p,
+                 tuple(tuple(blobs[(slot, p)])
+                       for slot in range(len(gather.sources))),
+                 tuple(ctx.params))
+                for p in range(n)]
+            results = pool.map(_worker_partition, consumer_tasks)
+        except Exception as exc:
+            self.close()
+            return self._inline(gather, ctx,
+                                "parallel execution failed: %r" % (exc,))
+        ctx.stats.morsels += len(producer_tasks)
+        ctx.stats.exchange_bytes += moved
+        if ctx.profile is not None:
+            ctx.profile.note_exchange(
+                gather, morsels=len(producer_tasks) or n,
+                workers=pool_size(n),
+                worker_times=[elapsed for _tagged, elapsed in results],
+                wire_bytes=moved)
+        merged = heapq.merge(*(tagged for tagged, _elapsed in results),
+                             key=lambda entry: entry[0])
+        return iter([row for _tag, row in merged])
+
+    def run_ship(self, ship, ctx) -> Iterator[Tuple[Any, ...]]:
+        """Execute SHIP as real inter-process movement: the child runs
+        in a forked worker standing in for the remote site, and the
+        result stream comes back wire-encoded over the result pipe.
+        Any failure degrades to the serial pass-through."""
+        from repro.executor.run import rows_iter
+        from repro.storage.record import unpack_rows
+
+        compiled = getattr(ctx, "compiled", None)
+        if (not fork_available() or compiled is None
+                or compiled.plan is None):
+            return rows_iter(ship.children[0], ctx, {})
+        ship_index = next(
+            (index for index, node in enumerate(compiled.plan.walk())
+             if node is ship), None)
+        if ship_index is None:
+            return rows_iter(ship.children[0], ctx, {})
+        options = compiled.options
+        if options.analyze:
+            options = options.replace(analyze=False)
+        task = (compiled.text, options, ship_index, _signature(ship),
+                tuple(ctx.params))
+        try:
+            pool = self._ensure_pool(1)
+            blob, elapsed = pool.apply(_worker_ship, (task,))
+        except Exception as exc:
+            self.close()
+            ctx.stats.parallel_fallbacks += 1
+            ctx.stats.parallel_reasons.append(
+                "ship execution failed: %r" % (exc,))
+            return rows_iter(ship.children[0], ctx, {})
+        ctx.stats.parallel_exchanges += 1
+        ctx.stats.exchange_bytes += len(blob)
+        if ctx.profile is not None:
+            ctx.profile.note_exchange(ship, morsels=1, workers=1,
+                                      worker_times=[elapsed],
+                                      wire_bytes=len(blob))
+        return iter(unpack_rows(blob))

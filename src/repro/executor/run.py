@@ -331,6 +331,14 @@ def _run_temp_rows(plan: pl.Temp, ctx: ExecutionContext,
 
 
 def _run_ship_rows(plan: pl.Ship, ctx: ExecutionContext, env: Env):
+    runtime = ctx.parallel
+    if (runtime is not None and plan.produces_rows and not env
+            and ctx.txn is None):
+        # Real data movement: the child runs in a worker process at the
+        # remote "site" and its rows travel back wire-encoded.  Opened
+        # with bindings or inside a transaction, SHIP stays a local
+        # pass-through (workers fork without either).
+        return runtime.run_ship(plan, ctx)
     if plan.produces_rows:
         return rows_iter(plan.children[0], ctx, env)
     return env_iter(plan.children[0], ctx, env)
@@ -439,12 +447,48 @@ def _scan_preds_ok(evaluator: Evaluator, preds, env: Env) -> bool:
     return True
 
 
+def _pruned_partition(evaluator: Evaluator, plan: pl.TableScan,
+                      env: Env, ctx: ExecutionContext) -> Optional[int]:
+    """Equality-predicate partition pruning on a sharded table scan.
+
+    ``q.part_col = const`` routes every qualifying row to one shard, so
+    the scan can skip the others (row order within the shard equals the
+    global scan order restricted to it, so results are byte-identical).
+    """
+    table = plan.table
+    for predicate in plan.preds:
+        expr = predicate.expr
+        if not isinstance(expr, qe.BinOp) or expr.op != "=":
+            continue
+        for side, other in ((expr.left, expr.right),
+                            (expr.right, expr.left)):
+            if not (isinstance(side, qe.ColRef)
+                    and side.quantifier is plan.quantifier
+                    and side.column == table.partition_by):
+                continue
+            if plan.quantifier in qe.quantifiers_in(other):
+                continue
+            try:
+                value = evaluator.eval(other, env)
+            except Exception:
+                continue  # unbound correlation etc. — no pruning
+            ctx.stats.partitions_pruned += table.partitions - 1
+            return ctx.engine.partition_for(table.name, value)
+    return None
+
+
 def _run_table_scan(plan: pl.TableScan, ctx: ExecutionContext,
                     env: Env) -> Iterator[Env]:
     evaluator = Evaluator(ctx)
     quantifier = plan.quantifier
     page_range = ctx.morsel_range if plan is ctx.morsel_scan else None
-    for rid, row in ctx.engine.scan(ctx.txn, plan.table.name, page_range):
+    partition = None
+    if ctx.partition_map is not None:
+        partition = ctx.partition_map.get(id(plan))
+    elif plan.table.partition_by and plan.table.partitions > 1:
+        partition = _pruned_partition(evaluator, plan, env, ctx)
+    for rid, row in ctx.engine.scan(ctx.txn, plan.table.name, page_range,
+                                    partition=partition):
         ctx.stats.rows_scanned += 1
         out = dict(env)
         out[quantifier] = row
@@ -729,9 +773,9 @@ def _run_exchange_rows(plan: pl.Exchange, ctx: ExecutionContext,
     ``stats.parallel_reasons``.
     """
     runtime = ctx.parallel
-    if runtime is None or plan.mode == "repartition":
-        # No runtime attached (serial serve, EXPLAIN, inside a worker) or
-        # the repartition stub: the child runs inline at dop=1.
+    if runtime is None:
+        # No runtime attached (serial serve, EXPLAIN, inside a worker):
+        # the child runs inline at dop=1.
         return rows_iter(plan.children[0], ctx, env)
     if env:
         # Opened with outer bindings (e.g. as a re-opened join inner):
@@ -740,13 +784,43 @@ def _run_exchange_rows(plan: pl.Exchange, ctx: ExecutionContext,
         ctx.stats.parallel_reasons.append(
             "%s opened with outer bindings" % plan.op_name)
         return rows_iter(plan.children[0], ctx, env)
+    if plan.mode == "repartition":
+        # A bare REPARTITION (DBC-built) has no PARTITIONGATHER consumer
+        # to drive the shuffle protocol; degrade honestly.
+        ctx.stats.parallel_fallbacks += 1
+        ctx.stats.parallel_reasons.append(
+            "REPARTITION without a PARTITIONGATHER consumer")
+        return rows_iter(plan.children[0], ctx, env)
     return runtime.run_exchange(plan, ctx)
+
+
+def _run_partition_gather(plan, ctx: ExecutionContext,
+                          env: Env) -> Iterator[Tuple[Any, ...]]:
+    """Run a PARTITIONGATHER: shuffle the sources across worker
+    processes, execute the child partition-wise, merge back into serial
+    order.  Degrades to inline dop=1 like every Exchange."""
+    runtime = ctx.parallel
+    if runtime is None:
+        return rows_iter(plan.children[0], ctx, env)
+    if env:
+        ctx.stats.parallel_fallbacks += 1
+        ctx.stats.parallel_reasons.append(
+            "%s opened with outer bindings" % plan.op_name)
+        return rows_iter(plan.children[0], ctx, env)
+    return runtime.run_partitioned(plan, ctx)
 
 
 def _run_exchange_env(plan: pl.Exchange, ctx: ExecutionContext,
                       env: Env) -> Iterator[Env]:
-    """Exchanges over binding streams are never spliced today; execute
-    the child inline so DBC-built plans still run."""
+    """Binding-stream Exchange: inside a partition-wise worker a
+    REPARTITION node's stream is the shuffled feed for this worker's
+    partition; everywhere else (serial execution, fallbacks, DBC-built
+    plans) the node is a transparent pass-through of its child."""
+    feeds = ctx.repartition_feeds
+    if feeds is not None:
+        feed = feeds.get(id(plan))
+        if feed is not None:
+            return iter(feed)
     return env_iter(plan.children[0], ctx, env)
 
 
@@ -774,6 +848,7 @@ _ROW_OPS = {
     pl.Gather: _run_exchange_rows,
     pl.MergeGather: _run_exchange_rows,
     pl.Repartition: _run_exchange_rows,
+    pl.PartitionGather: _run_partition_gather,
 }
 
 _ENV_OPS = {
@@ -794,6 +869,7 @@ _ENV_OPS = {
     pl.Gather: _run_exchange_env,
     pl.MergeGather: _run_exchange_env,
     pl.Repartition: _run_exchange_env,
+    pl.PartitionGather: _run_exchange_env,
     _SingletonPlan: _run_singleton,
 }
 

@@ -464,19 +464,23 @@ class ColumnSpec(Node):
 
 class CreateTableStmt(Statement):
     __slots__ = ("name", "columns", "primary_key", "storage_manager", "site",
-                 "checks")
+                 "checks", "partition_by", "partitions")
 
     def __init__(self, name: str, columns: Sequence[ColumnSpec],
                  primary_key: Optional[Sequence[str]] = None,
                  storage_manager: Optional[str] = None,
                  site: Optional[str] = None,
-                 checks: Optional[Sequence[Expr]] = None):
+                 checks: Optional[Sequence[Expr]] = None,
+                 partition_by: Optional[str] = None,
+                 partitions: Optional[int] = None):
         self.name = name
         self.columns = list(columns)
         self.primary_key = list(primary_key) if primary_key else None
         self.storage_manager = storage_manager
         self.site = site
         self.checks = list(checks) if checks else []
+        self.partition_by = partition_by
+        self.partitions = partitions
 
 
 class CreateIndexStmt(Statement):

@@ -78,6 +78,20 @@ class Parser:
             return str(token.value)
         raise self._error("expected %s" % what)
 
+    def _accept_word(self, word: str) -> Optional[Token]:
+        """Accept an unreserved ("soft") keyword: an identifier token whose
+        text matches, case-insensitively.  Keeps the reserved set small."""
+        token = self._peek()
+        if token.type is TokenType.IDENT and str(token.value).lower() == word:
+            return self._next()
+        return None
+
+    def _expect_word(self, word: str) -> Token:
+        token = self._accept_word(word)
+        if token is None:
+            raise self._error("expected %s" % word.upper())
+        return token
+
     # -- entry points ----------------------------------------------------------------
 
     def parse(self) -> ast.Statement:
@@ -440,16 +454,31 @@ class Parser:
         self._expect_punct(")")
         storage_manager = None
         site = None
+        partition_by = None
+        partitions = None
         while True:
             if self._accept_keyword("using"):
                 storage_manager = self._expect_ident("storage manager name")
             elif self._accept_keyword("at"):
                 self._expect_keyword("site")
                 site = self._expect_ident("site name")
+            elif self._accept_word("partition"):
+                self._expect_keyword("by")
+                self._expect_word("hash")
+                self._expect_punct("(")
+                partition_by = self._expect_ident("partitioning column")
+                self._expect_punct(")")
+                self._expect_word("partitions")
+                token = self._next()
+                if token.type is not TokenType.NUMBER \
+                        or not isinstance(token.value, int):
+                    raise self._error("partition count must be an integer")
+                partitions = token.value
             else:
                 break
         return ast.CreateTableStmt(name, columns, primary_key,
-                                   storage_manager, site, checks)
+                                   storage_manager, site, checks,
+                                   partition_by, partitions)
 
     def _column_spec(self) -> ast.ColumnSpec:
         name = self._expect_ident("column name")

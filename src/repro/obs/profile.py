@@ -133,17 +133,27 @@ class PlanProfile:
 
     # -- parallel-worker merge ----------------------------------------------
 
-    def note_exchange(self, exchange, morsels: int, workers: int) -> None:
-        """Record fan-out detail for one Exchange execution."""
+    def note_exchange(self, exchange, morsels: int, workers: int,
+                      worker_times=None, wire_bytes: int = 0) -> None:
+        """Record fan-out detail for one Exchange execution.
+
+        ``worker_times`` — per-task wall seconds, for the EXPLAIN
+        ANALYZE skew view (min/median/max); ``wire_bytes`` — measured
+        inter-process bytes for Repartition/Ship exchanges.
+        """
         key = id(exchange)
         detail = self.exchanges.get(key)
         if detail is None:
-            detail = {"morsels": 0, "workers": workers, "runs": 0}
+            detail = {"morsels": 0, "workers": workers, "runs": 0,
+                      "worker_times": [], "wire_bytes": 0}
             self.exchanges[key] = detail
             self._nodes.setdefault(key, exchange)
         detail["morsels"] += morsels
         detail["workers"] = workers
         detail["runs"] += 1
+        if worker_times:
+            detail["worker_times"].extend(worker_times)
+        detail["wire_bytes"] += int(wire_bytes)
 
     def export(self) -> Dict[int, Tuple[int, int, int, int]]:
         """Flatten probes to ``plan.walk()`` indices for the trip back

@@ -57,8 +57,18 @@ def _node_line(node, profile, total_ns: int, depth: int) -> str:
     detail = profile.exchanges.get(id(node))
     exchange = ""
     if detail is not None:
-        exchange = " exchange(morsels=%d workers=%d runs=%d)" % (
-            detail["morsels"], detail["workers"], detail["runs"])
+        extra = ""
+        times = sorted(detail.get("worker_times") or ())
+        if times:
+            # Per-task wall-time skew: with a hot hash partition (or one
+            # giant morsel) max pulls far away from the median.
+            median = times[len(times) // 2]
+            extra += (" skew(min=%.1fms median=%.1fms max=%.1fms)"
+                      % (times[0] * 1e3, median * 1e3, times[-1] * 1e3))
+        if detail.get("wire_bytes"):
+            extra += " wire=%dB" % detail["wire_bytes"]
+        exchange = " exchange(morsels=%d workers=%d runs=%d%s)" % (
+            detail["morsels"], detail["workers"], detail["runs"], extra)
 
     return "%s%s  (%s%s) (%s)%s" % ("  " * depth, node.describe(), static,
                                     marks, actual, exchange)
@@ -119,12 +129,17 @@ def render_analyze(profile, timings=None, stats=None, options=None,
         pipelines = ""
         if getattr(stats, "codegen_pipelines", 0):
             pipelines = " pipelines=%d" % stats.codegen_pipelines
+        movement = ""
+        if getattr(stats, "exchange_bytes", 0):
+            movement += " exchange_bytes=%d" % stats.exchange_bytes
+        if getattr(stats, "partitions_pruned", 0):
+            movement += " partitions_pruned=%d" % stats.partitions_pruned
         lines.append(
             "execution: scanned=%d emitted=%d batches=%d fallbacks=%d%s "
-            "exchanges=%d morsels=%d parallel_fallbacks=%d"
+            "exchanges=%d morsels=%d parallel_fallbacks=%d%s"
             % (stats.rows_scanned, stats.rows_emitted, stats.batches,
                stats.fallbacks, pipelines, stats.parallel_exchanges,
-               stats.morsels, stats.parallel_fallbacks))
+               stats.morsels, stats.parallel_fallbacks, movement))
         for reason in stats.parallel_reasons:
             lines.append("parallel note: %s" % reason)
 

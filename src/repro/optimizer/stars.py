@@ -34,8 +34,10 @@ from repro.optimizer.plans import (
     MergeGather,
     MergeJoin,
     NLJoin,
+    PartitionGather,
     PlanOp,
     Project,
+    Repartition,
     Ship,
     Sort,
     SubplanBinding,
@@ -489,6 +491,32 @@ def default_star_array() -> Dict[str, STAR]:
         Alternative("AddShip", add_ship, rank=1.0),
     ])
 
+    def partitioning_satisfied(gen: PlanGenerator, args: Args) -> bool:
+        required = ("hash", (order_key(args["key"]),), args["n"])
+        return args["plan"].props.partitioning == required
+
+    def partitioning_unsatisfied(gen: PlanGenerator, args: Args) -> bool:
+        return not partitioning_satisfied(gen, args)
+
+    def add_repartition(gen: PlanGenerator, args: Args) -> List[PlanOp]:
+        return [Repartition(gen.cm, args["plan"], args["n"], args["scan"],
+                            [args["key"]])]
+
+    # Glue mirroring RequireSite: a stream already hash-partitioned on
+    # the required key (a SCAN of a sharded table) is kept as-is — the
+    # co-located case, no data moves — otherwise a REPARTITION shuffle
+    # establishes the property.  The alternatives are mutually exclusive
+    # rather than cost-compared: a satisfied plan's cost is its serial
+    # cost (each partition worker scans 1/n of it), and shuffling an
+    # already-correctly-partitioned stream can never win — it reads the
+    # same data and adds wire traffic.
+    require_partitioning = STAR("RequirePartitioning", [
+        Alternative("AlreadyPartitioned", keep_plan,
+                    condition=partitioning_satisfied, rank=0.5),
+        Alternative("AddRepartition", add_repartition,
+                    condition=partitioning_unsatisfied, rank=1.0),
+    ])
+
     # ---- execution backend (refinement-phase glue) --------------------------
     #
     # Evaluated per plan node during refinement (not plan search): decides
@@ -575,7 +603,7 @@ def default_star_array() -> Dict[str, STAR]:
         star.name: star
         for star in (access_root, join_root, nl_star, merge_star, hash_star,
                      subquery_root, require_order, require_site,
-                     exec_backend, parallelism)
+                     require_partitioning, exec_backend, parallelism)
     }
 
 
@@ -705,6 +733,113 @@ def _groupby_candidate(node: PlanOp, catalog) -> Optional[TableScan]:
     return scan
 
 
+def _shard_partitions(scan: TableScan, key: qe.ColRef) -> int:
+    """Partition count when ``scan``'s table is hash-sharded on exactly
+    the routing key column, else 0."""
+    table = scan.table
+    if (table.partition_by and table.partitions
+            and key.column == table.partition_by):
+        return table.partitions
+    return 0
+
+
+def _partition_join_candidate(node: PlanOp):
+    """``node`` is a partition-wise-joinable pyramid: PROJECT over a
+    HASHJOIN of two Filter*/SCAN chains on distinct local heap tables.
+
+    Routing uses the first equi-join key pair, which must be plain
+    column references on each side's own scan quantifier (rows with
+    equal first keys co-locate, and equal rows have equal first keys, so
+    joining each partition independently is exhaustive).  Returns
+    ``(join, outer_scan, inner_scan, outer_key, inner_key)`` or None.
+    """
+    if not isinstance(node, Project) or node.subplans:
+        return None
+    join = node.children[0]
+    if not isinstance(join, HashJoin) \
+            or join.kind not in ("regular", "left_outer"):
+        return None
+    if not join.outer_keys:
+        return None
+    outer_scan = _chain_scan(join.children[0])
+    inner_scan = _chain_scan(join.children[1])
+    if outer_scan is None or inner_scan is None or outer_scan is inner_scan:
+        return None
+    okey, ikey = join.outer_keys[0], join.inner_keys[0]
+    if not (isinstance(okey, qe.ColRef)
+            and okey.quantifier is outer_scan.quantifier):
+        return None
+    if not (isinstance(ikey, qe.ColRef)
+            and ikey.quantifier is inner_scan.quantifier):
+        return None
+    allowed = {outer_scan.quantifier, inner_scan.quantifier}
+    exprs = (list(node.exprs)
+             + list(join.outer_keys) + list(join.inner_keys)
+             + [p.expr for p in join.preds]
+             + [p.expr for p in join.residual]
+             + [p.expr for p in _chain_preds(join.children[0])]
+             + [p.expr for p in _chain_preds(join.children[1])])
+    if not _self_contained(exprs, allowed):
+        return None
+    return join, outer_scan, inner_scan, okey, ikey
+
+
+def _partition_groupby_candidate(node: PlanOp):
+    """``node`` is a GROUPBY whose first grouping key is a plain column
+    of the scanned table — partition-wise aggregation keeps every group
+    whole inside one partition, so it needs no merge step and handles
+    the aggregates :func:`_aggregates_mergeable` rejects (AVG, float
+    SUM, DISTINCT).  Returns ``(scan, key, resolved_group_exprs,
+    splice)`` where ``splice(new_chain)`` re-parents the chain, or None.
+    """
+    if not isinstance(node, GroupBy) or not node.group_exprs:
+        return None
+    child = node.children[0]
+    allowed = set()
+    inner_exprs: List[qe.QExpr] = []
+    resolve = lambda expr: expr  # noqa: E731 - mirrors _groupby_candidate
+    owner, slot = node, 0
+    if isinstance(child, DerivedScan):
+        project = child.children[0]
+        if not isinstance(project, Project) or project.subplans:
+            return None
+        names, derived = project.names, project.exprs
+        quantifier = child.quantifier
+
+        def resolve(expr):
+            if (isinstance(expr, qe.ColRef) and expr.quantifier is quantifier
+                    and expr.column in names):
+                return derived[names.index(expr.column)]
+            return expr
+
+        allowed.add(quantifier)
+        inner_exprs = list(derived) + [p.expr for p in child.preds]
+        owner, slot = project, 0
+        child = project.children[0]
+    scan = _chain_scan(child)
+    if scan is None:
+        return None
+    resolved = [resolve(expr) for expr in node.group_exprs]
+    key = resolved[0]
+    if not (isinstance(key, qe.ColRef) and key.quantifier is scan.quantifier):
+        return None
+    exprs = (resolved
+             + [a.arg for a in node.aggregates]
+             + inner_exprs
+             + [p.expr for p in _chain_preds(child)])
+    allowed.add(scan.quantifier)
+    if not _self_contained(exprs, allowed):
+        return None
+    chain = owner.children[slot]
+
+    def splice(new_chain: PlanOp) -> None:
+        children = list(owner.children)
+        children[slot] = new_chain
+        owner.children = tuple(children)
+
+    return scan, key, resolved, chain, splice
+
+
 def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
                      options) -> PlanOp:
     """Parallel glue phase: splice Exchange LOLEPOPs where eligible.
@@ -718,7 +853,12 @@ def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
     - ``GROUPBY`` (mergeable aggregates)   → GATHER merging partial
       per-morsel aggregates,
     - ``ORDERBY`` [under LIMIT] over such a PROJECT → MERGEGATHER below
-      the ORDERBY, sorting (and top-K truncating) inside the workers.
+      the ORDERBY, sorting (and top-K truncating) inside the workers,
+    - ``PROJECT`` over ``HASHJOIN`` of two chains → PARTITIONGATHER with
+      a REPARTITION shuffle per side (skipped for sides already sharded
+      on the join key — the co-located case),
+    - ``GROUPBY`` (non-mergeable aggregates, grouped on a column) →
+      PARTITIONGATHER over a REPARTITION on the grouping key.
 
     Ineligible subtrees are simply left at dop=1 — degradation is per
     subtree, never per query.  Returns the (possibly new) plan root.
@@ -785,6 +925,63 @@ def parallelize_plan(plan: PlanOp, generator: PlanGenerator,
                 if built is not child:
                     node.children = (built,)
                 return node
+
+        if options.repartition:
+            join_hit = _partition_join_candidate(node)
+            if join_hit is not None:
+                join, outer_scan, inner_scan, okey, ikey = join_hit
+                n = (_shard_partitions(outer_scan, okey)
+                     or _shard_partitions(inner_scan, ikey)
+                     or dop)
+                if n > 1:
+                    def build_join(gen, node=node, join=join, n=n,
+                                   outer_scan=outer_scan,
+                                   inner_scan=inner_scan,
+                                   okey=okey, ikey=ikey):
+                        outer = gen.cheapest(
+                            "RequirePartitioning", plan=join.children[0],
+                            key=okey, n=n, scan=outer_scan)
+                        inner = gen.cheapest(
+                            "RequirePartitioning", plan=join.children[1],
+                            key=ikey, n=n, scan=inner_scan)
+                        sources = [p for p in (outer, inner)
+                                   if isinstance(p, Repartition)]
+                        colocated = [
+                            s for p, s in ((outer, outer_scan),
+                                           (inner, inner_scan))
+                            if not isinstance(p, Repartition)]
+                        join.children = (outer, inner)
+                        return PartitionGather(
+                            gen.cm, node, n, outer_scan, sources=sources,
+                            colocated_scans=colocated)
+                    return ask(node, outer_scan, build_join)
+            group_hit = _partition_groupby_candidate(node)
+            if group_hit is not None \
+                    and _groupby_candidate(node, cm.catalog) is None:
+                # Mergeable aggregates take the cheaper partial-aggregate
+                # GATHER below; partition-wise handles the rest.
+                scan, key, resolved, chain, splice = group_hit
+                n = _shard_partitions(scan, key) or dop
+                if n > 1:
+                    def build_group(gen, node=node, scan=scan, key=key,
+                                    resolved=resolved, chain=chain,
+                                    splice=splice, n=n):
+                        part = gen.cheapest(
+                            "RequirePartitioning", plan=chain,
+                            key=key, n=n, scan=scan)
+                        sources = []
+                        colocated = []
+                        if isinstance(part, Repartition):
+                            sources.append(part)
+                            splice(part)
+                        else:
+                            colocated.append(scan)
+                        gather = PartitionGather(
+                            gen.cm, node, n, scan, sources=sources,
+                            colocated_scans=colocated)
+                        gather.tag_exprs = resolved
+                        return gather
+                    return ask(node, scan, build_group)
 
         scan = _project_candidate(node)
         if scan is not None:

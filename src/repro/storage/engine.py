@@ -61,9 +61,17 @@ class StorageEngine:
         self.catalog.create_table(table)
         serializer = RecordSerializer([c.dtype for c in table.columns])
         self._serializers[table.name] = serializer
-        self._storage[table.name] = self.storage_managers.create(
-            table, self.pool, serializer
-        )
+        if table.partition_by:
+            # PARTITION BY HASH: N heap segments behind one directory.
+            # TableDef validation already pinned storage_manager to "heap".
+            from repro.storage.heap import ShardedHeapStorage
+
+            self._storage[table.name] = ShardedHeapStorage(
+                table, self.pool, serializer)
+        else:
+            self._storage[table.name] = self.storage_managers.create(
+                table, self.pool, serializer
+            )
         self._attachments[table.name] = []
         return table
 
@@ -253,32 +261,40 @@ class StorageEngine:
         return new_rid
 
     def scan(self, txn: Optional[Transaction], table_name: str,
-             page_range: Optional[Tuple[int, int]] = None
+             page_range: Optional[Tuple[int, int]] = None,
+             partition: Optional[int] = None
              ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
         """Full scan; takes a shared table lock when run inside a txn.
 
         ``page_range`` — a (lo, hi) page-number morsel — restricts heap
         tables to a slice of their pages (the parallel runtime's unit of
-        work); None scans everything.
+        work); ``partition`` restricts hash-sharded tables to one shard;
+        None scans everything.
         """
         table = self.catalog.table(table_name)
         if txn is not None:
             self.locks.acquire(txn.txn_id, ("table", table.name), LockMode.SHARED)
-        return self._scan_rows(table.name, page_range)
+        return self._scan_rows(table.name, page_range, partition)
 
     def _scan_rows(self, table_name: str,
-                   page_range: Optional[Tuple[int, int]] = None
+                   page_range: Optional[Tuple[int, int]] = None,
+                   partition: Optional[int] = None
                    ) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
         serializer = self._serializers[table_name]
         storage = self._storage[table_name]
-        records = (storage.scan(page_range=page_range)
-                   if page_range is not None else storage.scan())
+        if partition is not None:
+            records = storage.scan(page_range=page_range, partition=partition)
+        elif page_range is not None:
+            records = storage.scan(page_range=page_range)
+        else:
+            records = storage.scan()
         for rid, record in records:
             yield rid, serializer.deserialize(record)
 
     def scan_batches(self, txn: Optional[Transaction], table_name: str,
                      batch_size: int,
-                     page_range: Optional[Tuple[int, int]] = None):
+                     page_range: Optional[Tuple[int, int]] = None,
+                     partition: Optional[int] = None):
         """Batched full scan for the vectorized executor.
 
         Yields ``(make_rids, records)`` pairs of encoded record batches
@@ -286,12 +302,15 @@ class StorageEngine:
         callers decode the columns they need via the table's
         ``RecordSerializer.decode_columns``.  Takes the same shared table
         lock as :meth:`scan`; ``page_range`` restricts heap tables to a
-        page-number morsel.
+        page-number morsel, ``partition`` sharded tables to one shard.
         """
         table = self.catalog.table(table_name)
         if txn is not None:
             self.locks.acquire(txn.txn_id, ("table", table.name), LockMode.SHARED)
         storage = self._storage[table.name]
+        if partition is not None:
+            return storage.scan_batches(batch_size, page_range=page_range,
+                                        partition=partition)
         if page_range is not None:
             return storage.scan_batches(batch_size, page_range=page_range)
         return storage.scan_batches(batch_size)
@@ -299,6 +318,15 @@ class StorageEngine:
     def table_page_count(self, table_name: str) -> int:
         """Current number of heap pages (for morsel carving)."""
         return self._storage[table_name].page_count
+
+    def table_partitions(self, table_name: str) -> int:
+        """Shard count of a hash-partitioned table (0 = unpartitioned)."""
+        storage = self._storage.get(table_name.lower())
+        return getattr(storage, "partitions", 0) or 0
+
+    def partition_for(self, table_name: str, value: Any) -> int:
+        """Shard a partitioning-column value routes to (pruning helper)."""
+        return self._storage[table_name.lower()].route_value(value)
 
     def fetch(self, txn: Optional[Transaction], table_name: str,
               rid: RID) -> Tuple[Any, ...]:

@@ -9,7 +9,9 @@ a fresh page.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Set, Tuple
+import struct
+import zlib
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.catalog.schema import TableDef
 from repro.errors import StorageError
@@ -170,3 +172,212 @@ def _rid_maker(chunks):
             rids.extend(RID(page_no, slot) for slot in slots)
         return rids
     return make
+
+
+# ---------------------------------------------------------------------------
+# Hash partitioning
+# ---------------------------------------------------------------------------
+
+_F64_BE = struct.Struct(">d")
+
+
+def stable_partition_hash(value) -> int:
+    """Process-stable hash for partition routing.
+
+    Must agree with Python's equality semantics for the SQL scalar domain
+    (``1 == 1.0 == True`` all land in the same partition — the serial
+    executor's dict-based joins and group-bys treat them as one key), and
+    must be identical across processes (``hash()`` for str is salted per
+    process, so CRC32 is used instead).  NULL routes to partition 0.
+    """
+    if value is None:
+        return 0
+    if value is True or value is False:
+        return int(value)
+    if type(value) is float:
+        if value == int(value):
+            return int(value)
+        return zlib.crc32(_F64_BE.pack(value))
+    if type(value) is int:
+        return value
+    if type(value) is str:
+        return zlib.crc32(value.encode("utf-8"))
+    raise StorageError(
+        "cannot hash-partition value %r (%s)" % (value, type(value).__name__))
+
+
+def partition_of(value, partitions: int) -> int:
+    """Destination partition for a key value under HASH partitioning."""
+    return stable_partition_hash(value) % partitions
+
+
+class ShardedHeapStorage(TableStorage):
+    """Hash-partitioned heap: N heap segments behind one table.
+
+    Each partition is a full :class:`HeapTableStorage`; rows route to
+    segment ``partition_of(row[partition column], N)`` on insert.  A global
+    page directory maps table-relative page numbers to ``(partition, local
+    page number)`` pairs in registration (creation) order, so RIDs, WAL
+    replay, and page-range morsels all keep working unchanged on top of the
+    directory translation.  Partition-restricted scans filter the directory,
+    giving each parallel worker its own co-located shard.
+    """
+
+    kind = "heap-sharded"
+
+    def __init__(self, table: TableDef, pool: BufferPool,
+                 serializer: RecordSerializer):
+        super().__init__(table, pool, serializer)
+        if not table.partition_by or not table.partitions \
+                or table.partitions < 1:
+            raise StorageError(
+                "table %s is not hash-partitioned" % table.name)
+        self.partitions = table.partitions
+        self._key_pos = next(
+            col.position for col in table.columns
+            if col.name == table.partition_by)
+        self._segments: List[HeapTableStorage] = [
+            HeapTableStorage(table, pool, serializer)
+            for _ in range(self.partitions)]
+        #: global page_no -> (partition, local page_no)
+        self._pages: List[Tuple[int, int]] = []
+        #: (partition, local page_no) -> global page_no
+        self._page_index: Dict[Tuple[int, int], int] = {}
+        self._row_counts: List[int] = [0] * self.partitions
+        #: pages per partition already present in the global directory
+        self._registered: List[int] = [0] * self.partitions
+
+    # -- routing -----------------------------------------------------------------
+
+    def route_value(self, value) -> int:
+        """Partition for a value of the partitioning column."""
+        return partition_of(value, self.partitions)
+
+    def route_record(self, record: bytes) -> int:
+        """Partition a serialized record routes to."""
+        return self.route_value(self.serializer.deserialize(record)[self._key_pos])
+
+    def _register_pages(self, partition: int) -> None:
+        """Add any segment pages appended since the last call to the
+        global directory (keeps global page numbers append-only)."""
+        segment = self._segments[partition]
+        local = self._registered[partition]
+        while local < segment.page_count:
+            self._page_index[(partition, local)] = len(self._pages)
+            self._pages.append((partition, local))
+            local += 1
+        self._registered[partition] = local
+
+    def _to_global(self, partition: int, rid: RID) -> RID:
+        return RID(self._page_index[(partition, rid.page_no)], rid.slot)
+
+    def _to_local(self, rid: RID) -> Tuple[int, RID]:
+        if not 0 <= rid.page_no < len(self._pages):
+            raise StorageError(
+                "table %s has no page %d" % (self.table.name, rid.page_no))
+        partition, local = self._pages[rid.page_no]
+        return partition, RID(local, rid.slot)
+
+    # -- TableStorage interface -----------------------------------------------------
+
+    def insert(self, record: bytes) -> RID:
+        partition = self.route_record(record)
+        rid = self._segments[partition].insert(record)
+        self._register_pages(partition)
+        self._row_counts[partition] += 1
+        return self._to_global(partition, rid)
+
+    def read(self, rid: RID) -> bytes:
+        partition, local = self._to_local(rid)
+        return self._segments[partition].read(local)
+
+    def update(self, rid: RID, record: bytes) -> RID:
+        partition, local = self._to_local(rid)
+        target = self.route_record(record)
+        if target != partition:
+            # Partition key changed: the row must move segments.
+            self._segments[partition].delete(local)
+            self._row_counts[partition] -= 1
+            new_rid = self._segments[target].insert(record)
+            self._register_pages(target)
+            self._row_counts[target] += 1
+            return self._to_global(target, new_rid)
+        new_rid = self._segments[partition].update(local, record)
+        self._register_pages(partition)
+        return self._to_global(partition, new_rid)
+
+    def delete(self, rid: RID) -> None:
+        partition, local = self._to_local(rid)
+        self._segments[partition].delete(local)
+        self._row_counts[partition] -= 1
+
+    def insert_at(self, rid: RID, record: bytes) -> RID:
+        # Recovery replay: routing stays deterministic, so re-inserting
+        # lands in the same partition the original insert chose.
+        return self.insert(record)
+
+    def _global_pages(self, page_range,
+                      partition: Optional[int]) -> Iterator[Tuple[int, int, int]]:
+        """(global page_no, partition, local page_no) in global page order,
+        clamped to an optional morsel and/or restricted to one partition."""
+        if page_range is None:
+            lo, hi = 0, len(self._pages)
+        else:
+            lo, hi = max(0, page_range[0]), min(page_range[1], len(self._pages))
+        for page_no in range(lo, hi):
+            owner, local = self._pages[page_no]
+            if partition is not None and owner != partition:
+                continue
+            yield page_no, owner, local
+
+    def scan(self, page_range=None,
+             partition: Optional[int] = None) -> Iterator[Tuple[RID, bytes]]:
+        for page_no, owner, local in self._global_pages(page_range, partition):
+            for local_rid, record in self._segments[owner].scan((local, local + 1)):
+                yield RID(page_no, local_rid.slot), record
+
+    def scan_batches(self, batch_size, page_range=None,
+                     partition: Optional[int] = None):
+        chunks: List[Tuple[int, tuple]] = []
+        records: List[bytes] = []
+        for page_no, owner, local in self._global_pages(page_range, partition):
+            page_records = [
+                (rid.slot, record)
+                for rid, record in self._segments[owner].scan((local, local + 1))]
+            if not page_records:
+                continue
+            slots, recs = zip(*page_records)
+            chunks.append((page_no, slots))
+            records.extend(recs)
+            if len(records) >= batch_size:
+                yield _rid_maker(chunks), records
+                chunks, records = [], []
+        if records:
+            yield _rid_maker(chunks), records
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def truncate(self) -> None:
+        for segment in self._segments:
+            segment.truncate()
+        self._pages = []
+        self._page_index = {}
+        self._row_counts = [0] * self.partitions
+        self._registered = [0] * self.partitions
+
+    # -- partition metadata --------------------------------------------------------
+
+    def partition_pages(self, partition: int) -> List[int]:
+        """Global page numbers owned by one partition."""
+        return [page_no for page_no, (owner, _) in enumerate(self._pages)
+                if owner == partition]
+
+    def partition_info(self) -> List[Dict[str, int]]:
+        """Per-partition statistics: page and live-row counts."""
+        return [
+            {"partition": p,
+             "pages": self._segments[p].page_count,
+             "rows": self._row_counts[p]}
+            for p in range(self.partitions)]

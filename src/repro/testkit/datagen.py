@@ -78,15 +78,22 @@ class TableSpec:
     """One generated table plus its rows."""
 
     def __init__(self, name: str, columns: List[ColumnSpec],
-                 rows: List[Tuple], indexes: Optional[List[IndexSpec]] = None):
+                 rows: List[Tuple], indexes: Optional[List[IndexSpec]] = None,
+                 partition_by: Optional[str] = None, partitions: int = 0):
         self.name = name
         self.columns = columns
         self.rows = rows
         self.indexes = indexes or []
+        self.partition_by = partition_by
+        self.partitions = partitions
 
     def ddl(self) -> str:
-        return "CREATE TABLE %s (%s)" % (
-            self.name, ", ".join(c.ddl() for c in self.columns))
+        clause = ""
+        if self.partition_by:
+            clause = " PARTITION BY HASH(%s) PARTITIONS %d" % (
+                self.partition_by, self.partitions)
+        return "CREATE TABLE %s (%s)%s" % (
+            self.name, ", ".join(c.ddl() for c in self.columns), clause)
 
     def insert_statements(self) -> List[str]:
         return ["INSERT INTO %s VALUES (%s)"
@@ -97,7 +104,8 @@ class TableSpec:
         return [(c.name, c.kind) for c in self.columns]
 
     def with_rows(self, rows: List[Tuple]) -> "TableSpec":
-        return TableSpec(self.name, self.columns, list(rows), self.indexes)
+        return TableSpec(self.name, self.columns, list(rows), self.indexes,
+                         self.partition_by, self.partitions)
 
 
 class ViewSpec:
@@ -248,6 +256,31 @@ def generate_schema(rng: random.Random, min_tables: int = 2,
         views.append(ViewSpec("v0", base.name, sql,
                               [(c.name, c.kind) for c in picked]))
     return SchemaSpec(tables, views)
+
+
+def sharded_variant(schema: SchemaSpec, partitions: int = 3) -> SchemaSpec:
+    """The same catalog with every eligible table hash-sharded.
+
+    Each table that has an INTEGER column becomes ``PARTITION BY
+    HASH(<first int column>) PARTITIONS <n>``; rows and indexes are
+    unchanged.  Deterministic, so the differential shrinker can rebuild
+    the twin database from any reduced schema.  Scan order over a
+    sharded table is partition-grouped rather than insert order — the
+    sharded configs therefore bag-compare against the oracle, and prove
+    parallel-vs-serial byte-identity against a serial run on the *same*
+    sharded twin.
+    """
+    tables = []
+    for table in schema.tables:
+        key = next((c.name for c in table.columns if c.kind == "int"),
+                   None)
+        if key is None:
+            tables.append(table)
+            continue
+        tables.append(TableSpec(table.name, table.columns,
+                                list(table.rows), table.indexes,
+                                partition_by=key, partitions=partitions))
+    return SchemaSpec(tables, schema.views)
 
 
 def build_database(schema: SchemaSpec):

@@ -33,7 +33,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.options import CompileOptions
 from repro.errors import DivisionByZeroError, ReproError
-from repro.testkit.datagen import SchemaSpec, build_database, generate_schema
+from repro.testkit.datagen import (SchemaSpec, build_database,
+                                   generate_schema, sharded_variant)
 from repro.testkit.oracle import OracleError, ReferenceOracle, sort_rows
 from repro.testkit.querygen import QueryGenerator, QuerySpec
 
@@ -52,16 +53,21 @@ class Config:
     """
 
     __slots__ = ("name", "options", "repeat", "byte_identical",
-                 "reference")
+                 "reference", "sharded")
 
     def __init__(self, name: str, options: CompileOptions,
                  repeat: int = 1, byte_identical: bool = False,
-                 reference: Optional[CompileOptions] = None):
+                 reference: Optional[CompileOptions] = None,
+                 sharded: bool = False):
         self.name = name
         self.options = options
         self.repeat = repeat
         self.byte_identical = byte_identical
         self.reference = reference
+        #: Execute against the hash-sharded twin database (same rows,
+        #: every eligible table PARTITION BY HASH) instead of the
+        #: primary one.
+        self.sharded = sharded
 
 
 def default_matrix() -> List[Config]:
@@ -130,6 +136,16 @@ def default_matrix() -> List[Config]:
                             parallelism="on", dop=4),
                byte_identical=True,
                reference=base.replace(execution_mode="compiled")),
+        # Hash-sharded storage: same rows in partitioned heap segments.
+        # Scan order is partition-grouped, so only the oracle bag (and
+        # ORDER BY sequences) must match.  The parallel run uses dop=3
+        # — the twin's partition count — so partition-wise joins and
+        # group-bys run co-located where possible, and must be
+        # byte-identical to a serial run on the same sharded twin.
+        Config("sharded", base, sharded=True),
+        Config("sharded-parallel",
+               base.replace(parallelism="on", dop=3),
+               byte_identical=True, reference=base, sharded=True),
     ]
 
 
@@ -264,8 +280,23 @@ class DifferentialRunner:
         if setup is not None:
             setup(self.db)
         self.oracle = ReferenceOracle(self.db)
+        #: Twin database with hash-sharded tables, built only when a
+        #: config asks for it.
+        self.sharded_db = None
+        if any(config.sharded for config in self.configs):
+            self.sharded_db = build_database(sharded_variant(schema))
+            if setup is not None:
+                setup(self.sharded_db)
         self.queries_checked = 0
         self.queries_skipped = 0
+
+    def _db_for(self, config: Config):
+        return self.sharded_db if config.sharded else self.db
+
+    def close(self) -> None:
+        self.db.close()
+        if self.sharded_db is not None:
+            self.sharded_db.close()
 
     def check_sql(self, spec: QuerySpec) -> Optional[Divergence]:
         """None when every config agrees with the oracle."""
@@ -293,11 +324,12 @@ class DifferentialRunner:
                 # that errors differently from its cold compile is a
                 # serving-path bug (no hit check here — error paths may
                 # legitimately bail before reaching the cache).
+                db = self._db_for(config)
                 for attempt in range(config.repeat):
                     suffix = (" (on plan-cache re-execution)"
                               if attempt > 0 else "")
                     try:
-                        self.db.execute(sql, options=config.options)
+                        db.execute(sql, options=config.options)
                     except expected_type:
                         continue
                     except ReproError as exc:
@@ -322,13 +354,14 @@ class DifferentialRunner:
             self.queries_checked += 1
             return None
         for config in self.configs:
+            db = self._db_for(config)
             reference_rows = None
             if config.byte_identical:
                 reference_options = (
                     config.reference if config.reference is not None
                     else config.options.replace(plan_cache=False))
                 try:
-                    reference_rows = self.db.execute(
+                    reference_rows = db.execute(
                         sql, options=reference_options).rows
                 except ReproError as exc:
                     return Divergence(
@@ -341,9 +374,9 @@ class DifferentialRunner:
                 cached_run = attempt > 0
                 suffix = " (on plan-cache re-execution)" \
                     if cached_run else ""
-                hits_before = self.db.plan_cache.hits
+                hits_before = db.plan_cache.hits
                 try:
-                    result = self.db.execute(sql, options=config.options)
+                    result = db.execute(sql, options=config.options)
                 except ReproError as exc:
                     return Divergence(
                         self.seed, self.schema, spec, config,
@@ -358,7 +391,7 @@ class DifferentialRunner:
                         "%d rows)%s" % (type(exc).__name__, exc,
                                         len(expected.rows), suffix),
                         expected.rows, None, setup=self.setup)
-                if cached_run and self.db.plan_cache.hits <= hits_before:
+                if cached_run and db.plan_cache.hits <= hits_before:
                     return Divergence(
                         self.seed, self.schema, spec, config,
                         "repeated execution was not served from the "
@@ -427,9 +460,9 @@ def run_seed(seed: int, queries: int = 4,
         return None, runner.queries_checked, runner.queries_skipped, \
             runner.db.cache_stats()
     finally:
-        # Release the parallel worker pool (if any config forked one);
+        # Release the parallel worker pools (if any config forked one);
         # a 500-seed sweep must not accumulate idle forked children.
-        runner.db.close()
+        runner.close()
 
 
 # -- shrinking ----------------------------------------------------------------------
@@ -448,7 +481,7 @@ def _diverges(schema: SchemaSpec, spec: QuerySpec, seed: int,
     except (ReproError, RecursionError):
         return None
     finally:
-        runner.db.close()
+        runner.close()
 
 
 def shrink_case(divergence: Divergence,
