@@ -8,6 +8,7 @@ through it.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.catalog.schema import IndexDef, TableDef, ViewDef, normalize_name
@@ -60,20 +61,30 @@ class Catalog:
         #: parallel runtime keys its forked worker pool on it: any
         #: mutation makes a copy-on-write snapshot stale.
         self.dml_clock = 0
+        #: Epoch bumps are read-modify-write over several fields; the
+        #: serving layer's concurrent writers take this lock so a bump
+        #: is never lost (re-entrant: note_dml calls bump_stats_epoch).
+        self._epoch_lock = threading.RLock()
 
     # -- epochs (plan-cache invalidation) -----------------------------------
+
+    def reinit_locks(self) -> None:
+        """Fresh epoch lock after ``fork()`` (a parent thread may have
+        held the old one at fork time)."""
+        self._epoch_lock = threading.RLock()
 
     def bump_schema_epoch(self, table_name: Optional[str] = None) -> int:
         """Note a schema change.  With a name, only plans depending on
         that relation go stale; without one (registry-wide events) every
         cached plan does."""
-        self.schema_epoch += 1
-        if table_name is None:
-            self._schema_floor = self.schema_epoch
-        else:
-            self._table_schema_epochs[normalize_name(table_name)] = \
-                self.schema_epoch
-        return self.schema_epoch
+        with self._epoch_lock:
+            self.schema_epoch += 1
+            if table_name is None:
+                self._schema_floor = self.schema_epoch
+            else:
+                self._table_schema_epochs[normalize_name(table_name)] = \
+                    self.schema_epoch
+            return self.schema_epoch
 
     def schema_floor(self) -> int:
         return self._schema_floor
@@ -84,32 +95,36 @@ class Catalog:
 
     def bump_stats_epoch(self, table_name: str) -> int:
         """Note a statistics change (RUNSTATS or a large DML delta)."""
-        self.stats_epoch += 1
-        key = normalize_name(table_name)
-        self._table_stats_epochs[key] = self.stats_epoch
-        self._dml_since_stats[key] = 0
-        stats = self._statistics.get(key)
-        self._rows_at_stats[key] = stats.row_count if stats else 0
-        return self.stats_epoch
+        with self._epoch_lock:
+            self.stats_epoch += 1
+            key = normalize_name(table_name)
+            self._table_stats_epochs[key] = self.stats_epoch
+            self._dml_since_stats[key] = 0
+            stats = self._statistics.get(key)
+            self._rows_at_stats[key] = stats.row_count if stats else 0
+            return self.stats_epoch
 
     def stats_epoch_of(self, name: str) -> int:
         return self._table_stats_epochs.get(normalize_name(name), 0)
 
     def note_mutation(self) -> None:
         """Tick the mutation clock (update paths that bypass note_dml)."""
-        self.dml_clock += 1
+        with self._epoch_lock:
+            self.dml_clock += 1
 
     def note_dml(self, table_name: str) -> None:
         """Count one inserted/deleted row; bump the statistics epoch once
         the delta since the last bump is large enough to move plans."""
-        self.dml_clock += 1
-        key = normalize_name(table_name)
-        count = self._dml_since_stats.get(key, 0) + 1
-        baseline = self._rows_at_stats.get(key, 0)
-        if count >= max(STATS_DML_FLOOR, STATS_DML_FRACTION * baseline):
-            self.bump_stats_epoch(key)
-        else:
-            self._dml_since_stats[key] = count
+        with self._epoch_lock:
+            self.dml_clock += 1
+            key = normalize_name(table_name)
+            count = self._dml_since_stats.get(key, 0) + 1
+            baseline = self._rows_at_stats.get(key, 0)
+            if count >= max(STATS_DML_FLOOR,
+                            STATS_DML_FRACTION * baseline):
+                self.bump_stats_epoch(key)
+            else:
+                self._dml_since_stats[key] = count
 
     # -- tables ------------------------------------------------------------
 

@@ -17,6 +17,7 @@ renders QGM (before/after rewrite) and the chosen plan.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
@@ -158,6 +159,7 @@ class Database:
         install_default_rules(self.rewrite_engine)
         #: Lazily created morsel-parallel worker-pool manager.
         self._parallel_runtime = None
+        self._parallel_runtime_lock = threading.Lock()
         #: Process-level metrics fed by the execute/serve paths; scrape
         #: with :meth:`metrics_snapshot` or ``metrics.exposition()``.
         self.metrics = MetricsRegistry(prefix="repro_")
@@ -190,13 +192,37 @@ class Database:
         if self._parallel_runtime is None:
             from repro.executor.parallel import ParallelRuntime
 
-            self._parallel_runtime = ParallelRuntime(self)
+            with self._parallel_runtime_lock:
+                if self._parallel_runtime is None:
+                    self._parallel_runtime = ParallelRuntime(self)
         return self._parallel_runtime
 
     def close(self) -> None:
         """Release external resources (the parallel worker pool)."""
         if self._parallel_runtime is not None:
             self._parallel_runtime.close()
+
+    def reinit_locks_after_fork(self) -> None:
+        """Replace every lock this instance owns with a fresh one.
+
+        Called by forked snapshot workers (``repro.serve``) right after
+        ``fork()``: any parent *thread* could have held one of these
+        locks at fork time, and the child inherits it locked with no
+        owner to release it.  The child is single-threaded at this point
+        so swapping the locks is safe.
+        """
+        self._parallel_runtime_lock = threading.Lock()
+        self.metrics.reinit_locks()
+        self.catalog.reinit_locks()
+        self.plan_cache.reinit_locks()
+        self.engine.pool.reinit_locks()
+        self.engine.log.reinit_locks()
+        self.engine.locks.reinit_locks()
+        from repro.core import plancache
+        from repro.executor import codegen
+
+        plancache.reinit_locks()
+        codegen.reinit_locks()
 
     # ==== metrics ===============================================================
 

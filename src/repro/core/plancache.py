@@ -27,6 +27,7 @@ is that store.  Three pieces:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -107,6 +108,17 @@ class Fingerprint:
 _FINGERPRINT_MEMO: "OrderedDict[Tuple[str, bool], Fingerprint]" = \
     OrderedDict()
 _FINGERPRINT_MEMO_CAPACITY = 2048
+#: Serving sessions fingerprint concurrently; the memo's LRU reorder and
+#: trim are multi-step and need the lock (fingerprints themselves are
+#: immutable, so returning one outside the lock is safe).
+_FINGERPRINT_LOCK = threading.Lock()
+
+
+def reinit_locks() -> None:
+    """Fresh module lock after ``fork()`` (a parent thread may have held
+    the old one at fork time)."""
+    global _FINGERPRINT_LOCK
+    _FINGERPRINT_LOCK = threading.Lock()
 
 
 def fingerprint_statement(sql: str,
@@ -119,14 +131,16 @@ def fingerprint_statement(sql: str,
     error through the usual channel.
     """
     memo_key = (sql, parameterize_constants)
-    memoized = _FINGERPRINT_MEMO.get(memo_key)
-    if memoized is not None:
-        _FINGERPRINT_MEMO.move_to_end(memo_key)
-        return memoized
+    with _FINGERPRINT_LOCK:
+        memoized = _FINGERPRINT_MEMO.get(memo_key)
+        if memoized is not None:
+            _FINGERPRINT_MEMO.move_to_end(memo_key)
+            return memoized
     fingerprint = _fingerprint_uncached(sql, parameterize_constants)
-    _FINGERPRINT_MEMO[memo_key] = fingerprint
-    while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_CAPACITY:
-        _FINGERPRINT_MEMO.popitem(last=False)
+    with _FINGERPRINT_LOCK:
+        _FINGERPRINT_MEMO[memo_key] = fingerprint
+        while len(_FINGERPRINT_MEMO) > _FINGERPRINT_MEMO_CAPACITY:
+            _FINGERPRINT_MEMO.popitem(last=False)
     return fingerprint
 
 
@@ -278,13 +292,22 @@ BULK_DML_CARD_FLOOR = 256.0
 
 
 class PlanCache:
-    """LRU cache of compiled statements with epoch-based invalidation."""
+    """LRU cache of compiled statements with epoch-based invalidation.
+
+    Mutation — the LRU reorder on lookup, eviction on insert, stale-entry
+    drops — is guarded by one re-entrant lock so concurrent serving
+    sessions can share a cache without losing updates or corrupting the
+    OrderedDict.  Entries are immutable once inserted (their per-entry
+    counters are plain int bumps), so returning them outside the lock is
+    safe.
+    """
 
     def __init__(self, capacity: int = 512):
         if capacity < 1:
             raise ValueError("plan cache capacity must be >= 1")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -295,29 +318,36 @@ class PlanCache:
         #: carry a per-entry recompile count.
         self._recompiled_keys: Dict[Tuple, int] = {}
 
+    def reinit_locks(self) -> None:
+        """Fresh lock after ``fork()`` (a parent thread may have held the
+        old one at fork time)."""
+        self._lock = threading.RLock()
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, catalog, key) -> Optional[CacheEntry]:
         """The serving-path lookup: returns a valid entry or None (counted
         as a miss; stale entries are dropped on the way)."""
-        entry = self._peek_valid(catalog, key, count=True)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        entry.hits += 1
-        return entry
+        with self._lock:
+            entry = self._peek_valid(catalog, key, count=True)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
+            return entry
 
     def peek(self, catalog, key) -> Optional[CacheEntry]:
         """Validity check without touching counters or LRU order (EXPLAIN
         uses this to report cache status without perturbing it)."""
-        entry = self._entries.get(key)
-        if entry is None or not entry.schema_valid(catalog) \
-                or not entry.stats_valid(catalog):
-            return None
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not entry.schema_valid(catalog) \
+                    or not entry.stats_valid(catalog):
+                return None
+            return entry
 
     def _peek_valid(self, catalog, key, count: bool) -> Optional[CacheEntry]:
         entry = self._entries.get(key)
@@ -353,40 +383,44 @@ class PlanCache:
         """Insert through the admission policy; None means rejected (the
         caller still executes the compiled statement, uncached)."""
         if not self.admissible(compiled):
-            self.admissions_rejected += 1
+            with self._lock:
+                self.admissions_rejected += 1
             return None
         return self.insert(catalog, key, compiled)
 
     def insert(self, catalog, key, compiled) -> CacheEntry:
-        entry = CacheEntry(key, compiled, catalog)
-        entry.recompiles = self._recompiled_keys.pop(key, 0)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return entry
+        with self._lock:
+            entry = CacheEntry(key, compiled, catalog)
+            entry.recompiles = self._recompiled_keys.pop(key, 0)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self, catalog=None) -> Dict[str, Any]:
-        report: Dict[str, Any] = {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "schema_invalidations": self.schema_invalidations,
-            "stats_invalidations": self.stats_invalidations,
-            "admissions_rejected": self.admissions_rejected,
-        }
-        if catalog is not None:
-            report["schema_epoch"] = catalog.schema_epoch
-            report["stats_epoch"] = catalog.stats_epoch
-        report["per_entry"] = [entry.describe()
-                               for entry in self._entries.values()]
-        return report
+        with self._lock:
+            report: Dict[str, Any] = {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "schema_invalidations": self.schema_invalidations,
+                "stats_invalidations": self.stats_invalidations,
+                "admissions_rejected": self.admissions_rejected,
+            }
+            if catalog is not None:
+                report["schema_epoch"] = catalog.schema_epoch
+                report["stats_epoch"] = catalog.stats_epoch
+            report["per_entry"] = [entry.describe()
+                                   for entry in self._entries.values()]
+            return report
 
 
 class Prepared:

@@ -87,6 +87,25 @@ class DivisionByZeroError(ExecutionError):
 
 
 # ---------------------------------------------------------------------------
+# Serving-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ServeError(ReproError):
+    """Base class for the concurrent serving layer (``repro.serve``)."""
+
+
+class ServerOverloaded(ServeError):
+    """Admission control shed this statement: the server is at its
+    configured max-inflight and the wait queue did not drain within the
+    admission timeout.  Clients should back off and retry."""
+
+
+class SessionClosed(ServeError):
+    """The session (or its server) was closed; no further statements."""
+
+
+# ---------------------------------------------------------------------------
 # Core (data manager) errors
 # ---------------------------------------------------------------------------
 

@@ -55,6 +55,7 @@ row-for-row and error-for-error identical to the interpreters.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import DivisionByZeroError, ExecutionError
@@ -108,26 +109,41 @@ def _exec_globals() -> Dict[str, Any]:
 _CODE_CACHE: Dict[str, Any] = {}
 _CACHE_HITS = 0
 _CACHE_MISSES = 0
+#: Concurrent serving sessions compile pipelines in parallel; the cache
+#: probe + counter bump is a read-modify-write and needs the lock (a
+#: duplicate ``compile()`` would be harmless, a lost counter is not).
+_CACHE_LOCK = threading.Lock()
+
+
+def reinit_locks() -> None:
+    """Fresh module lock after ``fork()`` (a parent thread may have held
+    the old one at fork time)."""
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
 
 
 def codegen_cache_stats() -> Dict[str, int]:
     """Hit/miss counters for the shared pipeline code-object cache."""
-    return {"entries": len(_CODE_CACHE), "hits": _CACHE_HITS,
-            "misses": _CACHE_MISSES}
+    with _CACHE_LOCK:
+        return {"entries": len(_CODE_CACHE), "hits": _CACHE_HITS,
+                "misses": _CACHE_MISSES}
 
 
 def _materialize(source: str) -> Tuple[Any, bool]:
     """Compile (or fetch) the pipeline's code object and bind it into a
     fresh globals dict.  Returns ``(function, shared)``."""
     global _CACHE_HITS, _CACHE_MISSES
-    code = _CODE_CACHE.get(source)
+    with _CACHE_LOCK:
+        code = _CODE_CACHE.get(source)
     shared = code is not None
     if code is None:
         code = compile(source, "<codegen>", "exec")
-        _CODE_CACHE[source] = code
-        _CACHE_MISSES += 1
+        with _CACHE_LOCK:
+            _CODE_CACHE[source] = code
+            _CACHE_MISSES += 1
     else:
-        _CACHE_HITS += 1
+        with _CACHE_LOCK:
+            _CACHE_HITS += 1
     namespace = _exec_globals()
     exec(code, namespace)
     return namespace["_p"], shared

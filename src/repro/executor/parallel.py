@@ -162,7 +162,8 @@ def _worker_run(task):
     ``(profile_export, stats_export)`` — the worker's per-operator probes
     keyed by walk index plus its ExecutionStats counters, for the
     coordinator to merge (EXPLAIN ANALYZE through a Gather).
-    ``elapsed`` is the task's wall seconds, for the skew view.
+    ``elapsed`` is the task's wall seconds and ``worker_id`` the worker
+    process's pid, for the per-task and per-worker skew views.
     """
     from time import perf_counter
 
@@ -199,7 +200,7 @@ def _worker_run(task):
         from repro.obs.profile import export_stats
 
         extra = (ctx.profile.export(), export_stats(ctx.stats))
-    return rows, extra, perf_counter() - started
+    return rows, extra, perf_counter() - started, os.getpid()
 
 
 def _worker_shuffle(task):
@@ -301,7 +302,7 @@ def _worker_partition(task):
     ``task`` is (text, options, gather_index, signature, partition,
     source_blobs, params) with ``source_blobs`` aligned to
     ``gather.sources`` — each entry the wire blobs routed to this
-    partition.  Returns ``(tagged_rows, elapsed)``.
+    partition.  Returns ``(tagged_rows, elapsed, worker_id)``.
     """
     from time import perf_counter
 
@@ -382,14 +383,14 @@ def _worker_partition(task):
                 else _eval_head(evaluator, expr, env)
                 for fn, expr in zip(compiled_exprs, project.exprs))
             tagged.append(((outer_seq(env), inner_seq(env) or pad), row))
-    return tagged, perf_counter() - started
+    return tagged, perf_counter() - started, os.getpid()
 
 
 def _worker_ship(task):
     """Run a SHIP's child in a worker — the stand-in for the remote
     site — and return the result stream wire-encoded, plus elapsed
-    seconds.  ``task`` is (text, options, ship_index, signature,
-    params)."""
+    seconds and the worker pid.  ``task`` is (text, options, ship_index,
+    signature, params)."""
     from time import perf_counter
 
     from repro.executor.context import ExecutionContext
@@ -407,7 +408,7 @@ def _worker_ship(task):
     ctx.join_kinds = db.join_kinds
     ctx.batch_size = options.batch_size
     rows = list(rows_iter(node.children[0], ctx, {}))
-    return pack_rows(rows), perf_counter() - started
+    return pack_rows(rows), perf_counter() - started, os.getpid()
 
 
 def _signature(node) -> str:
@@ -613,9 +614,11 @@ class ParallelRuntime:
         ctx.stats.morsels += len(morsels)
         parts = []
         times = []
-        for part_rows, extra, elapsed in results:
+        worker_ids = []
+        for part_rows, extra, elapsed, worker_id in results:
             parts.append(part_rows)
             times.append(elapsed)
+            worker_ids.append(worker_id)
             if extra is not None and ctx.profile is not None:
                 from repro.obs.profile import merge_stats
 
@@ -626,7 +629,7 @@ class ParallelRuntime:
             ctx.profile.note_exchange(
                 exchange, morsels=len(morsels),
                 workers=min(exchange.dop, len(morsels)),
-                worker_times=times)
+                worker_times=times, worker_ids=worker_ids)
         if isinstance(exchange, pl.MergeGather):
             from repro.executor.run import _null_last_key
 
@@ -777,9 +780,12 @@ class ParallelRuntime:
             ctx.profile.note_exchange(
                 gather, morsels=len(producer_tasks) or n,
                 workers=pool_size(n),
-                worker_times=[elapsed for _tagged, elapsed in results],
+                worker_times=[elapsed
+                              for _tagged, elapsed, _pid in results],
+                worker_ids=[pid for _tagged, _elapsed, pid in results],
                 wire_bytes=moved)
-        merged = heapq.merge(*(tagged for tagged, _elapsed in results),
+        merged = heapq.merge(*(tagged for tagged, _elapsed, _pid
+                               in results),
                              key=lambda entry: entry[0])
         return iter([row for _tag, row in merged])
 
@@ -807,7 +813,7 @@ class ParallelRuntime:
                 tuple(ctx.params))
         try:
             pool = self._ensure_pool(1)
-            blob, elapsed = pool.apply(_worker_ship, (task,))
+            blob, elapsed, worker_id = pool.apply(_worker_ship, (task,))
         except Exception as exc:
             self.close()
             ctx.stats.parallel_fallbacks += 1
@@ -819,5 +825,6 @@ class ParallelRuntime:
         if ctx.profile is not None:
             ctx.profile.note_exchange(ship, morsels=1, workers=1,
                                       worker_times=[elapsed],
+                                      worker_ids=[worker_id],
                                       wire_bytes=len(blob))
         return iter(unpack_rows(blob))

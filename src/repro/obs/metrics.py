@@ -5,13 +5,17 @@ the execute/serve paths (statement counts, compile/execute latency, rows,
 plan-cache hits and misses, parallel fallbacks).  ``snapshot()`` returns a
 plain dict for programmatic scraping; ``exposition()`` renders the
 Prometheus text format so an HTTP handler can serve ``/metrics`` with a
-one-liner.  No dependencies, no locks: the engine is single-threaded per
-Database (parallel workers are processes and report through their task
-results, not through this registry).
+one-liner.  No dependencies; one lock per registry, shared by all its
+metrics, because the serving layer updates them from many session
+threads at once (``value += amount`` is a read-modify-write and loses
+updates without it).  Forked snapshot workers call
+:meth:`MetricsRegistry.reinit_locks` because a parent thread may hold
+the lock at fork time.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -26,20 +30,24 @@ class Counter:
     """A monotonically increasing count."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "",
+                 lock: Optional[threading.Lock] = None):
         self.name = name
         self.help = help_text
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up; got %r" % (amount,))
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self):
         return self.value
@@ -49,24 +57,30 @@ class Gauge:
     """A value that goes up and down (pool sizes, cache entries)."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
-    def __init__(self, name: str, help_text: str = ""):
+    def __init__(self, name: str, help_text: str = "",
+                 lock: Optional[threading.Lock] = None):
         self.name = name
         self.help = help_text
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: Union[int, float]) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: Union[int, float] = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: Union[int, float] = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self):
         return self.value
@@ -82,10 +96,11 @@ class Histogram:
 
     kind = "histogram"
     __slots__ = ("name", "help", "buckets", "counts", "overflow", "sum",
-                 "count")
+                 "count", "_lock")
 
     def __init__(self, name: str, help_text: str = "",
-                 buckets: Optional[Sequence[float]] = None):
+                 buckets: Optional[Sequence[float]] = None,
+                 lock: Optional[threading.Lock] = None):
         self.name = name
         self.help = help_text
         self.buckets: Tuple[float, ...] = tuple(
@@ -97,49 +112,71 @@ class Histogram:
         self.overflow = 0
         self.sum = 0.0
         self.count = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
         index = bisect_left(self.buckets, value)
-        if index < len(self.counts):
-            self.counts[index] += 1
-        else:
-            self.overflow += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            if index < len(self.counts):
+                self.counts[index] += 1
+            else:
+                self.overflow += 1
+            self.sum += value
+            self.count += 1
 
     def reset(self) -> None:
-        self.counts = [0] * len(self.buckets)
-        self.overflow = 0
-        self.sum = 0.0
-        self.count = 0
+        with self._lock:
+            self.counts = [0] * len(self.buckets)
+            self.overflow = 0
+            self.sum = 0.0
+            self.count = 0
 
     def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self.counts)
+            total = self.count
+            total_sum = self.sum
         cumulative = 0
         out = OrderedDict()
-        for bound, count in zip(self.buckets, self.counts):
+        for bound, count in zip(self.buckets, counts):
             cumulative += count
             out[bound] = cumulative
-        return {"count": self.count, "sum": self.sum, "buckets": out}
+        return {"count": total, "sum": total_sum, "buckets": out}
 
 
 class MetricsRegistry:
-    """Named metrics, created on first use and stable thereafter."""
+    """Named metrics, created on first use and stable thereafter.
+
+    All metrics in one registry share one re-entrant lock (update rates
+    are modest, contention is cheaper than a lock per metric, and the
+    exposition path can hold it across a consistent render).
+    """
 
     def __init__(self, prefix: str = ""):
         self.prefix = prefix
+        self._lock = threading.RLock()
         self._metrics: "OrderedDict[str, object]" = OrderedDict()
 
+    def reinit_locks(self) -> None:
+        """Replace the shared lock after ``fork()``: another thread may
+        have held it at fork time, leaving the child's copy locked
+        forever."""
+        self._lock = threading.RLock()
+        for metric in self._metrics.values():
+            metric._lock = self._lock
+
     def _register(self, name: str, kind, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is not None:
-            if not isinstance(metric, kind):
-                raise ValueError(
-                    "metric %s already registered as a %s"
-                    % (name, type(metric).kind))
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                if not isinstance(metric, kind):
+                    raise ValueError(
+                        "metric %s already registered as a %s"
+                        % (name, type(metric).kind))
+                return metric
+            metric = kind(name, lock=self._lock, **kwargs)
+            self._metrics[name] = metric
             return metric
-        metric = kind(name, **kwargs)
-        self._metrics[name] = metric
-        return metric
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._register(name, Counter, help_text=help_text)
@@ -160,18 +197,22 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, object]:
         """Every metric's current value as a plain dict."""
-        return {name: metric.snapshot()
-                for name, metric in self._metrics.items()}
+        with self._lock:
+            return {name: metric.snapshot()
+                    for name, metric in self._metrics.items()}
 
     def reset(self) -> None:
         """Zero every metric, keeping registrations (and help text)."""
-        for metric in self._metrics.values():
-            metric.reset()
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
 
     def exposition(self) -> str:
         """Prometheus text exposition format, one block per metric."""
         lines: List[str] = []
-        for name, metric in self._metrics.items():
+        with self._lock:
+            metrics = list(self._metrics.items())
+        for name, metric in metrics:
             full = self.prefix + name
             if metric.help:
                 lines.append("# HELP %s %s" % (full, metric.help))

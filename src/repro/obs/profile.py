@@ -134,18 +134,23 @@ class PlanProfile:
     # -- parallel-worker merge ----------------------------------------------
 
     def note_exchange(self, exchange, morsels: int, workers: int,
-                      worker_times=None, wire_bytes: int = 0) -> None:
+                      worker_times=None, worker_ids=None,
+                      wire_bytes: int = 0) -> None:
         """Record fan-out detail for one Exchange execution.
 
         ``worker_times`` — per-task wall seconds, for the EXPLAIN
-        ANALYZE skew view (min/median/max); ``wire_bytes`` — measured
-        inter-process bytes for Repartition/Ship exchanges.
+        ANALYZE skew view (min/median/max); ``worker_ids`` — the worker
+        process that ran each task, aligned with ``worker_times``, for
+        the per-worker wall-time view (several tasks can land on one
+        worker); ``wire_bytes`` — measured inter-process bytes for
+        Repartition/Ship exchanges.
         """
         key = id(exchange)
         detail = self.exchanges.get(key)
         if detail is None:
             detail = {"morsels": 0, "workers": workers, "runs": 0,
-                      "worker_times": [], "wire_bytes": 0}
+                      "worker_times": [], "worker_ids": [],
+                      "wire_bytes": 0}
             self.exchanges[key] = detail
             self._nodes.setdefault(key, exchange)
         detail["morsels"] += morsels
@@ -153,6 +158,10 @@ class PlanProfile:
         detail["runs"] += 1
         if worker_times:
             detail["worker_times"].extend(worker_times)
+            ids = (list(worker_ids)
+                   if worker_ids and len(worker_ids) == len(worker_times)
+                   else [None] * len(worker_times))
+            detail["worker_ids"].extend(ids)
         detail["wire_bytes"] += int(wire_bytes)
 
     def export(self) -> Dict[int, Tuple[int, int, int, int]]:

@@ -18,6 +18,22 @@ def _ms(nanoseconds: int) -> str:
     return "%.3f" % (nanoseconds / 1e6)
 
 
+def _worker_walls(detail) -> List[float]:
+    """Per-worker wall seconds for one exchange, sorted ascending: each
+    worker's task times summed by the worker id recorded alongside them.
+    Empty when ids are missing (an old export or a single-task ship with
+    no id), which suppresses the wall view rather than mislabeling."""
+    times = detail.get("worker_times") or ()
+    ids = detail.get("worker_ids") or ()
+    if not times or len(ids) != len(times) or any(
+            worker_id is None for worker_id in ids):
+        return []
+    by_worker: dict = {}
+    for worker_id, elapsed in zip(ids, times):
+        by_worker[worker_id] = by_worker.get(worker_id, 0.0) + elapsed
+    return sorted(by_worker.values())
+
+
 def _node_line(node, profile, total_ns: int, depth: int) -> str:
     static = "cost=%.2f est=%.1f" % (node.props.cost, node.props.card)
     marks = ""
@@ -65,6 +81,16 @@ def _node_line(node, profile, total_ns: int, depth: int) -> str:
             median = times[len(times) // 2]
             extra += (" skew(min=%.1fms median=%.1fms max=%.1fms)"
                       % (times[0] * 1e3, median * 1e3, times[-1] * 1e3))
+        walls = _worker_walls(detail)
+        if walls:
+            # Per-worker wall time (all of a worker's tasks summed): a
+            # balanced task histogram can still hide one overloaded
+            # worker when the pool is smaller than the task count.
+            median = walls[len(walls) // 2]
+            extra += (" wall(workers=%d min=%.1fms median=%.1fms"
+                      " max=%.1fms)"
+                      % (len(walls), walls[0] * 1e3, median * 1e3,
+                         walls[-1] * 1e3))
         if detail.get("wire_bytes"):
             extra += " wire=%dB" % detail["wire_bytes"]
         exchange = " exchange(morsels=%d workers=%d runs=%d%s)" % (

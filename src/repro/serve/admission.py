@@ -1,0 +1,119 @@
+"""Admission control: bounded inflight statements, bounded wait queue.
+
+Overload must degrade to *fast rejection*, not collapse: once
+``max_inflight`` statements are executing, up to ``max_queue`` more may
+wait ``timeout_s`` for a slot, and everything beyond that is shed
+immediately with :class:`repro.errors.ServerOverloaded`.  The controller
+feeds the database's :class:`~repro.obs.metrics.MetricsRegistry` so the
+``/metrics`` endpoint shows queue depth and shed counts live.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import monotonic
+
+from repro.errors import ServerOverloaded
+
+
+class AdmissionController:
+    """A counting gate in front of statement execution.
+
+    ``with controller.admitted():`` either acquires an execution slot
+    (possibly after a bounded wait) or raises
+    :class:`~repro.errors.ServerOverloaded`; the slot is released when
+    the block exits.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int,
+                 timeout_s: float, metrics=None):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+        if metrics is not None:
+            self._g_inflight = metrics.gauge(
+                "serve_inflight", "Statements currently executing")
+            self._g_queue = metrics.gauge(
+                "serve_queue_depth",
+                "Statements waiting for an execution slot")
+            self._c_admitted = metrics.counter(
+                "serve_admitted_total", "Statements admitted")
+            self._c_shed = metrics.counter(
+                "serve_shed_total",
+                "Statements rejected by admission control")
+        else:
+            self._g_inflight = self._g_queue = None
+            self._c_admitted = self._c_shed = None
+
+    # The gauges mirror _inflight/_waiting, which only change under
+    # self._cond — publishing them after the mutation keeps them exact.
+
+    def _publish(self) -> None:
+        if self._g_inflight is not None:
+            self._g_inflight.set(self._inflight)
+            self._g_queue.set(self._waiting)
+
+    def acquire(self) -> None:
+        """Take one execution slot or raise ServerOverloaded."""
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._publish()
+                if self._c_admitted is not None:
+                    self._c_admitted.inc()
+                return
+            if self._waiting >= self.max_queue:
+                if self._c_shed is not None:
+                    self._c_shed.inc()
+                raise ServerOverloaded(
+                    "server at max_inflight=%d with %d already queued; "
+                    "statement shed" % (self.max_inflight, self._waiting))
+            self._waiting += 1
+            self._publish()
+            deadline = monotonic() + self.timeout_s
+            try:
+                while self._inflight >= self.max_inflight:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        if self._c_shed is not None:
+                            self._c_shed.inc()
+                        raise ServerOverloaded(
+                            "server at max_inflight=%d; no slot freed "
+                            "within %.2fs; statement shed"
+                            % (self.max_inflight, self.timeout_s))
+                    self._cond.wait(remaining)
+            finally:
+                self._waiting -= 1
+                self._publish()
+            self._inflight += 1
+            self._publish()
+            if self._c_admitted is not None:
+                self._c_admitted.inc()
+
+    def release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self._publish()
+            self._cond.notify()
+
+    @contextmanager
+    def admitted(self):
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {"inflight": self._inflight, "waiting": self._waiting,
+                    "max_inflight": self.max_inflight,
+                    "max_queue": self.max_queue}

@@ -1,0 +1,115 @@
+"""A small client for the line protocol (tests, benchmarks, demos).
+
+``WireClient`` speaks :mod:`repro.serve.wire` over a TCP socket.  Wire
+values come back as strings (or None for NULL) — the protocol is
+text-typed; tests that need engine-typed values use an in-process
+:class:`repro.serve.session.Session` instead.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Tuple
+
+from repro.errors import ServeError
+from repro.serve.session import rebuild_error
+from repro.serve.wire import unescape_value
+
+
+class WireResult:
+    """Decoded response: columns, rows of Optional[str], rowcount."""
+
+    __slots__ = ("columns", "rows", "rowcount")
+
+    def __init__(self, columns: List[str],
+                 rows: List[Tuple[Optional[str], ...]], rowcount: int):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class WireClient:
+    """One connection = one server-side session."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8",
+                                           newline="\n")
+        self._writer = self._sock.makefile("w", encoding="utf-8",
+                                           newline="\n")
+
+    def execute(self, sql: str) -> WireResult:
+        if "\n" in sql:
+            raise ServeError("the line protocol takes one-line "
+                             "statements; got an embedded newline")
+        self._writer.write(sql.strip() + "\n")
+        self._writer.flush()
+        status = self._reader.readline()
+        if not status:
+            raise ServeError("server closed the connection")
+        status = status.rstrip("\n")
+        if status.startswith("ERR "):
+            _tag, class_name, message = status.split(" ", 2)
+            raise rebuild_error(class_name,
+                                unescape_value(message) or "")
+        if not status.startswith("OK "):
+            raise ServeError("malformed status line: %r" % status)
+        rowcount = int(status[3:])
+        columns: List[str] = []
+        rows: List[Tuple[Optional[str], ...]] = []
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ServeError("connection dropped mid-result")
+            line = line.rstrip("\n")
+            if line == ".":
+                break
+            if line.startswith("*"):
+                columns = line[1:].split("\t") if len(line) > 1 else []
+                continue
+            rows.append(tuple(unescape_value(field)
+                              for field in line.split("\t")))
+        return WireResult(columns, rows, rowcount)
+
+    def close(self) -> None:
+        try:
+            self._writer.write("QUIT\n")
+            self._writer.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        for handle in (self._reader, self._writer):
+            try:
+                handle.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> str:
+    """Scrape ``GET /metrics`` from a serving port; returns the
+    Prometheus text body."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    payload = b"".join(chunks).decode("utf-8", "replace")
+    if "\r\n\r\n" not in payload:
+        raise ServeError("malformed HTTP response")
+    return payload.split("\r\n\r\n", 1)[1]

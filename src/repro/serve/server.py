@@ -1,0 +1,282 @@
+"""The serving core: settings, statement routing, the striped write
+path, and the :class:`Server` that sessions hang off.
+
+Run ``python -m repro.serve.server --port 5433`` to serve a database
+over the line protocol (see :mod:`repro.serve.wire`); drive it with
+:class:`repro.serve.client.WireClient` or a raw ``nc`` session.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.language import ast
+from repro.language.parser import parse_statement
+from repro.serve.admission import AdmissionController
+from repro.serve.snapshot import SnapshotManager
+
+
+class ServeSettings:
+    """Serving-layer knobs (engine knobs stay on ``db.settings``)."""
+
+    def __init__(self):
+        #: Statements executing at once before admission queues.
+        self.max_inflight = 8
+        #: Statements allowed to wait for a slot before shedding.
+        self.max_queue = 16
+        #: How long a queued statement waits before it is shed.
+        self.admission_timeout_s = 1.0
+        #: Write stripes: writers to the same table serialize on one
+        #: stripe; writers to different tables (usually) proceed in
+        #: parallel; DDL and multi-table writers take every stripe.
+        self.write_stripes = 8
+        #: Workers per snapshot pool (the read fan-out ceiling).
+        self.snapshot_workers = 8
+        #: Bounded staleness of unpinned snapshot reads: the refresher
+        #: re-forks the pool at most this often when data changed.
+        self.snapshot_refresh_s = 0.25
+        #: Master switch; forced off where fork() is unavailable.
+        self.snapshots_enabled = True
+
+
+class Route:
+    """How one statement travels through the server."""
+
+    __slots__ = ("kind", "tables", "escalate")
+
+    #: kind is one of:
+    #: - "read"  — SELECT: snapshot pool when fresh enough, else live
+    #: - "write" — INSERT/UPDATE/DELETE: striped, in-parent, autocommit
+    #: - "ddl"   — CREATE/DROP: all stripes, in-parent
+    #: - "meta"  — EXPLAIN and anything unparseable: live in-parent
+    def __init__(self, kind: str, tables: Tuple[str, ...] = (),
+                 escalate: bool = False):
+        self.kind = kind
+        self.tables = tables
+        #: Multi-table writers (INSERT ... SELECT, subqueried
+        #: UPDATE/DELETE) take every stripe: their engine locks span
+        #: tables, and two of them crossing stripes could deadlock.
+        self.escalate = escalate
+
+
+def classify(sql: str) -> Route:
+    """One parse decides a statement's route; the server memoizes this
+    per SQL text, so the per-statement cost is one dict hit."""
+    try:
+        statement = parse_statement(sql)
+    except ReproError:
+        # Unparseable text routes live so the ordinary compile path
+        # raises its error through the usual channel.
+        return Route("meta")
+    if isinstance(statement, ast.InsertStmt):
+        return Route("write", (statement.table_name,),
+                     escalate=statement.query is not None)
+    if isinstance(statement, (ast.UpdateStmt, ast.DeleteStmt)):
+        return Route("write", (statement.table_name,),
+                     escalate="select" in sql.lower())
+    if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
+                              ast.CreateViewStmt, ast.DropStmt)):
+        return Route("ddl")
+    if isinstance(statement, ast.ExplainStmt):
+        return Route("meta")
+    return Route("read")
+
+
+class WriteGate:
+    """The striped write path.
+
+    N plain locks; a writer takes the stripes of the tables it writes
+    (sorted, so two writers can never hold-and-wait in opposite orders)
+    and holds them for the statement.  Readers never touch stripes —
+    they either read a forked snapshot or take engine S-locks — so
+    writers serialize only against writers.
+    """
+
+    def __init__(self, stripes: int):
+        self._locks = [threading.Lock() for _ in range(max(1, stripes))]
+
+    def stripe_indexes(self, route: Route) -> List[int]:
+        if route.escalate or not route.tables:
+            return list(range(len(self._locks)))
+        return sorted({hash(name.lower()) % len(self._locks)
+                       for name in route.tables})
+
+    @contextmanager
+    def held(self, indexes: List[int]):
+        acquired = []
+        try:
+            for index in indexes:
+                self._locks[index].acquire()
+                acquired.append(index)
+            yield
+        finally:
+            for index in reversed(acquired):
+                self._locks[index].release()
+
+    @contextmanager
+    def quiesced(self):
+        """All stripes: no writer statement is mid-flight inside.  Used
+        by DDL, explicit write transactions, and snapshot forks."""
+        with self.held(list(range(len(self._locks)))):
+            yield
+
+
+class Server:
+    """One database, served to many concurrent sessions.
+
+    Owns the admission controller, the write gate, and the snapshot
+    manager; :meth:`session` hands out :class:`~repro.serve.session.
+    Session` handles (thread-safe, one per client).
+    """
+
+    def __init__(self, db, settings: Optional[ServeSettings] = None):
+        from repro.executor.parallel import fork_available
+
+        self.db = db
+        self.settings = settings if settings is not None \
+            else ServeSettings()
+        self.admission = AdmissionController(
+            self.settings.max_inflight, self.settings.max_queue,
+            self.settings.admission_timeout_s, metrics=db.metrics)
+        self.write_gate = WriteGate(self.settings.write_stripes)
+        self._routes: Dict[str, Route] = {}
+        self._routes_lock = threading.Lock()
+        self._sessions_alive = 0
+        self._sessions_lock = threading.Lock()
+        self._g_sessions = db.metrics.gauge(
+            "serve_sessions", "Sessions currently open")
+        self._c_snapshot_reads = db.metrics.counter(
+            "serve_snapshot_reads_total",
+            "Reads served from a forked snapshot pool")
+        self._c_live_reads = db.metrics.counter(
+            "serve_live_reads_total",
+            "Reads served live in the server process")
+        self._c_writes = db.metrics.counter(
+            "serve_writes_total", "Write statements executed")
+        self.snapshot_fallback_reason: Optional[str] = None
+        self.snapshots: Optional[SnapshotManager] = None
+        if self.settings.snapshots_enabled and fork_available():
+            self.snapshots = SnapshotManager(
+                db, self.settings.snapshot_workers,
+                self.settings.snapshot_refresh_s,
+                self.write_gate.quiesced, metrics=db.metrics)
+            self.snapshots.start()
+        else:
+            from repro.executor.parallel import disabled_reason
+
+            self.snapshot_fallback_reason = (
+                "snapshots disabled in settings"
+                if not self.settings.snapshots_enabled
+                else disabled_reason() or "fork unavailable")
+        self._closed = False
+
+    # -- sessions ------------------------------------------------------------
+
+    def session(self):
+        from repro.serve.session import Session
+
+        if self._closed:
+            from repro.errors import SessionClosed
+
+            raise SessionClosed("server is closed")
+        with self._sessions_lock:
+            self._sessions_alive += 1
+            self._g_sessions.set(self._sessions_alive)
+        return Session(self)
+
+    def _session_closed(self) -> None:
+        with self._sessions_lock:
+            self._sessions_alive -= 1
+            self._g_sessions.set(self._sessions_alive)
+
+    # -- routing -------------------------------------------------------------
+
+    def route_for(self, sql: str) -> Route:
+        route = self._routes.get(sql)
+        if route is not None:
+            return route
+        route = classify(sql)
+        with self._routes_lock:
+            if len(self._routes) > 4096:  # ad-hoc texts must not leak
+                self._routes.clear()
+            self._routes[sql] = route
+        return route
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_exposition(self) -> str:
+        """Prometheus text for ``GET /metrics`` (gauges refreshed)."""
+        self.db._m_cache_entries.set(len(self.db.plan_cache))
+        return self.db.metrics.exposition()
+
+    def refresh_snapshots(self) -> bool:
+        """Synchronously re-fork the snapshot pool if data changed
+        (deterministic alternative to the refresh timer for tests)."""
+        if self.snapshots is None:
+            return False
+        return self.snapshots.refresh()
+
+    def stats(self) -> dict:
+        report = {"admission": self.admission.snapshot(),
+                  "sessions": self._sessions_alive}
+        if self.snapshots is not None:
+            report["snapshots"] = self.snapshots.stats()
+        else:
+            report["snapshots"] = {
+                "disabled": self.snapshot_fallback_reason}
+        return report
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.snapshots is not None:
+            self.snapshots.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: serve a fresh (or script-initialized) database over TCP."""
+    import argparse
+
+    from repro.core.database import Database
+    from repro.serve.wire import TCPServer
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.server",
+        description="Serve a repro database over the line protocol.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5433)
+    parser.add_argument("--init", metavar="FILE", default=None,
+                        help="SQL script (one statement per line) to run "
+                             "before serving")
+    parser.add_argument("--max-inflight", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    db = Database()
+    if args.init:
+        with open(args.init) as handle:
+            for line in handle:
+                line = line.strip()
+                if line and not line.startswith("--"):
+                    db.execute(line)
+    settings = ServeSettings()
+    if args.max_inflight is not None:
+        settings.max_inflight = args.max_inflight
+    server = Server(db, settings)
+    tcp = TCPServer(server, host=args.host, port=args.port)
+    tcp.start()
+    print("serving on %s:%d (Ctrl-C to stop)" % (tcp.host, tcp.port))
+    try:
+        tcp.serve_until_interrupt()
+    finally:
+        tcp.stop()
+        server.close()
+        db.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,281 @@
+"""Per-client sessions: the thread-safe statement surface.
+
+A session serializes its own statements (one client, one ordered
+stream) behind a per-session lock; *across* sessions everything runs
+concurrently, gated only by admission control.  Dispatch per statement:
+
+- reads go to a forked snapshot pool when one is fresh enough —
+  fresh means the pool's schema epoch is current and its dml_clock has
+  caught up with this session's own last write (read-your-writes) —
+  and run live with a short shared-lock transaction otherwise;
+- writes run in the server process through the striped write gate,
+  autocommitting through the engine's ordinary 2PL path;
+- DDL and explicit write transactions escalate to every stripe;
+- ``SNAPSHOT BEGIN`` pins the current data version: until ``SNAPSHOT
+  END`` every read in the session sees exactly the rows committed at
+  the pin, no matter what other sessions commit meanwhile.
+
+Control statements (BEGIN/COMMIT/ROLLBACK/SNAPSHOT BEGIN/SNAPSHOT END)
+are accepted through :meth:`Session.execute` too, so a wire client
+speaks one uniform statement channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Sequence
+
+from repro import errors as errors_module
+from repro.core.database import Result
+from repro.errors import (
+    ExecutionError,
+    ReproError,
+    ServeError,
+    SessionClosed,
+)
+
+
+def rebuild_error(class_name: str, message: str) -> ReproError:
+    """Reconstruct an engine error that crossed a process or wire
+    boundary as (class name, message); unknown names degrade to
+    ExecutionError so nothing is swallowed."""
+    cls = getattr(errors_module, class_name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return ExecutionError("%s: %s" % (class_name, message))
+
+
+class Session:
+    """One client's handle on a :class:`~repro.serve.server.Server`."""
+
+    def __init__(self, server):
+        self.server = server
+        self.db = server.db
+        self._lock = threading.RLock()
+        self._txn = None
+        #: The write gate held for the whole explicit transaction, once
+        #: it issues its first write/DDL (entered lazily, exited at
+        #: commit/rollback).
+        self._txn_gate = None
+        self._pinned = None
+        self._last_write_clock = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._txn is not None:
+                try:
+                    self.db.rollback(self._txn)
+                finally:
+                    self._txn = None
+                    self._exit_txn_gate()
+            if self._pinned is not None:
+                self.server.snapshots.unpin(self._pinned)
+                self._pinned = None
+            self.server._session_closed()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosed("session is closed")
+
+    # -- transactions --------------------------------------------------------
+
+    def begin(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._txn is not None:
+                raise ServeError("transaction already open")
+            self._txn = self.db.begin()
+
+    def commit(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._txn is None:
+                raise ServeError("no open transaction")
+            try:
+                self.db.commit(self._txn)
+            finally:
+                self._txn = None
+                self._exit_txn_gate()
+            self._last_write_clock = self.db.catalog.dml_clock
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._txn is None:
+                raise ServeError("no open transaction")
+            try:
+                self.db.rollback(self._txn)
+            finally:
+                self._txn = None
+                self._exit_txn_gate()
+
+    def _enter_txn_gate(self) -> None:
+        if self._txn_gate is None:
+            gate = self.server.write_gate.quiesced()
+            gate.__enter__()
+            self._txn_gate = gate
+
+    def _exit_txn_gate(self) -> None:
+        if self._txn_gate is not None:
+            gate, self._txn_gate = self._txn_gate, None
+            gate.__exit__(None, None, None)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def begin_snapshot(self) -> None:
+        """Pin the current data version for every read until
+        :meth:`end_snapshot`.  Where fork() is unavailable this degrades
+        to live reads (still consistent per statement via shared locks,
+        but not repeatable across statements)."""
+        with self._lock:
+            self._check_open()
+            if self._pinned is not None:
+                raise ServeError("snapshot already pinned")
+            if self.server.snapshots is None:
+                return
+            self._pinned = self.server.snapshots.pin()
+
+    def end_snapshot(self) -> None:
+        with self._lock:
+            self._check_open()
+            if self._pinned is not None:
+                self.server.snapshots.unpin(self._pinned)
+                self._pinned = None
+
+    @property
+    def snapshot_version(self):
+        """The pinned (schema_epoch, stats_epoch, dml_clock), or None."""
+        pool = self._pinned
+        return pool.version if pool is not None else None
+
+    # -- statements ----------------------------------------------------------
+
+    #: Control statements handled by the session itself, uniform with
+    #: SQL so the wire loop needs one channel.
+    _CONTROL = {
+        "begin": "begin",
+        "commit": "commit",
+        "rollback": "rollback",
+        "snapshot begin": "begin_snapshot",
+        "snapshot end": "end_snapshot",
+    }
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        """Run one statement (or control command) and return its result.
+
+        Thread-safe: a session serializes its own statements; different
+        sessions run concurrently up to the admission limits.
+        """
+        stripped = sql.strip().rstrip(";").strip()
+        control = self._CONTROL.get(stripped.lower())
+        if control is not None:
+            getattr(self, control)()
+            return Result([], [], rowcount=0)
+        with self._lock:
+            self._check_open()
+            with self.server.admission.admitted():
+                return self._dispatch(stripped, params)
+
+    def _dispatch(self, sql: str, params: Sequence[Any]) -> Result:
+        route = self.server.route_for(sql)
+        if self._txn is not None:
+            # Explicit transaction: everything runs live under the
+            # engine transaction's own 2PL scope.
+            if route.kind in ("write", "ddl"):
+                self._enter_txn_gate()
+                result = self.db.execute(sql, params, txn=self._txn)
+                self.server._c_writes.inc()
+                return result
+            self.server._c_live_reads.inc()
+            return self.db.execute(sql, params, txn=self._txn)
+        if route.kind == "write":
+            return self._write(sql, params, route)
+        if route.kind == "ddl":
+            return self._ddl(sql, params)
+        if route.kind == "read":
+            return self._read(sql, params)
+        # meta: EXPLAIN and unparseable text, live in the server.
+        self.server._c_live_reads.inc()
+        return self.db.execute(sql, params)
+
+    # -- write path ----------------------------------------------------------
+
+    def _write(self, sql: str, params, route) -> Result:
+        gate = self.server.write_gate
+        with gate.held(gate.stripe_indexes(route)):
+            result = self.db.execute(sql, params)
+        self._last_write_clock = self.db.catalog.dml_clock
+        self.server._c_writes.inc()
+        return result
+
+    def _ddl(self, sql: str, params) -> Result:
+        with self.server.write_gate.quiesced():
+            result = self.db.execute(sql, params)
+        self._last_write_clock = self.db.catalog.dml_clock
+        self.server._c_writes.inc()
+        return result
+
+    # -- read path -----------------------------------------------------------
+
+    def _read(self, sql: str, params) -> Result:
+        pool = self._pinned
+        if pool is None and self.server.snapshots is not None:
+            candidate = self.server.snapshots.current_pool()
+            # Read-your-writes: only serve from a pool that already
+            # contains this session's own last committed write.
+            if (candidate is not None
+                    and candidate.version[2] >= self._last_write_clock):
+                pool = candidate
+        if pool is not None:
+            result = self._pool_read(pool, sql, params)
+            if result is not None:
+                return result
+        return self._live_read(sql, params)
+
+    def _pool_read(self, pool, sql, params) -> Optional[Result]:
+        options = self.db.settings.compile_options()
+        if options.parallelism != "off":
+            # Snapshot workers are processes already; forking a morsel
+            # pool per worker would stack process trees.
+            options = options.replace(parallelism="off")
+        try:
+            reply = pool.execute(sql, params, options)
+        except ServeError:
+            if self._pinned is pool:
+                # The pinned image is gone; losing the pin is worse
+                # than a live read is — surface it.
+                raise
+            return None
+        if reply[0] == "ok":
+            _, columns, rows, rowcount = reply
+            self.server._c_snapshot_reads.inc()
+            return Result(columns, rows, rowcount=rowcount)
+        _, class_name, message = reply
+        raise rebuild_error(class_name, message)
+
+    def _live_read(self, sql: str, params) -> Result:
+        """Read in the server process under a short shared-lock
+        transaction: consistent against concurrent writers (their
+        exclusive locks exclude us mid-statement) at the cost of
+        possibly waiting for one."""
+        self.server._c_live_reads.inc()
+        txn = self.db.begin()
+        try:
+            result = self.db.execute(sql, params, txn=txn)
+        except BaseException:
+            self.db.rollback(txn)
+            raise
+        self.db.commit(txn)
+        return result

@@ -1,0 +1,321 @@
+"""Snapshot-isolated reads via forked copy-on-write worker pools.
+
+The engine has no storage-level MVCC, but it does not need one to give
+readers a consistent view: ``fork()`` *is* a snapshot.  A
+:class:`SnapshotPool` forks N worker processes while the server holds
+every write stripe (so no writer transaction is mid-flight), stamping
+the pool with the database's data version — the same
+``(schema_epoch, stats_epoch, dml_clock)`` triple the parallel runtime
+keys its morsel pool on.  Every read the pool serves sees exactly the
+committed state at fork time, no matter what writers commit in the
+parent afterwards, and never takes an engine lock — readers cannot
+block behind writers by construction.
+
+A :class:`SnapshotManager` keeps one *current* pool fresh (re-forking on
+a bounded-staleness timer when the data version moves) and lets sessions
+*pin* pools: ``SNAPSHOT BEGIN`` refcounts the pool it pins so the old
+image stays alive — and keeps serving the old rows — until the session
+releases it, which is the whole of snapshot isolation here.  Retired
+pools are terminated once the last pin drops.
+
+Workers execute whole read statements shipped over a pipe and return
+materialized ``(columns, rows, rowcount)``; the parent thread blocks in
+``Connection.recv`` — which releases the GIL — so N clients reading
+through N workers scale across cores, which is what the serving
+benchmark's throughput gate measures.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+from typing import List, Optional, Tuple
+
+from repro.errors import ServeError
+
+#: The Database a snapshot worker operates on.  Set in the parent
+#: immediately before fork; children inherit it (same idiom as
+#: ``repro.executor.parallel``).
+_FORK_DB = None
+
+
+def _snapshot_worker_main(conn) -> None:
+    """Run one snapshot worker: a request loop over an inherited pipe.
+
+    The child first makes its copy-on-write database image safe to use:
+    every lock the parent's *threads* might have held at fork time is
+    re-initialized, and the parent's parallel worker pool reference is
+    dropped without closing it (closing would terminate the parent's
+    processes — the handle is shared, the pool is not ours).
+    """
+    db = _FORK_DB
+    db.reinit_locks_after_fork()
+    db._parallel_runtime = None
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        sql, params, options = message
+        try:
+            result = db.execute(sql, params, options=options)
+            conn.send(("ok", result.columns, result.rows,
+                       result.rowcount))
+        except BaseException as exc:  # ship the error, keep serving
+            conn.send(("err", type(exc).__name__, str(exc)))
+    conn.close()
+
+
+class SnapshotWorker:
+    """One forked worker process plus the parent end of its pipe."""
+
+    def __init__(self, context, db):
+        global _FORK_DB
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        _FORK_DB = db
+        self.process = context.Process(
+            target=_snapshot_worker_main, args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def stop(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.conn.close()
+
+
+class SnapshotPool:
+    """N forked workers serving reads against one frozen data version."""
+
+    def __init__(self, db, workers: int, version: Tuple[int, int, int]):
+        self.version = version
+        self.closed = False
+        self.pins = 0
+        context = multiprocessing.get_context("fork")
+        self._workers: List[SnapshotWorker] = [
+            SnapshotWorker(context, db) for _ in range(max(1, workers))]
+        self._free: "queue_module.Queue[SnapshotWorker]" = \
+            queue_module.Queue()
+        for worker in self._workers:
+            self._free.put(worker)
+        #: In-flight reads lease the pool: terminate() must not close a
+        #: pipe a reader thread is blocked in recv() on (the manager can
+        #: retire the current pool between a session fetching it and the
+        #: read finishing), so shutdown defers until leases drain.
+        self._state_lock = threading.Lock()
+        self._leases = 0
+        self._terminating = False
+
+    def execute(self, sql: str, params, options) -> Tuple:
+        """Run one read in a snapshot worker.  Returns
+        ``(columns, rows, rowcount)``; engine errors surface as
+        ``(error_class_name, message)`` wrapped in ServeError by the
+        caller.  Raises :class:`ServeError` if the pool is retired or
+        its workers died."""
+        with self._state_lock:
+            if self.closed or self._terminating:
+                raise ServeError("snapshot pool is retired")
+            self._leases += 1
+        try:
+            worker = self._free.get()
+            try:
+                worker.conn.send((sql, tuple(params), options))
+                reply = worker.conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                # A dead worker poisons only itself; the session retries
+                # the read live and the manager re-forks on the next
+                # refresh.
+                raise ServeError("snapshot worker died: %r" % (exc,))
+            finally:
+                self._free.put(worker)
+            return reply
+        finally:
+            with self._state_lock:
+                self._leases -= 1
+                drain = self._terminating and self._leases == 0
+            if drain:
+                self._shutdown()
+
+    def terminate(self) -> None:
+        with self._state_lock:
+            if self.closed or self._terminating:
+                return
+            self._terminating = True
+            drain = self._leases == 0
+        if drain:
+            self._shutdown()
+
+    def _shutdown(self) -> None:
+        with self._state_lock:
+            if self.closed:
+                return
+            self.closed = True
+        for worker in self._workers:
+            worker.stop()
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+
+class SnapshotManager:
+    """Keeps the current snapshot pool fresh; refcounts pinned pools.
+
+    ``fork_gate`` is the server's quiesce context manager: it holds all
+    write stripes for the duration of a fork so no writer transaction is
+    mid-flight inside the copy-on-write image.
+    """
+
+    def __init__(self, db, workers: int, refresh_s: float, fork_gate,
+                 metrics=None):
+        self.db = db
+        self.workers = workers
+        self.refresh_s = refresh_s
+        self._fork_gate = fork_gate
+        self._lock = threading.Lock()
+        self._current: Optional[SnapshotPool] = None
+        self._retired: List[SnapshotPool] = []
+        self._stop = threading.Event()
+        self._refresher: Optional[threading.Thread] = None
+        self._c_forks = (metrics.counter(
+            "serve_snapshot_forks_total", "Snapshot pools forked")
+            if metrics is not None else None)
+        self._g_pools = (metrics.gauge(
+            "serve_snapshot_pools", "Snapshot pools alive (current + "
+            "pinned retirees)") if metrics is not None else None)
+
+    # -- version bookkeeping -------------------------------------------------
+
+    def data_version(self) -> Tuple[int, int, int]:
+        catalog = self.db.catalog
+        return (catalog.schema_epoch, catalog.stats_epoch,
+                catalog.dml_clock)
+
+    def _fork_pool(self) -> SnapshotPool:
+        """Fork a pool at the *committed now*: quiesce writers, stamp the
+        version, fork.  Caller holds self._lock."""
+        with self._fork_gate():
+            version = self.data_version()
+            pool = SnapshotPool(self.db, self.workers, version)
+        if self._c_forks is not None:
+            self._c_forks.inc()
+        self._publish()
+        return pool
+
+    def _publish(self) -> None:
+        if self._g_pools is not None:
+            alive = len(self._retired) + (1 if self._current else 0)
+            self._g_pools.set(alive)
+
+    # -- the serving surface -------------------------------------------------
+
+    def current_pool(self) -> Optional[SnapshotPool]:
+        """The pool serving unpinned reads, or None when reads must run
+        live.  The pool may lag the database by up to ``refresh_s`` of
+        committed DML (bounded staleness) but is refused outright when
+        its *schema* epoch is stale: rows under an old schema are merely
+        old, rows under an old catalog are wrong."""
+        with self._lock:
+            pool = self._current
+            if pool is None:
+                return None
+            if pool.version[0] != self.db.catalog.schema_epoch:
+                return None
+            return pool
+
+    def pin(self) -> SnapshotPool:
+        """Pin a pool at the database's exact current version (forking a
+        fresh one if the current pool lags), for ``SNAPSHOT BEGIN``."""
+        with self._lock:
+            version = self.data_version()
+            if self._current is None or self._current.version != version:
+                self._swap_locked(self._fork_pool())
+            self._current.pins += 1
+            return self._current
+
+    def unpin(self, pool: SnapshotPool) -> None:
+        with self._lock:
+            pool.pins -= 1
+            self._reap_locked()
+
+    def _swap_locked(self, pool: SnapshotPool) -> None:
+        old = self._current
+        self._current = pool
+        if old is not None:
+            self._retired.append(old)
+        self._reap_locked()
+
+    def _reap_locked(self) -> None:
+        keep = []
+        for pool in self._retired:
+            if pool.pins > 0:
+                keep.append(pool)
+            else:
+                pool.terminate()
+        self._retired = keep
+        self._publish()
+
+    # -- freshness -----------------------------------------------------------
+
+    def refresh(self, force: bool = False) -> bool:
+        """One synchronous freshness check: re-fork the current pool if
+        the data version moved (or ``force``).  Returns True when a new
+        pool was installed.  Tests call this instead of waiting out the
+        refresh timer."""
+        with self._lock:
+            if (not force and self._current is not None
+                    and self._current.version == self.data_version()):
+                return False
+            self._swap_locked(self._fork_pool())
+            return True
+
+    def start(self) -> None:
+        """Fork the initial pool and start the background refresher."""
+        self.refresh(force=True)
+        self._refresher = threading.Thread(
+            target=self._refresh_loop, name="snapshot-refresher",
+            daemon=True)
+        self._refresher.start()
+
+    def _refresh_loop(self) -> None:
+        while not self._stop.wait(self.refresh_s):
+            try:
+                self.refresh()
+            except Exception:  # pragma: no cover - refresh is best-effort
+                # A failed re-fork (e.g. resource exhaustion) keeps the
+                # old pool serving; the next tick tries again.
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._refresher is not None:
+            self._refresher.join(timeout=2 * self.refresh_s + 2.0)
+        with self._lock:
+            if self._current is not None:
+                self._retired.append(self._current)
+                self._current = None
+            for pool in self._retired:
+                pool.terminate()
+            self._retired = []
+            self._publish()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "current_version": (self._current.version
+                                    if self._current else None),
+                "data_version": self.data_version(),
+                "retired": len(self._retired),
+                "workers": (len(self._current)
+                            if self._current else 0),
+            }

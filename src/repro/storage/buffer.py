@@ -10,6 +10,7 @@ reflect genuine page traffic.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
@@ -131,6 +132,17 @@ class BufferPool:
         self._clock: List[int] = []
         self._clock_hand = 0
         self.stats = PoolStats()
+        #: Serving sessions share the pool across threads; the clock
+        #: sweep, frame install and pin-count updates are multi-step, so
+        #: every public entry point takes this re-entrant lock.  Page
+        #: *contents* stay protected by the engine's table locks — this
+        #: lock only keeps the frame table itself consistent.
+        self._lock = threading.RLock()
+
+    def reinit_locks(self) -> None:
+        """Fresh lock after ``fork()`` (a parent thread may have held the
+        old one at fork time)."""
+        self._lock = threading.RLock()
 
     # -- frame management --------------------------------------------------------
 
@@ -177,31 +189,35 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> Page:
         """Return the page pinned; load from disk on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self.stats.hits += 1
-        else:
-            self.stats.misses += 1
-            frame = self._install(Page(page_id, self.disk.read(page_id)))
-        frame.pin_count += 1
-        frame.referenced = True
-        return frame.page
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+                frame = self._install(
+                    Page(page_id, self.disk.read(page_id)))
+            frame.pin_count += 1
+            frame.referenced = True
+            return frame.page
 
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and return it pinned and dirty."""
-        page_id = self.disk.allocate()
-        frame = self._install(Page(page_id))
-        frame.pin_count += 1
-        frame.dirty = True
-        return frame.page
+        with self._lock:
+            page_id = self.disk.allocate()
+            frame = self._install(Page(page_id))
+            frame.pin_count += 1
+            frame.dirty = True
+            return frame.page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
-        frame = self._frames.get(page_id)
-        if frame is None or frame.pin_count <= 0:
-            raise BufferPoolError("page %d is not pinned" % page_id)
-        frame.pin_count -= 1
-        if dirty:
-            frame.dirty = True
+        with self._lock:
+            frame = self._frames.get(page_id)
+            if frame is None or frame.pin_count <= 0:
+                raise BufferPoolError("page %d is not pinned" % page_id)
+            frame.pin_count -= 1
+            if dirty:
+                frame.dirty = True
 
     @contextmanager
     def pinned(self, page_id: int, dirty: bool = False) -> Iterator[Page]:
@@ -214,32 +230,37 @@ class BufferPool:
 
     def flush_all(self) -> None:
         """Write every dirty frame back to disk (checkpoint support)."""
-        for page_id, frame in self._frames.items():
-            self._write_back(page_id, frame)
+        with self._lock:
+            for page_id, frame in self._frames.items():
+                self._write_back(page_id, frame)
 
     def pin_count(self, page_id: int) -> int:
-        frame = self._frames.get(page_id)
-        return frame.pin_count if frame else 0
+        with self._lock:
+            frame = self._frames.get(page_id)
+            return frame.pin_count if frame else 0
 
     def contains(self, page_id: int) -> bool:
         return page_id in self._frames
 
     def discard(self, page_id: int) -> None:
         """Drop a frame without writing it back (page being deallocated)."""
-        frame = self._frames.pop(page_id, None)
-        if frame is not None:
-            if frame.pin_count > 0:
-                raise BufferPoolError("cannot discard pinned page %d" % page_id)
-            self._clock.remove(page_id)
-            self._clock_hand = 0
+        with self._lock:
+            frame = self._frames.pop(page_id, None)
+            if frame is not None:
+                if frame.pin_count > 0:
+                    raise BufferPoolError(
+                        "cannot discard pinned page %d" % page_id)
+                self._clock.remove(page_id)
+                self._clock_hand = 0
 
     def resize(self, capacity: int) -> None:
         """Change capacity (used by the buffer-size benchmark)."""
         if capacity < 1:
             raise BufferPoolError("capacity must be at least 1")
-        self.capacity = capacity
-        while len(self._frames) > self.capacity:
-            self._evict_one()
+        with self._lock:
+            self.capacity = capacity
+            while len(self._frames) > self.capacity:
+                self._evict_one()
 
     def __len__(self) -> int:
         return len(self._frames)

@@ -47,6 +47,16 @@ class LockManager:
         self._waits_for: Dict[int, Set[int]] = {}
         self.timeout = timeout
 
+    def reinit_locks(self) -> None:
+        """Fresh mutex/condition after ``fork()``: a parent thread may
+        have held the mutex at fork time, and the lock table is only
+        meaningful for this process's transactions anyway."""
+        self._mutex = threading.Lock()
+        self._condition = threading.Condition(self._mutex)
+        self._locks = {}
+        self._held_by_txn = {}
+        self._waits_for = {}
+
     # -- deadlock detection ---------------------------------------------------
 
     def _would_deadlock(self, waiter: int) -> bool:
@@ -77,10 +87,19 @@ class LockManager:
 
     def acquire(self, txn_id: int, resource: Hashable,
                 mode: LockMode) -> None:
-        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txn_id``."""
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txn_id``.
+
+        The state is re-fetched on every pass and the waiter registers
+        itself in ``state.waiters`` around the wait: ``release_all``
+        garbage-collects states nobody holds *or waits on*, so a sleeping
+        waiter must be visible or its state could be deleted and replaced
+        underneath it — it would then watch (and mutate) an orphaned
+        object while new acquirers use a fresh one, losing mutual
+        exclusion and hanging on holders that already released.
+        """
         with self._condition:
-            state = self._locks.setdefault(resource, _LockState())
             while True:
+                state = self._locks.setdefault(resource, _LockState())
                 held = state.holders.get(txn_id)
                 if held is LockMode.EXCLUSIVE or held is mode:
                     return  # already strong enough
@@ -97,7 +116,13 @@ class LockManager:
                         "transaction %d deadlocked waiting for %r" %
                         (txn_id, resource)
                     )
-                if not self._condition.wait(self.timeout):
+                entry = (txn_id, mode)
+                state.waiters.append(entry)
+                try:
+                    notified = self._condition.wait(self.timeout)
+                finally:
+                    state.waiters.remove(entry)
+                if not notified:
                     self._waits_for.pop(txn_id, None)
                     raise LockTimeoutError(
                         "transaction %d timed out waiting for %r" %

@@ -10,6 +10,7 @@ records (CLRs) the LSN being undone.
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import RecoveryError
@@ -65,32 +66,43 @@ class LogManager:
         self._records: List[LogRecord] = []
         self._last_lsn: Dict[int, int] = {}
         self.flushed_lsn = -1
+        #: LSN assignment reads ``len(self._records)`` then appends; two
+        #: concurrent serving-layer writers would mint the same LSN
+        #: without this lock.
+        self._lock = threading.Lock()
+
+    def reinit_locks(self) -> None:
+        """Fresh lock after ``fork()`` (a parent thread may have held the
+        old one at fork time)."""
+        self._lock = threading.Lock()
 
     def append(self, txn_id: int, record_type: LogRecordType,
                table: Optional[str] = None, rid: Optional[RID] = None,
                before: Optional[bytes] = None, after: Optional[bytes] = None,
                undo_of: int = -1,
                active_txns: Optional[List[int]] = None) -> LogRecord:
-        lsn = len(self._records)
-        record = LogRecord(
-            lsn=lsn,
-            txn_id=txn_id,
-            record_type=record_type,
-            prev_lsn=self._last_lsn.get(txn_id, -1),
-            table=table,
-            rid=rid,
-            before=before,
-            after=after,
-            undo_of=undo_of,
-            active_txns=active_txns,
-        )
-        self._records.append(record)
-        self._last_lsn[txn_id] = lsn
-        return record
+        with self._lock:
+            lsn = len(self._records)
+            record = LogRecord(
+                lsn=lsn,
+                txn_id=txn_id,
+                record_type=record_type,
+                prev_lsn=self._last_lsn.get(txn_id, -1),
+                table=table,
+                rid=rid,
+                before=before,
+                after=after,
+                undo_of=undo_of,
+                active_txns=active_txns,
+            )
+            self._records.append(record)
+            self._last_lsn[txn_id] = lsn
+            return record
 
     def flush(self) -> None:
         """Force the log to stable storage (a marker in this simulation)."""
-        self.flushed_lsn = len(self._records) - 1
+        with self._lock:
+            self.flushed_lsn = len(self._records) - 1
 
     def record(self, lsn: int) -> LogRecord:
         try:

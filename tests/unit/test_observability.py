@@ -187,6 +187,49 @@ class TestExplainAnalyze:
         with pytest.raises(SemanticError):
             obs_db.explain("CREATE TABLE nope (a INTEGER)", analyze=True)
 
+    def test_per_worker_wall_view_format(self, obs_db):
+        """Pin the wall(...) view: per-task times grouped by worker id,
+        each worker's tasks summed, min/median/max over workers."""
+        from repro.obs.render import _node_line
+
+        compiled = obs_db.compile("SELECT id FROM t WHERE v < 3")
+        node = compiled.plan
+        profile = PlanProfile(node)
+        # Four tasks over two workers: 101 ran 10ms+30ms, 102 ran
+        # 20ms+40ms -> walls [40ms, 60ms].
+        profile.note_exchange(node, morsels=4, workers=2,
+                              worker_times=[0.01, 0.02, 0.03, 0.04],
+                              worker_ids=[101, 102, 101, 102])
+        line = _node_line(node, profile, total_ns=0, depth=0)
+        assert ("skew(min=10.0ms median=30.0ms max=40.0ms)"
+                in line)
+        assert ("wall(workers=2 min=40.0ms median=60.0ms max=60.0ms)"
+                in line)
+
+    def test_wall_view_suppressed_without_worker_ids(self, obs_db):
+        """Old-style exports carry no ids; the wall view stays silent
+        instead of inventing one worker per task."""
+        from repro.obs.render import _node_line
+
+        compiled = obs_db.compile("SELECT id FROM t WHERE v < 3")
+        node = compiled.plan
+        profile = PlanProfile(node)
+        profile.note_exchange(node, morsels=2, workers=2,
+                              worker_times=[0.01, 0.02])
+        line = _node_line(node, profile, total_ns=0, depth=0)
+        assert "skew(min=" in line
+        assert "wall(" not in line
+
+    def test_wall_view_rendered_in_live_parallel_run(self, obs_db):
+        if not parallel.fork_available():
+            pytest.skip(parallel.disabled_reason())
+        text = obs_db.explain(
+            "SELECT id, v + g FROM t WHERE v < 30",
+            options=_options(obs_db, parallelism="on", dop=4),
+            analyze=True)
+        assert "skew(min=" in text
+        assert "wall(workers=" in text
+
     def test_dop_exceeding_cores_is_reported(self, obs_db, monkeypatch):
         monkeypatch.setattr(parallel, "available_cores", lambda: 2)
         text = obs_db.explain(
