@@ -85,6 +85,10 @@ class AdmissionController:
                     if remaining <= 0:
                         if self._c_shed is not None:
                             self._c_shed.inc()
+                        # A release() may have elected us for the slot;
+                        # pass the wakeup on so shedding never strands
+                        # a freed slot behind still-live waiters.
+                        self._cond.notify()
                         raise ServerOverloaded(
                             "server at max_inflight=%d; no slot freed "
                             "within %.2fs; statement shed"
@@ -102,7 +106,12 @@ class AdmissionController:
         with self._cond:
             self._inflight -= 1
             self._publish()
-            self._cond.notify()
+            # Wake every waiter, not one: a single notify can land on a
+            # waiter whose deadline already passed, which sheds without
+            # passing the wakeup on — leaving the freed slot idle until
+            # another waiter's own timeout fires.  The herd is bounded
+            # by max_queue; losers re-wait.
+            self._cond.notify_all()
 
     @contextmanager
     def admitted(self):

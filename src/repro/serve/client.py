@@ -69,7 +69,11 @@ class WireClient:
             if line == ".":
                 break
             if line.startswith("*"):
-                columns = line[1:].split("\t") if len(line) > 1 else []
+                # Column names travel escaped like values (an alias can
+                # contain a tab or newline); they are never NULL.
+                columns = ([unescape_value(field) or ""
+                            for field in line[1:].split("\t")]
+                           if len(line) > 1 else [])
                 continue
             rows.append(tuple(unescape_value(field)
                               for field in line.split("\t")))

@@ -124,6 +124,57 @@ class WriteGate:
             yield
 
 
+class ReadGate:
+    """Shared/exclusive gate between in-server live readers and
+    snapshot forks.
+
+    Live reads (and meta statements) run engine code in the server
+    process; a fork taken while one is mid-statement would capture its
+    half-done state in the copy-on-write image — a buffer-pool frame
+    pinned by a reader that will never unpin it in the child, a clock
+    ring caught between steps of an install.  So a fork drains them
+    first: readers enter *shared* (counted, concurrent with each
+    other), a fork enters *exclusive* — it blocks new readers, waits
+    for in-flight ones to finish, forks, and lets readers resume.
+    Readers only ever wait out a fork (milliseconds, bounded by process
+    spawn), never each other.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._exclusive = False
+
+    @contextmanager
+    def shared(self):
+        with self._cond:
+            while self._exclusive:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        with self._cond:
+            while self._exclusive:
+                self._cond.wait()
+            self._exclusive = True
+            while self._readers:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._exclusive = False
+                self._cond.notify_all()
+
+
 class Server:
     """One database, served to many concurrent sessions.
 
@@ -142,6 +193,7 @@ class Server:
             self.settings.max_inflight, self.settings.max_queue,
             self.settings.admission_timeout_s, metrics=db.metrics)
         self.write_gate = WriteGate(self.settings.write_stripes)
+        self.read_gate = ReadGate()
         self._routes: Dict[str, Route] = {}
         self._routes_lock = threading.Lock()
         self._sessions_alive = 0
@@ -162,7 +214,7 @@ class Server:
             self.snapshots = SnapshotManager(
                 db, self.settings.snapshot_workers,
                 self.settings.snapshot_refresh_s,
-                self.write_gate.quiesced, metrics=db.metrics)
+                self._fork_quiesce, metrics=db.metrics)
             self.snapshots.start()
         else:
             from repro.executor.parallel import disabled_reason
@@ -191,6 +243,19 @@ class Server:
         with self._sessions_lock:
             self._sessions_alive -= 1
             self._g_sessions.set(self._sessions_alive)
+
+    # -- quiescence ----------------------------------------------------------
+
+    @contextmanager
+    def _fork_quiesce(self):
+        """No engine statement is mid-flight inside: all write stripes
+        held (no writer, no open write transaction) and the read gate
+        exclusive (no live reader).  Stripes come first — the same
+        order an explicit transaction uses (stripes across statements,
+        shared read gate per statement) — so the two can't deadlock."""
+        with self.write_gate.quiesced():
+            with self.read_gate.exclusive():
+                yield
 
     # -- routing -------------------------------------------------------------
 

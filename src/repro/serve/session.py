@@ -138,9 +138,21 @@ class Session:
         """Pin the current data version for every read until
         :meth:`end_snapshot`.  Where fork() is unavailable this degrades
         to live reads (still consistent per statement via shared locks,
-        but not repeatable across statements)."""
+        but not repeatable across statements).
+
+        Rejected inside an explicit transaction: the pin would be
+        meaningless (in-txn reads run live under the transaction's own
+        2PL scope, never against a pool) and pinning may fork — which
+        deadlocks against the write stripes this very thread holds for
+        the transaction, and would capture its uncommitted writes in
+        the copy-on-write image besides.
+        """
         with self._lock:
             self._check_open()
+            if self._txn is not None:
+                raise ServeError(
+                    "SNAPSHOT BEGIN inside an explicit transaction is "
+                    "not supported; COMMIT or ROLLBACK first")
             if self._pinned is not None:
                 raise ServeError("snapshot already pinned")
             if self.server.snapshots is None:
@@ -199,7 +211,8 @@ class Session:
                 self.server._c_writes.inc()
                 return result
             self.server._c_live_reads.inc()
-            return self.db.execute(sql, params, txn=self._txn)
+            with self.server.read_gate.shared():
+                return self.db.execute(sql, params, txn=self._txn)
         if route.kind == "write":
             return self._write(sql, params, route)
         if route.kind == "ddl":
@@ -208,7 +221,8 @@ class Session:
             return self._read(sql, params)
         # meta: EXPLAIN and unparseable text, live in the server.
         self.server._c_live_reads.inc()
-        return self.db.execute(sql, params)
+        with self.server.read_gate.shared():
+            return self.db.execute(sql, params)
 
     # -- write path ----------------------------------------------------------
 
@@ -269,13 +283,15 @@ class Session:
         """Read in the server process under a short shared-lock
         transaction: consistent against concurrent writers (their
         exclusive locks exclude us mid-statement) at the cost of
-        possibly waiting for one."""
+        possibly waiting for one.  Holds the read gate shared so a
+        snapshot fork never captures this statement mid-flight."""
         self.server._c_live_reads.inc()
-        txn = self.db.begin()
-        try:
-            result = self.db.execute(sql, params, txn=txn)
-        except BaseException:
-            self.db.rollback(txn)
-            raise
-        self.db.commit(txn)
-        return result
+        with self.server.read_gate.shared():
+            txn = self.db.begin()
+            try:
+                result = self.db.execute(sql, params, txn=txn)
+            except BaseException:
+                self.db.rollback(txn)
+                raise
+            self.db.commit(txn)
+            return result

@@ -3,7 +3,8 @@
 The engine has no storage-level MVCC, but it does not need one to give
 readers a consistent view: ``fork()`` *is* a snapshot.  A
 :class:`SnapshotPool` forks N worker processes while the server holds
-every write stripe (so no writer transaction is mid-flight), stamping
+every write stripe and has drained live readers (so no statement at
+all is mid-flight), stamping
 the pool with the database's data version — the same
 ``(schema_epoch, stats_epoch, dml_clock)`` triple the parallel runtime
 keys its morsel pool on.  Every read the pool serves sees exactly the
@@ -172,7 +173,8 @@ class SnapshotManager:
     """Keeps the current snapshot pool fresh; refcounts pinned pools.
 
     ``fork_gate`` is the server's quiesce context manager: it holds all
-    write stripes for the duration of a fork so no writer transaction is
+    write stripes *and* the read gate exclusively for the duration of a
+    fork, so neither a writer transaction nor a live reader is
     mid-flight inside the copy-on-write image.
     """
 
@@ -202,8 +204,8 @@ class SnapshotManager:
                 catalog.dml_clock)
 
     def _fork_pool(self) -> SnapshotPool:
-        """Fork a pool at the *committed now*: quiesce writers, stamp the
-        version, fork.  Caller holds self._lock."""
+        """Fork a pool at the *committed now*: quiesce writers and live
+        readers, stamp the version, fork.  Caller holds self._lock."""
         with self._fork_gate():
             version = self.data_version()
             pool = SnapshotPool(self.db, self.workers, version)

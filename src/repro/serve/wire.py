@@ -11,9 +11,10 @@ response is::
     ...
     .
 
-or ``ERR <ErrorClass> <escaped message>`` on failure.  Values are
-tab-separated with ``\\t``/``\\n``/``\\r``/``\\\\`` escapes and ``\\N``
-for NULL, so any value round-trips through one line.
+or ``ERR <ErrorClass> <escaped message>`` on failure.  Values — and
+column names, which an alias can lace with tabs — are tab-separated
+with ``\\t``/``\\n``/``\\r``/``\\\\`` escapes and ``\\N`` for NULL, so
+any value round-trips through one line.
 
 The same loop answers ``GET /metrics`` (detected from the first line of
 a connection) with the database's Prometheus text exposition, so one
@@ -60,7 +61,8 @@ def unescape_value(field: str) -> Optional[str]:
 
 def encode_result(result) -> str:
     lines = ["OK %d" % result.rowcount,
-             "*" + "\t".join(result.columns)]
+             "*" + "\t".join(escape_value(name)
+                             for name in result.columns)]
     for row in result.rows:
         lines.append("\t".join(escape_value(value) for value in row))
     lines.append(".")

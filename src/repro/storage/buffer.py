@@ -140,9 +140,21 @@ class BufferPool:
         self._lock = threading.RLock()
 
     def reinit_locks(self) -> None:
-        """Fresh lock after ``fork()`` (a parent thread may have held the
-        old one at fork time)."""
+        """Make the pool usable in a freshly forked child.
+
+        The child starts single-threaded: a parent thread may have held
+        the lock at fork time (replace it), and any pin a parent thread
+        held will never be unpinned here — an inherited pin is garbage
+        that would eventually wedge eviction with "all frames are
+        pinned".  Dropping pins and rebuilding the clock ring from the
+        frame table leaves the image self-consistent regardless of what
+        multi-step update the fork interrupted.
+        """
         self._lock = threading.RLock()
+        for frame in self._frames.values():
+            frame.pin_count = 0
+        self._clock = list(self._frames)
+        self._clock_hand = 0
 
     # -- frame management --------------------------------------------------------
 

@@ -7,10 +7,11 @@ tests); snapshot-pool tests skip where fork() is unavailable.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.core.database import Database
+from repro.core.database import Database, Result
 from repro.errors import (
     SemanticError,
     ServeError,
@@ -19,8 +20,8 @@ from repro.errors import (
 )
 from repro.executor import parallel
 from repro.serve import ServeSettings, Server
-from repro.serve.server import classify
-from repro.serve.wire import escape_value, unescape_value
+from repro.serve.server import ReadGate, classify
+from repro.serve.wire import encode_result, escape_value, unescape_value
 
 
 def make_server(rows: int = 50, **overrides):
@@ -156,6 +157,32 @@ class TestSession:
             with pytest.raises(SemanticError):
                 session.execute("SELECT nope FROM t")
 
+    def test_snapshot_begin_inside_write_txn_rejected(self, server):
+        # Regression: this used to wedge the whole server where forks
+        # are available — the transaction's thread holds every write
+        # stripe, and pin() forked behind those same stripes while
+        # holding the snapshot-manager lock.  Run it off-thread so a
+        # regression fails the assert instead of hanging the suite.
+        outcome = []
+
+        def run():
+            with server.session() as session:
+                session.execute("BEGIN")
+                session.execute("INSERT INTO t VALUES (3000, 1)")
+                try:
+                    session.execute("SNAPSHOT BEGIN")
+                    outcome.append("pinned")
+                except ServeError:
+                    outcome.append("rejected")
+                session.execute("ROLLBACK")
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), \
+            "SNAPSHOT BEGIN deadlocked inside a write transaction"
+        assert outcome == ["rejected"]
+
 
 # ---------------------------------------------------------------------------
 # Snapshot isolation
@@ -222,6 +249,41 @@ class TestSnapshots:
                 catalog.dml_clock)
             session.end_snapshot()
 
+    def test_fork_concurrent_with_live_reads(self, server):
+        # Regression: forks used to quiesce only writers; a live
+        # reader mid-statement at fork time could leak a pinned
+        # buffer frame (or a half-stepped clock ring) into the child
+        # image.  Forks now drain the read gate first.
+        stop = threading.Event()
+        errors = []
+
+        def live_reader():
+            try:
+                with server.session() as session:
+                    while not stop.is_set():
+                        # meta routes run live in the server process
+                        session.execute(
+                            "EXPLAIN SELECT count(*) FROM t")
+            except Exception as exc:  # pragma: no cover - regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=live_reader)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(5):
+                assert server.snapshots.refresh(force=True)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        assert errors == []
+        # The freshest child image serves reads without a wedged pool.
+        with server.session() as session:
+            assert session.execute(
+                "SELECT count(*) FROM t").scalar() == 50
+
 
 class TestSnapshotDegradation:
     def test_disabled_snapshots_serve_live(self):
@@ -240,6 +302,88 @@ class TestSnapshotDegradation:
         finally:
             srv.close()
             srv.db.close()
+
+
+# ---------------------------------------------------------------------------
+# The read gate (live readers vs snapshot forks)
+# ---------------------------------------------------------------------------
+
+
+class TestReadGate:
+    def test_exclusive_drains_in_flight_readers(self):
+        gate = ReadGate()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+        fork_done = threading.Event()
+
+        def reader():
+            with gate.shared():
+                reader_in.set()
+                release_reader.wait(10.0)
+
+        def forker():
+            with gate.exclusive():
+                pass
+            fork_done.set()
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        assert reader_in.wait(10.0)
+        fork_thread = threading.Thread(target=forker)
+        fork_thread.start()
+        # The fork must wait out the in-flight reader ...
+        assert not fork_done.wait(0.1)
+        release_reader.set()
+        # ... and proceed once it drains.
+        assert fork_done.wait(10.0)
+        reader_thread.join(timeout=10.0)
+        fork_thread.join(timeout=10.0)
+
+    def test_readers_wait_out_an_exclusive_holder(self):
+        gate = ReadGate()
+        in_exclusive = threading.Event()
+        release_exclusive = threading.Event()
+        reader_done = threading.Event()
+
+        def forker():
+            with gate.exclusive():
+                in_exclusive.set()
+                release_exclusive.wait(10.0)
+
+        def reader():
+            with gate.shared():
+                reader_done.set()
+
+        fork_thread = threading.Thread(target=forker)
+        fork_thread.start()
+        assert in_exclusive.wait(10.0)
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        assert not reader_done.wait(0.1)
+        release_exclusive.set()
+        assert reader_done.wait(10.0)
+        fork_thread.join(timeout=10.0)
+        reader_thread.join(timeout=10.0)
+
+    def test_readers_run_concurrently(self):
+        gate = ReadGate()
+        first_in = threading.Event()
+        second_in = threading.Event()
+
+        def reader(mine, other):
+            with gate.shared():
+                mine.set()
+                assert other.wait(10.0)  # both inside at once
+
+        threads = [
+            threading.Thread(target=reader, args=(first_in, second_in)),
+            threading.Thread(target=reader, args=(second_in, first_in)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert first_in.is_set() and second_in.is_set()
 
 
 # ---------------------------------------------------------------------------
@@ -291,6 +435,60 @@ class TestAdmission:
         finally:
             srv.close()
             srv.db.close()
+
+    def test_freed_slot_not_stranded_by_timed_out_waiters(
+            self, monkeypatch):
+        # Regression: release() notified exactly one waiter; when the
+        # wakeup landed on a waiter whose deadline had already passed,
+        # it shed without passing the slot on and the freed slot sat
+        # idle until another waiter's own timeout fired.  The fake
+        # clock expires three queued waiters in place; after the slot
+        # frees, every waiter must resolve (admitted or shed) well
+        # inside the live waiter's 30s budget — no stranded slot, no
+        # waiter sleeping out its full timeout.
+        from repro.serve import admission as admission_module
+
+        clock = {"now": 0.0}
+        monkeypatch.setattr(admission_module, "monotonic",
+                            lambda: clock["now"])
+        ctrl = admission_module.AdmissionController(
+            max_inflight=1, max_queue=8, timeout_s=30.0)
+        ctrl.acquire()  # occupy the only slot
+        admitted = []
+        shed = []
+
+        def waiter():
+            try:
+                ctrl.acquire()
+                admitted.append(1)
+                ctrl.release()  # hand the slot down the queue
+            except ServerOverloaded:
+                shed.append(1)
+
+        def spin_until_waiting(count):
+            deadline = time.monotonic() + 10.0
+            while ctrl.snapshot()["waiting"] < count:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+
+        threads = [threading.Thread(target=waiter) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        spin_until_waiting(3)
+        clock["now"] = 100.0  # all three are now past their deadline
+        live = threading.Thread(target=waiter)
+        live.start()
+        spin_until_waiting(4)
+        threads.append(live)
+        ctrl.release()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not any(thread.is_alive() for thread in threads), \
+            "freed slot stranded behind timed-out waiters"
+        assert len(admitted) + len(shed) == 4
+        assert len(admitted) >= 1
+        assert ctrl.snapshot() == {"inflight": 0, "waiting": 0,
+                                   "max_inflight": 1, "max_queue": 8}
 
     def test_gauges_return_to_zero(self, server):
         with server.session() as session:
@@ -348,3 +546,19 @@ class TestWireEscaping:
             assert decoded is None
         else:
             assert decoded == str(value)
+
+    def test_column_names_escape_like_values(self):
+        # Regression: column names used to travel raw, so an alias
+        # containing a tab or newline corrupted the line framing and
+        # desynchronized the client parser.
+        result = Result(["a\tb", "line\nbreak"], [("x\ty", None)],
+                        rowcount=1)
+        lines = encode_result(result).split("\n")
+        assert lines[0] == "OK 1"
+        assert lines[1].startswith("*")
+        decoded = [unescape_value(field)
+                   for field in lines[1][1:].split("\t")]
+        assert decoded == ["a\tb", "line\nbreak"]
+        assert lines[2].split("\t") == ["x\\ty", "\\N"]
+        assert lines[3] == "."
+        assert lines[4] == ""  # trailing newline terminates the frame

@@ -184,6 +184,20 @@ class TestBufferPool:
         with pytest.raises(BufferPoolError):
             pool.unpin(99)
 
+    def test_reinit_locks_drops_inherited_pins_and_rebuilds_clock(self):
+        # A forked child inherits whatever pins parent threads held at
+        # fork time and nothing in the child will ever unpin them, so
+        # reinit must drop them (and restore clock consistency) or
+        # eviction eventually wedges on "all frames are pinned".
+        pool = BufferPool(DiskManager(), capacity=2)
+        page = pool.new_page()  # pinned, as if by a parent reader
+        pool._clock_hand = 7    # mid-sweep garbage from the fork
+        pool.reinit_locks()
+        assert pool.pin_count(page.page_id) == 0
+        for _ in range(4):      # churn past capacity: eviction works
+            extra = pool.new_page()
+            pool.unpin(extra.page_id)
+
     def test_pinned_context_manager(self):
         pool = BufferPool(DiskManager(), capacity=2)
         page = pool.new_page()
