@@ -136,3 +136,90 @@ def test_observability_overhead(obs_bench_db, benchmark):
     # analyze on: <2x on the batch workloads (per-batch probes).
     assert scan["overhead"] < 2.0, scan
     assert join["overhead"] < 2.0, join
+
+
+# ---------------------------------------------------------------------------
+# Serving-layer tracing overhead (PR 10)
+# ---------------------------------------------------------------------------
+
+TRACE_ITERS = 200
+TRACE_REPEATS = 5
+TRACE_SQL = "SELECT max(v) FROM obs_t WHERE id = 7"
+
+
+def _serve_loop(server, iters: int) -> float:
+    """Min-of-N wall time for ``iters`` statements through one session
+    (admission fast path, routing memo, plan-cache hit, stats record)."""
+    best = None
+    with server.session() as session:
+        session.execute(TRACE_SQL)  # warm the plan cache
+        for _ in range(TRACE_REPEATS):
+            started = time.perf_counter()
+            for _ in range(iters):
+                session.execute(TRACE_SQL)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+    return best
+
+
+def test_tracing_overhead():
+    """Request tracing must be free when off and cheap when sampled.
+
+    Three legs over the same server and cached statement: tracing off
+    (run twice — the two runs must agree within the suite's noise
+    bound, i.e. the ``tracer is None`` guards cost nothing measurable),
+    and sampled at 1-in-4, which must stay under 1.2x of the off leg
+    (three of four requests take only the sampling-counter branch).
+    """
+    from repro.serve import ServeSettings, Server
+
+    db = Database(pool_capacity=256)
+    db.execute("CREATE TABLE obs_t (id INTEGER, v INTEGER)")
+    bulk_insert(db, "obs_t", [(i, i % 7) for i in range(1000)])
+    db.analyze()
+    settings = ServeSettings()
+    settings.snapshots_enabled = False
+    server = Server(db, settings)
+    try:
+        off_a = _serve_loop(server, TRACE_ITERS)
+        server.tracing.set_sample(0.25)
+        sampled = _serve_loop(server, TRACE_ITERS)
+        server.tracing.set_sample("off")
+        off_b = _serve_loop(server, TRACE_ITERS)
+    finally:
+        server.close()
+        db.close()
+    off_s = min(off_a, off_b)
+    noise_ratio = max(off_a, off_b) / max(min(off_a, off_b), 1e-9)
+    sampled_ratio = sampled / max(off_s, 1e-9)
+    report = {
+        "statements": TRACE_ITERS,
+        "off_s": round(off_s, 6),
+        "off_noise_ratio": round(noise_ratio, 3),
+        "sampled_quarter_s": round(sampled, 6),
+        "sampled_overhead": round(sampled_ratio, 3),
+    }
+    # Merge under the module's JSON report rather than clobbering the
+    # analyze numbers (the two tests may run in either order).
+    try:
+        with open(_JSON_PATH) as handle:
+            existing = json.load(handle)
+    except (OSError, ValueError):
+        existing = {}
+    existing["serve_tracing"] = report
+    with open(_JSON_PATH, "w") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
+    print_table(
+        "Serving-layer tracing overhead (%d cached statements)"
+        % TRACE_ITERS,
+        ["leg", "time (s)", "vs off"],
+        [("tracing off", "%.4f" % off_s, "1.00x"),
+         ("off (recheck)", "%.4f" % max(off_a, off_b),
+          "%.2fx" % noise_ratio),
+         ("sampled 1/4", "%.4f" % sampled, "%.2fx" % sampled_ratio)])
+    # Off is the production path: repeated off runs within noise.
+    assert noise_ratio < 1.25, report
+    # Sampling a quarter of requests must stay under 1.2x.
+    assert sampled_ratio < 1.2, report

@@ -239,11 +239,15 @@ class Database:
 
     def execute(self, sql: str, params: Sequence[Any] = (),
                 txn=None,
-                options: Optional[CompileOptions] = None) -> Result:
+                options: Optional[CompileOptions] = None,
+                tracer=None) -> Result:
         """Parse, compile and run one Hydrogen statement.
 
         ``options`` overrides the database's settings for this statement
         only (the differential harness compiles one query many ways).
+        ``tracer`` is an optional :class:`repro.obs.spans.RequestTrace`;
+        when present the cache lookup, compile phases and execution each
+        record a span (every site guards ``tracer is not None``).
         """
         stripped = sql.strip()
         if options is None:
@@ -252,16 +256,20 @@ class Database:
             fingerprint = self._fingerprint(stripped, options)
             if fingerprint is not None and fingerprint.cacheable:
                 return self._serve(stripped, fingerprint, options, params,
-                                   txn)
+                                   txn, tracer=tracer)
         statement = parse_statement(stripped)
         if isinstance(statement, ast.ExplainStmt):
             return self._explain_text(stripped, statement=statement,
-                                      options=options)
+                                      options=options, tracer=tracer)
         if isinstance(statement, (ast.CreateTableStmt, ast.CreateIndexStmt,
                                   ast.CreateViewStmt, ast.DropStmt)):
+            if tracer is not None:
+                with tracer.span("ddl", statement=type(statement).__name__):
+                    return self._execute_ddl(statement)
             return self._execute_ddl(statement)
-        compiled = self._timed_compile(stripped, options)
-        return self.run_compiled(compiled, params, txn, options=options)
+        compiled = self._timed_compile(stripped, options, tracer=tracer)
+        return self.run_compiled(compiled, params, txn, options=options,
+                                 tracer=tracer)
 
     def _fingerprint(self, sql: str,
                      options: CompileOptions) -> Optional[Fingerprint]:
@@ -276,17 +284,23 @@ class Database:
 
     def _serve(self, sql: str, fingerprint: Fingerprint,
                options: CompileOptions, params: Sequence[Any],
-               txn) -> Result:
+               txn, tracer=None) -> Result:
         """The compile-once-execute-many path shared by ``execute`` (on a
         cacheable statement) and :class:`Prepared`."""
         key = (fingerprint.key, options.cache_key())
-        entry = self.plan_cache.lookup(self.catalog, key)
+        if tracer is not None:
+            with tracer.span("plancache.lookup",
+                             fingerprint=fingerprint.key[:12]) as span:
+                entry = self.plan_cache.lookup(self.catalog, key)
+                span.set(hit=entry is not None)
+        else:
+            entry = self.plan_cache.lookup(self.catalog, key)
         if entry is not None:
             self._m_cache_hits.inc()
             entry.compiled.timings.pipeline = "cached"
             return self.run_compiled(entry.compiled,
                                      fingerprint.recipe.bind(params), txn,
-                                     options=options)
+                                     options=options, tracer=tracer)
         self._m_cache_misses.inc()
         if fingerprint.rewritten:
             # Validate the original text before compiling the
@@ -295,15 +309,19 @@ class Database:
             # (VARCHAR column < 3) would otherwise go undetected.
             # The type class is part of the fingerprint, so every
             # statement sharing this key validates identically.
-            compile_statement(self, sql, options=options)
+            if tracer is not None:
+                with tracer.span("compile.validate"):
+                    compile_statement(self, sql, options=options)
+            else:
+                compile_statement(self, sql, options=options)
         compiled = self._timed_compile(fingerprint.compile_text(sql),
-                                       options)
+                                       options, tracer=tracer)
         compiled.timings.pipeline = "compiled"
         # Cost-aware admission: one-off bulk DML executes uncached.
         self.plan_cache.admit(self.catalog, key, compiled)
         return self.run_compiled(compiled,
                                  fingerprint.recipe.bind(params), txn,
-                                 options=options)
+                                 options=options, tracer=tracer)
 
     def prepare(self, sql: str,
                 options: Optional[CompileOptions] = None) -> Prepared:
@@ -347,15 +365,30 @@ class Database:
 
     def _timed_compile(self, sql: str,
                        options: Optional[CompileOptions],
-                       trace=None) -> CompiledStatement:
-        compiled = compile_statement(self, sql, options=options,
-                                     trace=trace)
+                       trace=None, tracer=None) -> CompiledStatement:
+        if tracer is not None:
+            # Record a compile span whose children are the Figure-1
+            # phases, bridged from the pipeline's TraceEvent phase
+            # events (a Trace is supplied just for the bridge when the
+            # caller didn't ask for one).
+            from repro.obs.spans import bridge_phase_events
+            from repro.obs.trace import Trace
+
+            bridge = trace if trace is not None else Trace()
+            with tracer.span("compile") as span:
+                compiled = compile_statement(self, sql, options=options,
+                                             trace=bridge)
+            bridge_phase_events(span, bridge, compiled.timings)
+        else:
+            compiled = compile_statement(self, sql, options=options,
+                                         trace=trace)
         self._m_compile_ms.observe(compiled.timings.compile_total() * 1e3)
         return compiled
 
     def run_compiled(self, compiled: CompiledStatement,
                      params: Sequence[Any] = (), txn=None,
-                     options: Optional[CompileOptions] = None) -> Result:
+                     options: Optional[CompileOptions] = None,
+                     tracer=None) -> Result:
         """Execute a compiled statement.
 
         ``options`` carries this *execution's* runtime switches (today:
@@ -397,6 +430,10 @@ class Database:
                 else:
                     ctx.stats.parallel_fallbacks += 1
                     ctx.stats.parallel_reasons.append(disabled_reason())
+        exec_span = None
+        if tracer is not None:
+            ctx.trace = tracer
+            exec_span = tracer.begin("execute")
         own_txn = None
         if txn is None and not compiled.is_query:
             own_txn = self.engine.begin()
@@ -406,10 +443,22 @@ class Database:
         except BaseException:
             if own_txn is not None:
                 self.engine.abort(own_txn)
+            if exec_span is not None:
+                exec_span.set(error=True)
+                tracer.end(exec_span)
             raise
         if own_txn is not None:
             self.engine.commit(own_txn)
         compiled.timings.execute = time.perf_counter() - started
+        if exec_span is not None:
+            exec_span.set(rows=len(rows))
+            if profile is not None:
+                # One identifier from wire to operator: the profile (and
+                # its EXPLAIN ANALYZE rendering) carries the trace_id,
+                # and the execute span points back at the profile.
+                profile.trace_id = tracer.trace_id
+                exec_span.set(profiled_ops=len(profile._probes))
+            tracer.end(exec_span)
         visible = compiled.qgm.visible_columns if compiled.qgm else None
         if visible is not None:
             rows = [row[:visible] for row in rows]
@@ -437,7 +486,8 @@ class Database:
     def explain(self, sql: str,
                 options: Optional[CompileOptions] = None,
                 analyze: bool = False,
-                trace: bool = False) -> str:
+                trace: bool = False,
+                tracer=None) -> str:
         """QGM before/after rewrite plus the chosen plan, as text.
 
         ``options`` (e.g. a non-default ``execution_mode``) flows through
@@ -453,7 +503,8 @@ class Database:
         from repro.qgm.display import render_qgm
 
         if analyze:
-            return self._explain_analyze(sql, options, trace)
+            return self._explain_analyze(sql, options, trace,
+                                         tracer=tracer)
 
         trace_obj = None
         if trace:
@@ -480,7 +531,7 @@ class Database:
 
     def _explain_analyze(self, sql: str,
                          options: Optional[CompileOptions],
-                         trace: bool) -> str:
+                         trace: bool, tracer=None) -> str:
         from repro.executor.parallel import available_cores
         from repro.obs.render import render_analyze
 
@@ -496,11 +547,13 @@ class Database:
             trace_obj = Trace()
             compiled = self.compile(sql, options=run_options,
                                     trace=trace_obj)
-            result = self.run_compiled(compiled, options=run_options)
+            result = self.run_compiled(compiled, options=run_options,
+                                       tracer=tracer)
         else:
             # The normal execute path: cache-aware, so EXPLAIN ANALYZE of
             # a cached statement reports this run's actuals.
-            result = self.execute(sql, options=run_options)
+            result = self.execute(sql, options=run_options,
+                                  tracer=tracer)
         if result.profile is None:
             raise SemanticError(
                 "EXPLAIN ANALYZE needs a plan-producing statement")
@@ -530,14 +583,16 @@ class Database:
             entry.schema_epoch, entry.hits, epochs)
 
     def _explain_text(self, sql: str, statement=None,
-                      options: Optional[CompileOptions] = None) -> Result:
+                      options: Optional[CompileOptions] = None,
+                      tracer=None) -> Result:
         inner = sql.strip()
         # strip the leading EXPLAIN keyword (and ANALYZE when present)
         inner = inner[len("explain"):].lstrip()
         analyze = statement is not None and statement.analyze
         if analyze and inner[:len("analyze")].lower() == "analyze":
             inner = inner[len("analyze"):].lstrip()
-        text = self.explain(inner, options=options, analyze=analyze)
+        text = self.explain(inner, options=options, analyze=analyze,
+                            tracer=tracer)
         rows = [(line,) for line in text.rstrip("\n").split("\n")]
         return Result(["plan"], rows)
 

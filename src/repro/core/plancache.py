@@ -245,6 +245,27 @@ def _render(tokens: Sequence[Token]) -> str:
     return " ".join(parts)
 
 
+def normalized_text(sql: str) -> str:
+    """The statement with *every* literal replaced by ``?`` — the
+    display form for statement stats and the slow-query log, which must
+    never leak raw constants.  (Fingerprinting lifts only comparison
+    operands because only those may bind as typed parameters; display
+    text has no such constraint, so VALUES literals are masked too.)
+
+    May raise :class:`repro.errors.LexerError` on unscannable input.
+    """
+    out: List[Token] = []
+    for token in tokenize(sql):
+        if token.type is TokenType.EOF:
+            continue
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            out.append(Token(TokenType.PARAM, "?", None,
+                             token.line, token.column))
+        else:
+            out.append(token)
+    return _render(out)
+
+
 class CacheEntry:
     """One cached plan plus the world it was compiled against."""
 

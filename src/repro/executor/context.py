@@ -108,6 +108,10 @@ class ExecutionContext:
         #: None — the default — means every dispatch site skips the
         #: instrumentation wrappers entirely.
         self.profile = None
+        #: The request-scoped :class:`repro.obs.spans.RequestTrace` this
+        #: execution runs under; None — the default — means the parallel
+        #: runtime neither requests nor merges worker span fragments.
+        self.trace = None
 
     def bind_subplans(self, bindings) -> None:
         for binding in bindings:

@@ -150,13 +150,15 @@ def _worker_node(text, options, node_index, signature):
 
 
 def _worker_run(task):
-    """Execute one morsel and return ``(rows, extra, elapsed)``.
+    """Execute one morsel and return ``(rows, extra, elapsed, worker_id,
+    fragment)``.
 
     ``task`` is (text, options, exchange_index, signature, page_lo,
-    page_hi, params).  The worker compiles the statement against its
-    forked database snapshot, finds the Exchange at ``exchange_index`` in
-    ``plan.walk()`` order, verifies the structural signature, and runs
-    the Exchange's child with the scan restricted to the page range.
+    page_hi, params, trace_on).  The worker compiles the statement
+    against its forked database snapshot, finds the Exchange at
+    ``exchange_index`` in ``plan.walk()`` order, verifies the structural
+    signature, and runs the Exchange's child with the scan restricted to
+    the page range.
 
     ``extra`` is None normally; under ``options.analyze`` it is
     ``(profile_export, stats_export)`` — the worker's per-operator probes
@@ -164,15 +166,23 @@ def _worker_run(task):
     coordinator to merge (EXPLAIN ANALYZE through a Gather).
     ``elapsed`` is the task's wall seconds and ``worker_id`` the worker
     process's pid, for the per-task and per-worker skew views.
+
+    ``fragment`` is None unless ``trace_on``: a
+    :meth:`repro.obs.spans.Span.export` tuple covering this task, with
+    monotonic-ns timestamps directly comparable to the parent's
+    (CLOCK_MONOTONIC is system-wide), for the coordinator to graft under
+    the request's execute span.
     """
-    from time import perf_counter
+    from time import monotonic_ns, perf_counter
 
     from repro.executor.context import ExecutionContext
     from repro.executor.run import _null_last_key, rows_iter
     from repro.optimizer import plans as pl
 
-    text, options, exchange_index, signature, lo, hi, params = task
+    text, options, exchange_index, signature, lo, hi, params, \
+        trace_on = task
     started = perf_counter()
+    started_ns = monotonic_ns()
     db, compiled, node = _worker_node(text, options, exchange_index,
                                       signature)
     if not isinstance(node, pl.Exchange):
@@ -200,7 +210,15 @@ def _worker_run(task):
         from repro.obs.profile import export_stats
 
         extra = (ctx.profile.export(), export_stats(ctx.stats))
-    return rows, extra, perf_counter() - started, os.getpid()
+    fragment = None
+    if trace_on:
+        from repro.obs.spans import Span
+
+        span = Span("worker.morsel", start_ns=started_ns)
+        span.finish()
+        span.set(pid=os.getpid(), pages=[lo, hi], rows=len(rows))
+        fragment = span.export()
+    return rows, extra, perf_counter() - started, os.getpid(), fragment
 
 
 def _worker_shuffle(task):
@@ -558,6 +576,9 @@ class ParallelRuntime:
 
         ctx.stats.parallel_fallbacks += 1
         ctx.stats.parallel_reasons.append(reason)
+        trace = getattr(ctx, "trace", None)
+        if trace is not None:
+            trace.current().set(parallel_degraded=reason)
         return rows_iter(exchange.children[0], ctx, {})
 
     def run_exchange(self, exchange, ctx) -> Iterator[Tuple[Any, ...]]:
@@ -598,10 +619,12 @@ class ParallelRuntime:
         options = compiled.options
         if options.analyze != (ctx.profile is not None):
             options = options.replace(analyze=ctx.profile is not None)
+        trace = getattr(ctx, "trace", None)
         try:
             pool = self._ensure_pool(exchange.dop)
             tasks = [(compiled.text, options, exchange_index,
-                      signature, lo, hi, tuple(ctx.params))
+                      signature, lo, hi, tuple(ctx.params),
+                      trace is not None)
                      for lo, hi in morsels]
             results = pool.map(_worker_run, tasks)
         except Exception as exc:
@@ -615,16 +638,21 @@ class ParallelRuntime:
         parts = []
         times = []
         worker_ids = []
-        for part_rows, extra, elapsed, worker_id in results:
+        fragments = []
+        for part_rows, extra, elapsed, worker_id, fragment in results:
             parts.append(part_rows)
             times.append(elapsed)
             worker_ids.append(worker_id)
+            if fragment is not None:
+                fragments.append(fragment)
             if extra is not None and ctx.profile is not None:
                 from repro.obs.profile import merge_stats
 
                 exported_probes, exported_stats = extra
                 ctx.profile.merge_worker(exported_probes)
                 merge_stats(ctx.stats, exported_stats)
+        if trace is not None and fragments:
+            trace.attach_worker_fragments(trace.current(), fragments)
         if ctx.profile is not None:
             ctx.profile.note_exchange(
                 exchange, morsels=len(morsels),

@@ -8,7 +8,13 @@ Three independent pieces, all opt-in and all zero-cost when unused:
 - :mod:`repro.obs.trace` — structured compile-phase tracing (rewrite rule
   firings, STAR expansions, optimizer pruning and winner decisions),
 - :mod:`repro.obs.metrics` — a process-level metrics registry (counters,
-  gauges, latency histograms) with Prometheus-style text exposition.
+  gauges, latency histograms) with Prometheus-style text exposition,
+- :mod:`repro.obs.spans` — request-scoped span trees for the serving
+  layer (sampled, zero-allocation when off, fork-mergeable fragments),
+- :mod:`repro.obs.statstats` — per-fingerprint statement aggregates
+  (``SHOW STATEMENTS`` / ``GET /statements``),
+- :mod:`repro.obs.slowlog` — the slow-query log (one JSON line per slow
+  statement, literal-free text, attached span tree when traced).
 
 :mod:`repro.obs.render` turns a profile into ``EXPLAIN ANALYZE`` text.
 """
@@ -16,6 +22,9 @@ Three independent pieces, all opt-in and all zero-cost when unused:
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import OpProbe, PlanProfile
 from repro.obs.render import render_analyze
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.spans import RequestTrace, Span, SpanRecorder
+from repro.obs.statstats import StatementStat, StatementStats
 from repro.obs.trace import Trace, TraceEvent
 
 __all__ = [
@@ -25,6 +34,12 @@ __all__ = [
     "MetricsRegistry",
     "OpProbe",
     "PlanProfile",
+    "RequestTrace",
+    "SlowQueryLog",
+    "Span",
+    "SpanRecorder",
+    "StatementStat",
+    "StatementStats",
     "Trace",
     "TraceEvent",
     "render_analyze",

@@ -143,6 +143,25 @@ class Histogram:
             out[bound] = cumulative
         return {"count": total, "sum": total_sum, "buckets": out}
 
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution upper-bound estimate of the ``q``-quantile:
+        the smallest bucket bound whose cumulative count covers the
+        quantile.  Observations past the last bound clamp to it (the
+        estimate is then a lower bound — the tail's true shape is gone).
+        Returns 0.0 with no observations."""
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            return 0.0
+        threshold = q * total
+        cumulative = 0
+        for bound, count in zip(self.buckets, counts):
+            cumulative += count
+            if cumulative >= threshold:
+                return bound
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Named metrics, created on first use and stable thereafter.

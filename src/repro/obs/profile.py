@@ -65,6 +65,10 @@ class PlanProfile:
         self._nodes: Dict[int, Any] = {}
         #: id(exchange) → {"morsels": n, "workers": n, "runs": n}.
         self.exchanges: Dict[int, Dict[str, int]] = {}
+        #: The request trace this profile ran under (set by the execute
+        #: path when the statement is both analyzed and traced), so the
+        #: rendered plan and the span tree share one identifier.
+        self.trace_id: Optional[str] = None
 
     # -- probe access --------------------------------------------------------
 

@@ -129,6 +129,8 @@ def render_analyze(profile, timings=None, stats=None, options=None,
         if described:
             title = "=== EXPLAIN ANALYZE (%s) ===" % described
     lines = [title]
+    if getattr(profile, "trace_id", None):
+        lines.append("trace: %s" % profile.trace_id)
     _render_tree(profile.plan, profile, total_ns, 0, lines)
 
     if cores is not None:

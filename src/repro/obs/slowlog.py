@@ -1,0 +1,89 @@
+"""The slow-query log: one structured JSON line per slow statement.
+
+A statement whose server-side latency crosses ``threshold_ms`` emits a
+single JSON object: wall-clock timestamp, the literal-free statement
+text (via the fingerprint normalizer — raw constants never appear),
+latency, route, session source, error class if any, and — when the
+request was traced — its ``trace_id`` and the completed span tree, so
+one log line answers *where the time went* without a second lookup.
+
+Lines go to a bounded in-memory ring (``lines()``, for tests and the
+stats endpoint) and, when ``path`` is set, are appended to a file —
+one JSON object per line, greppable and ``jq``-able.
+
+``threshold_ms=None`` disables the log entirely: ``maybe_log`` is one
+attribute compare on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+
+class SlowQueryLog:
+    def __init__(self, threshold_ms: Optional[float] = None,
+                 path: Optional[str] = None, keep: int = 256):
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._lock = threading.Lock()
+        self._lines: "deque[str]" = deque(maxlen=max(1, keep))
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def maybe_log(self, statement: str, latency_ms: float,
+                  trace=None, route: Optional[str] = None,
+                  source: Optional[str] = None,
+                  error: Optional[BaseException] = None,
+                  **extras: Any) -> Optional[str]:
+        """Emit a line if ``latency_ms`` crosses the threshold.
+
+        ``statement`` must already be the normalized (literal-free)
+        text — the caller owns the normalizer.  Returns the emitted
+        line, or None when below threshold / disabled.
+        """
+        threshold = self.threshold_ms
+        if threshold is None or latency_ms < threshold:
+            return None
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 3),
+            "statement": statement,
+            "latency_ms": round(latency_ms, 3),
+            "threshold_ms": threshold,
+        }
+        if route is not None:
+            record["route"] = route
+        if source is not None:
+            record["source"] = source
+        if error is not None:
+            record["error"] = type(error).__name__
+        if trace is not None:
+            record["trace_id"] = trace.trace_id
+            record["spans"] = trace.root.as_dict()
+        record.update(extras)
+        line = json.dumps(record, default=repr, separators=(",", ":"))
+        with self._lock:
+            self._lines.append(line)
+            if self.path is not None:
+                try:
+                    with open(self.path, "a") as handle:
+                        handle.write(line + "\n")
+                except OSError:
+                    pass  # the ring still has the line
+        return line
+
+    def lines(self) -> List[str]:
+        with self._lock:
+            return list(self._lines)
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [json.loads(line) for line in self.lines()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lines.clear()

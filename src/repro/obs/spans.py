@@ -1,0 +1,342 @@
+"""Request-scoped tracing for the serving layer.
+
+A :class:`RequestTrace` is a tree of :class:`Span` records covering one
+wire request end to end — wire read to response flush — keyed by a
+per-request ``trace_id``.  Spans carry ``time.monotonic_ns`` timestamps;
+on Linux ``CLOCK_MONOTONIC`` is system-wide, so timestamps recorded
+inside forked snapshot/parallel workers are directly comparable to the
+parent's and a worker-side span *fragment* can be grafted into the
+parent tree with no clock translation (:meth:`RequestTrace.
+attach_worker_fragments` groups fragments by worker pid).
+
+The discipline matches :class:`repro.obs.profile.PlanProfile`: every
+instrumentation site guards on ``trace is not None``, and the
+:class:`SpanRecorder`'s sampling decision (``maybe_start``) returns
+``None`` without allocating when tracing is off or this request lost the
+sampling draw — the untraced hot path pays one attribute read and one
+``is not None`` branch per site.
+
+Sampling is deterministic (a modular counter, not ``random``): ``"off"``
+never traces, ``"always"`` traces every request, a ratio ``0 < r < 1``
+traces every ``round(1/r)``-th request — reproducible in tests and free
+of RNG state that would differ across forks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from time import monotonic_ns
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One timed region: name, monotonic-ns bounds, attrs, children."""
+
+    __slots__ = ("name", "start_ns", "end_ns", "attrs", "children")
+
+    def __init__(self, name: str, start_ns: Optional[int] = None):
+        self.name = name
+        self.start_ns = start_ns if start_ns is not None else monotonic_ns()
+        self.end_ns: Optional[int] = None
+        self.attrs: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self) -> "Span":
+        if self.end_ns is None:
+            self.end_ns = monotonic_ns()
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        end = self.end_ns if self.end_ns is not None else monotonic_ns()
+        return end - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def child(self, name: str) -> "Span":
+        span = Span(name)
+        self.children.append(span)
+        return span
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span with ``name`` in this subtree (depth-first)."""
+        if self.name == name:
+            return self
+        for sub in self.children:
+            found = sub.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def export(self) -> Tuple:
+        """A picklable nested tuple — the cross-process fragment format:
+        ``(name, start_ns, end_ns, attrs, (child exports...))``."""
+        return (self.name, self.start_ns,
+                self.end_ns if self.end_ns is not None else self.start_ns,
+                dict(self.attrs),
+                tuple(sub.export() for sub in self.children))
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name,
+                               "start_ns": self.start_ns,
+                               "ms": round(self.duration_ns / 1e6, 4)}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [sub.as_dict() for sub in self.children]
+        return out
+
+    def render(self, depth: int = 0) -> str:
+        attrs = " ".join("%s=%s" % (key, value)
+                         for key, value in self.attrs.items())
+        line = "%s%s %.3fms%s" % ("  " * depth, self.name,
+                                  self.duration_ns / 1e6,
+                                  (" " + attrs) if attrs else "")
+        parts = [line]
+        parts.extend(sub.render(depth + 1) for sub in self.children)
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Span %s %.3fms children=%d>" % (
+            self.name, self.duration_ns / 1e6, len(self.children))
+
+
+def import_fragment(export) -> Span:
+    """Rebuild a :class:`Span` subtree from :meth:`Span.export` output.
+
+    Raises ``ValueError`` on a malformed export; callers that must not
+    fail (fragment merging) catch it and record the degradation instead.
+    """
+    try:
+        name, start_ns, end_ns, attrs, children = export
+        if not isinstance(name, str) or not isinstance(start_ns, int) \
+                or not isinstance(end_ns, int) \
+                or not isinstance(attrs, dict):
+            raise TypeError
+        span = Span(name, start_ns=start_ns)
+        span.end_ns = end_ns
+        span.attrs = dict(attrs)
+        span.children = [import_fragment(sub) for sub in children]
+        return span
+    except (TypeError, ValueError) as exc:
+        raise ValueError("malformed span fragment: %r" % (export,)) \
+            from exc
+
+
+class RequestTrace:
+    """The span tree of one request, with a span stack for nesting.
+
+    Not thread-safe by design: a session serializes its own statements,
+    so exactly one thread drives a trace at a time.
+    """
+
+    __slots__ = ("trace_id", "root", "_stack")
+
+    def __init__(self, trace_id: str, name: str = "request"):
+        self.trace_id = trace_id
+        self.root = Span(name)
+        self._stack: List[Span] = [self.root]
+
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """Open a child of the current span and make it current.  Pair
+        with :meth:`end`; use :meth:`span` where a ``with`` block fits."""
+        span = self.current().child(name)
+        if attrs:
+            span.attrs.update(attrs)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        span.finish()
+        # Strict nesting is the invariant; if an error path skipped an
+        # inner end(), close the orphans rather than corrupt the stack.
+        while len(self._stack) > 1:
+            top = self._stack.pop()
+            if top is span:
+                return
+            top.finish().set(abandoned=True)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        span = self.begin(name, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def attach_worker_fragments(self, parent: Span, fragments) -> int:
+        """Graft worker-exported span fragments under ``parent``, grouped
+        by worker pid into one ``worker`` span per process.
+
+        ``fragments`` is an iterable of :meth:`Span.export` tuples whose
+        root attrs carry ``pid``.  Malformed fragments never raise: the
+        degradation is recorded on ``parent`` (``fragment_errors``) and
+        the rest of the tree stays intact.
+        """
+        by_pid: Dict[Any, List[Span]] = {}
+        errors = 0
+        for export in fragments:
+            if export is None:
+                continue
+            try:
+                span = import_fragment(export)
+            except ValueError:
+                errors += 1
+                continue
+            by_pid.setdefault(span.attrs.get("pid"), []).append(span)
+        for pid in sorted(by_pid, key=lambda p: (p is None, p)):
+            spans = by_pid[pid]
+            group = Span("worker",
+                         start_ns=min(s.start_ns for s in spans))
+            group.end_ns = max(s.end_ns for s in spans)
+            group.attrs["pid"] = pid
+            group.children = spans
+            parent.children.append(group)
+        if errors:
+            parent.set(fragment_errors=errors,
+                       degraded="worker fragment(s) unreadable; "
+                                "parent-only trace")
+        return len(by_pid)
+
+    def finish(self) -> Span:
+        while self._stack:
+            self._stack.pop().finish()
+        self._stack = [self.root]
+        return self.root
+
+    @property
+    def duration_ns(self) -> int:
+        return self.root.duration_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ns / 1e6
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id,
+                "ms": round(self.root.duration_ns / 1e6, 4),
+                "spans": self.root.as_dict()}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=repr,
+                          separators=(",", ":"))
+
+    def render_text(self) -> str:
+        return "trace %s\n%s" % (self.trace_id, self.root.render())
+
+
+class SpanRecorder:
+    """Per-server sampling decision plus a ring of completed traces.
+
+    ``sample`` is ``"off"`` (default), ``"always"``, or a ratio in
+    (0, 1) — also accepted as a string like ``"0.25"``.  ``maybe_start``
+    is the single gate every request passes: it returns ``None``
+    (allocating nothing) for unsampled requests and a fresh
+    :class:`RequestTrace` otherwise.
+    """
+
+    def __init__(self, sample="off", keep: int = 128):
+        self._period = 0  # 0 = off, 1 = always, N = every Nth
+        self.set_sample(sample)
+        self._counter = itertools.count()
+        self._completed: "deque[RequestTrace]" = deque(maxlen=max(1, keep))
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+
+    def set_sample(self, sample) -> None:
+        if sample in (None, False, 0, "off", ""):
+            self._period = 0
+            return
+        if sample in (True, "always"):
+            self._period = 1
+            return
+        ratio = float(sample)
+        if ratio >= 1.0:
+            self._period = 1
+        elif ratio <= 0.0:
+            self._period = 0
+        else:
+            self._period = max(1, int(round(1.0 / ratio)))
+
+    @property
+    def enabled(self) -> bool:
+        return self._period > 0
+
+    def describe_sample(self) -> str:
+        if self._period == 0:
+            return "off"
+        if self._period == 1:
+            return "always"
+        return "1/%d" % self._period
+
+    def maybe_start(self, name: str = "request") -> Optional[RequestTrace]:
+        period = self._period
+        if period == 0:
+            return None
+        if period > 1 and next(self._counter) % period:
+            return None
+        trace_id = "t%x-%x" % (os.getpid(), next(self._seq))
+        return RequestTrace(trace_id, name=name)
+
+    def finish(self, trace: RequestTrace) -> RequestTrace:
+        trace.finish()
+        with self._lock:
+            self._completed.append(trace)
+        return trace
+
+    def completed(self) -> List[RequestTrace]:
+        with self._lock:
+            return list(self._completed)
+
+    def find(self, trace_id: str) -> Optional[RequestTrace]:
+        with self._lock:
+            for trace in self._completed:
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._completed.clear()
+
+
+def bridge_phase_events(span: Span, trace, timings=None) -> None:
+    """Turn a compile :class:`repro.obs.trace.Trace`'s ``phase`` events
+    into child spans of ``span`` (the ``compile`` span).
+
+    Phase events record durations, not timestamps; the children are laid
+    end to end from ``span.start_ns`` (a ``parse`` phase synthesized
+    from ``timings`` first — the pipeline emits no event for it), which
+    preserves durations and order exactly and positions within a
+    microsecond of truth.
+    """
+    cursor = span.start_ns
+    phases = []
+    if timings is not None and getattr(timings, "parse", 0.0):
+        phases.append(("parse", timings.parse, {}))
+    for event in trace.of_kind("phase"):
+        data = dict(event.data)
+        name = data.pop("name", "?")
+        seconds = data.pop("seconds", 0.0)
+        phases.append((name, seconds, data))
+    for name, seconds, attrs in phases:
+        child = Span(name, start_ns=cursor)
+        cursor += int(seconds * 1e9)
+        child.end_ns = cursor
+        if attrs:
+            child.attrs.update(attrs)
+        span.children.append(child)

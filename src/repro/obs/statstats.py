@@ -1,0 +1,226 @@
+"""Per-statement aggregate statistics (the ``pg_stat_statements`` idea).
+
+One :class:`StatementStats` store per server aggregates every executed
+statement by the plan-cache fingerprint machinery's *literal-free
+rendering* (:func:`repro.core.plancache.normalized_text` — the same
+tokenizer-canonical form the fingerprint is built from, with every
+literal lifted, not only the comparison operands auto-parameterization
+rewrites), so ``WHERE id = 7`` and ``WHERE id = 9`` land in one entry
+and so do ``VALUES (1)`` and ``VALUES (2)``: calls, errors, rows,
+total/mean latency and a p95 estimate (reusing :class:`repro.obs.
+metrics.Histogram`), plan-cache hits, snapshot-vs-live read counts, and
+degradation reasons (snapshot pool lost, parallel fallback, shed).
+
+The displayed statement text comes from the fingerprint normalizer with
+*every* literal replaced by ``?`` (:func:`repro.core.plancache.
+normalized_text`) — raw constants never appear in ``SHOW STATEMENTS``
+output, ``GET /statements`` JSON, or the slow-query log.
+
+Unlike tracing, the store is always on: one dict hit, one lock, and a
+handful of integer bumps per request — the aggregates must be complete
+for ``SHOW STATEMENTS`` to be trustworthy, sampling would falsify them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import LexerError
+from repro.obs.metrics import Histogram
+
+#: Latency buckets for the per-entry p95 estimate: finer than the
+#: registry default at the fast end, since served statements cluster
+#: under a millisecond.
+LATENCY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0,
+                   50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0)
+
+
+class StatementStat:
+    """Aggregates for one statement fingerprint."""
+
+    __slots__ = ("key", "statement", "calls", "errors", "rows",
+                 "total_ms", "cache_hits", "cache_misses",
+                 "snapshot_reads", "live_reads", "writes",
+                 "degradations", "latency")
+
+    def __init__(self, key: str, statement: str):
+        self.key = key
+        self.statement = statement
+        self.calls = 0
+        self.errors = 0
+        self.rows = 0
+        self.total_ms = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.snapshot_reads = 0
+        self.live_reads = 0
+        self.writes = 0
+        self.degradations: Dict[str, int] = {}
+        self.latency = Histogram("statement_ms",
+                                 buckets=LATENCY_BUCKETS)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.calls if self.calls else 0.0
+
+    @property
+    def p95_ms(self) -> float:
+        return self.latency.quantile(0.95)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.key[:12],
+            "statement": self.statement,
+            "calls": self.calls,
+            "errors": self.errors,
+            "rows": self.rows,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "p95_ms": self.p95_ms,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "snapshot_reads": self.snapshot_reads,
+            "live_reads": self.live_reads,
+            "writes": self.writes,
+            "degradations": dict(self.degradations),
+        }
+
+
+class StatementStats:
+    """LRU-bounded store of :class:`StatementStat` entries.
+
+    Thread-safe: serving sessions record concurrently.  Normalization
+    (tokenize + render) is memoized per statement text, so the steady
+    state per record is one memo hit and one entry update under the lock.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("statement stats capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, StatementStat]" = OrderedDict()
+        self._norm_memo: "OrderedDict[str, Tuple[str, str]]" = \
+            OrderedDict()
+
+    def _normalize(self, sql: str) -> Tuple[str, str]:
+        """(fingerprint key, display text) for one statement text.
+
+        The key is the hash of the literal-free canonical rendering, so
+        every literal variant of a statement shares one entry — a
+        superset of plan-cache auto-parameterization, which only lifts
+        comparison operands (``VALUES (1)`` vs ``VALUES (2)`` must not
+        split the aggregate).
+        """
+        with self._lock:
+            memoized = self._norm_memo.get(sql)
+            if memoized is not None:
+                self._norm_memo.move_to_end(sql)
+                return memoized
+        from repro.core.plancache import normalized_text
+
+        try:
+            display = normalized_text(sql)
+            key = hashlib.sha256(display.encode("utf-8")).hexdigest()
+        except LexerError:
+            # Unscannable text has no token stream to normalize; key it
+            # by its own hash and show it verbatim (it never compiled,
+            # so it carries no bound constants worth hiding — it *is*
+            # the error).
+            key = hashlib.sha256(sql.encode("utf-8")).hexdigest()
+            display = sql
+        with self._lock:
+            self._norm_memo[sql] = (key, display)
+            while len(self._norm_memo) > 4 * self.capacity:
+                self._norm_memo.popitem(last=False)
+        return key, display
+
+    def record(self, sql: str, latency_ms: float, rows: int = 0,
+               cache_hit: Optional[bool] = None,
+               source: Optional[str] = None,
+               degraded: Optional[str] = None,
+               error: bool = False) -> StatementStat:
+        """Fold one execution into its fingerprint's aggregates.
+
+        ``source`` is where the statement ran: ``"snapshot"``,
+        ``"live"``, ``"write"``, ``"ddl"``, ``"txn"`` or None (unknown —
+        e.g. it failed before routing resolved).
+        """
+        key, display = self._normalize(sql)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = StatementStat(key, display)
+                self._entries[key] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+            self._entries.move_to_end(key)
+            entry.calls += 1
+            entry.rows += rows
+            entry.total_ms += latency_ms
+            if error:
+                entry.errors += 1
+            if cache_hit is True:
+                entry.cache_hits += 1
+            elif cache_hit is False:
+                entry.cache_misses += 1
+            if source == "snapshot":
+                entry.snapshot_reads += 1
+            elif source in ("live", "txn"):
+                entry.live_reads += 1
+            elif source in ("write", "ddl"):
+                entry.writes += 1
+            if degraded:
+                entry.degradations[degraded] = \
+                    entry.degradations.get(degraded, 0) + 1
+        entry.latency.observe(latency_ms)
+        return entry
+
+    def display_text(self, sql: str) -> str:
+        """The literal-free rendering of one statement (for slow-log
+        lines and anything else that must not leak constants)."""
+        return self._normalize(sql)[1]
+
+    def get(self, sql: str) -> Optional[StatementStat]:
+        key, _ = self._normalize(sql)
+        with self._lock:
+            return self._entries.get(key)
+
+    def report(self) -> List[Dict[str, Any]]:
+        """Every entry as a dict, heaviest total time first."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return sorted((entry.as_dict() for entry in entries),
+                      key=lambda row: row["total_ms"], reverse=True)
+
+    def result_rows(self):
+        """(columns, rows) for the ``SHOW STATEMENTS`` meta command."""
+        columns = ["fingerprint", "statement", "calls", "errors", "rows",
+                   "total_ms", "mean_ms", "p95_ms", "cache_hits",
+                   "cache_misses", "snapshot_reads", "live_reads",
+                   "writes", "degradations"]
+        rows = []
+        for entry in self.report():
+            degradations = ";".join(
+                "%s x%d" % (reason, count)
+                for reason, count in sorted(
+                    entry["degradations"].items())) or None
+            rows.append((entry["fingerprint"], entry["statement"],
+                         entry["calls"], entry["errors"], entry["rows"],
+                         entry["total_ms"], entry["mean_ms"],
+                         entry["p95_ms"], entry["cache_hits"],
+                         entry["cache_misses"], entry["snapshot_reads"],
+                         entry["live_reads"], entry["writes"],
+                         degradations))
+        return columns, rows
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

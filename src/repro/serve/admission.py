@@ -49,9 +49,15 @@ class AdmissionController:
             self._c_shed = metrics.counter(
                 "serve_shed_total",
                 "Statements rejected by admission control")
+            self._h_queue_wait = metrics.histogram(
+                "serve_queue_wait_ms",
+                "Milliseconds statements spent queued for an execution "
+                "slot (queued statements only; the fast path never "
+                "observes)")
         else:
             self._g_inflight = self._g_queue = None
             self._c_admitted = self._c_shed = None
+            self._h_queue_wait = None
 
     # The gauges mirror _inflight/_waiting, which only change under
     # self._cond — publishing them after the mutation keeps them exact.
@@ -61,15 +67,20 @@ class AdmissionController:
             self._g_inflight.set(self._inflight)
             self._g_queue.set(self._waiting)
 
-    def acquire(self) -> None:
-        """Take one execution slot or raise ServerOverloaded."""
+    def acquire(self) -> float:
+        """Take one execution slot or raise ServerOverloaded.
+
+        Returns the seconds spent queued (0.0 on the uncontended fast
+        path); queued outcomes — admitted-after-wait and shed alike —
+        feed the ``serve_queue_wait_ms`` histogram.
+        """
         with self._cond:
             if self._inflight < self.max_inflight:
                 self._inflight += 1
                 self._publish()
                 if self._c_admitted is not None:
                     self._c_admitted.inc()
-                return
+                return 0.0
             if self._waiting >= self.max_queue:
                 if self._c_shed is not None:
                     self._c_shed.inc()
@@ -78,13 +89,17 @@ class AdmissionController:
                     "statement shed" % (self.max_inflight, self._waiting))
             self._waiting += 1
             self._publish()
-            deadline = monotonic() + self.timeout_s
+            entered = monotonic()
+            deadline = entered + self.timeout_s
             try:
                 while self._inflight >= self.max_inflight:
                     remaining = deadline - monotonic()
                     if remaining <= 0:
                         if self._c_shed is not None:
                             self._c_shed.inc()
+                        if self._h_queue_wait is not None:
+                            self._h_queue_wait.observe(
+                                (monotonic() - entered) * 1e3)
                         # A release() may have elected us for the slot;
                         # pass the wakeup on so shedding never strands
                         # a freed slot behind still-live waiters.
@@ -99,8 +114,17 @@ class AdmissionController:
                 self._publish()
             self._inflight += 1
             self._publish()
+            waited = monotonic() - entered
+            if self._h_queue_wait is not None:
+                self._h_queue_wait.observe(waited * 1e3)
             if self._c_admitted is not None:
                 self._c_admitted.inc()
+            return waited
+
+    def republish(self) -> None:
+        """Re-publish the live gauges (after a registry-wide reset)."""
+        with self._cond:
+            self._publish()
 
     def release(self) -> None:
         with self._cond:

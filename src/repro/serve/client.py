@@ -17,15 +17,18 @@ from repro.serve.wire import unescape_value
 
 
 class WireResult:
-    """Decoded response: columns, rows of Optional[str], rowcount."""
+    """Decoded response: columns, rows of Optional[str], rowcount, and
+    the server-side trace id when the request was sampled."""
 
-    __slots__ = ("columns", "rows", "rowcount")
+    __slots__ = ("columns", "rows", "rowcount", "trace_id")
 
     def __init__(self, columns: List[str],
-                 rows: List[Tuple[Optional[str], ...]], rowcount: int):
+                 rows: List[Tuple[Optional[str], ...]], rowcount: int,
+                 trace_id: Optional[str] = None):
         self.columns = columns
         self.rows = rows
         self.rowcount = rowcount
+        self.trace_id = trace_id
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -58,7 +61,12 @@ class WireClient:
                                 unescape_value(message) or "")
         if not status.startswith("OK "):
             raise ServeError("malformed status line: %r" % status)
-        rowcount = int(status[3:])
+        parts = status[3:].split()
+        rowcount = int(parts[0])
+        trace_id = None
+        for extra in parts[1:]:
+            if extra.startswith("trace="):
+                trace_id = extra[6:]
         columns: List[str] = []
         rows: List[Tuple[Optional[str], ...]] = []
         while True:
@@ -77,7 +85,7 @@ class WireClient:
                 continue
             rows.append(tuple(unescape_value(field)
                               for field in line.split("\t")))
-        return WireResult(columns, rows, rowcount)
+        return WireResult(columns, rows, rowcount, trace_id=trace_id)
 
     def close(self) -> None:
         try:
@@ -102,11 +110,10 @@ class WireClient:
         self.close()
 
 
-def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> str:
-    """Scrape ``GET /metrics`` from a serving port; returns the
-    Prometheus text body."""
+def _http_get(host: str, port: int, path: str, timeout: float) -> str:
+    """One-shot HTTP GET against the serving port; returns the body."""
     with socket.create_connection((host, port), timeout=timeout) as sock:
-        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+        sock.sendall(("GET %s HTTP/1.0\r\n\r\n" % path).encode("ascii"))
         chunks = []
         while True:
             chunk = sock.recv(65536)
@@ -117,3 +124,18 @@ def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> str:
     if "\r\n\r\n" not in payload:
         raise ServeError("malformed HTTP response")
     return payload.split("\r\n\r\n", 1)[1]
+
+
+def fetch_metrics(host: str, port: int, timeout: float = 10.0) -> str:
+    """Scrape ``GET /metrics`` from a serving port; returns the
+    Prometheus text body."""
+    return _http_get(host, port, "/metrics", timeout)
+
+
+def fetch_statements(host: str, port: int,
+                     timeout: float = 10.0) -> list:
+    """Fetch ``GET /statements``: the per-fingerprint aggregates as a
+    list of dicts (heaviest total time first)."""
+    import json
+
+    return json.loads(_http_get(host, port, "/statements", timeout))

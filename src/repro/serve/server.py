@@ -40,6 +40,17 @@ class ServeSettings:
         self.snapshot_refresh_s = 0.25
         #: Master switch; forced off where fork() is unavailable.
         self.snapshots_enabled = True
+        #: Request-trace sampling: "off", "always", or a ratio in (0, 1)
+        #: (e.g. 0.25 traces every 4th request, deterministically).
+        self.trace_sample = "off"
+        #: Statements slower than this (server-side ms) emit one JSON
+        #: line to the slow-query log; None disables the log.
+        self.slow_query_ms: Optional[float] = None
+        #: File the slow-query log appends to (None: in-memory ring
+        #: only).
+        self.slow_query_log_path: Optional[str] = None
+        #: Distinct statement fingerprints SHOW STATEMENTS keeps (LRU).
+        self.statement_stats_capacity = 512
 
 
 class Route:
@@ -208,6 +219,20 @@ class Server:
             "Reads served live in the server process")
         self._c_writes = db.metrics.counter(
             "serve_writes_total", "Write statements executed")
+        from repro.obs.slowlog import SlowQueryLog
+        from repro.obs.spans import SpanRecorder
+        from repro.obs.statstats import StatementStats
+
+        #: Request-trace sampling decision + ring of completed traces.
+        self.tracing = SpanRecorder(self.settings.trace_sample)
+        #: Per-fingerprint aggregates behind SHOW STATEMENTS and
+        #: GET /statements.
+        self.statements = StatementStats(
+            self.settings.statement_stats_capacity)
+        #: One JSON line per statement over the latency threshold.
+        self.slowlog = SlowQueryLog(
+            self.settings.slow_query_ms,
+            path=self.settings.slow_query_log_path)
         self.snapshot_fallback_reason: Optional[str] = None
         self.snapshots: Optional[SnapshotManager] = None
         if self.settings.snapshots_enabled and fork_available():
@@ -277,6 +302,33 @@ class Server:
         self.db._m_cache_entries.set(len(self.db.plan_cache))
         return self.db.metrics.exposition()
 
+    def maybe_slowlog(self, statement: str, latency_ms: float,
+                      trace=None, route=None, source=None,
+                      error=None) -> Optional[str]:
+        """Feed one finished statement to the slow-query log, with its
+        text normalized (literal-free) first.  One compare when the log
+        is disabled."""
+        if not self.slowlog.enabled:
+            return None
+        return self.slowlog.maybe_log(
+            self.statements.display_text(statement), latency_ms,
+            trace=trace, route=route, source=source, error=error)
+
+    def reset_stats(self) -> None:
+        """``STATS RESET``: zero the metrics registry and drop the
+        per-statement aggregates, completed traces, and slow-log ring.
+        Live-state gauges are republished right after the registry-wide
+        zero so a scrape mid-reset stays truthful."""
+        self.db.metrics_reset()
+        self.statements.reset()
+        self.tracing.clear()
+        self.slowlog.clear()
+        with self._sessions_lock:
+            self._g_sessions.set(self._sessions_alive)
+        self.admission.republish()
+        if self.snapshots is not None:
+            self.snapshots.republish()
+
     def refresh_snapshots(self) -> bool:
         """Synchronously re-fork the snapshot pool if data changed
         (deterministic alternative to the refresh timer for tests)."""
@@ -318,6 +370,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="SQL script (one statement per line) to run "
                              "before serving")
     parser.add_argument("--max-inflight", type=int, default=None)
+    parser.add_argument("--trace-sample", default=None,
+                        metavar="off|always|RATIO",
+                        help="request-trace sampling (default off)")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log statements slower than MS as JSON "
+                             "lines (default: disabled)")
+    parser.add_argument("--slow-query-log", default=None, metavar="FILE",
+                        help="append slow-query JSON lines to FILE")
     args = parser.parse_args(argv)
 
     db = Database()
@@ -330,6 +391,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = ServeSettings()
     if args.max_inflight is not None:
         settings.max_inflight = args.max_inflight
+    if args.trace_sample is not None:
+        settings.trace_sample = args.trace_sample
+    if args.slow_query_ms is not None:
+        settings.slow_query_ms = args.slow_query_ms
+    if args.slow_query_log is not None:
+        settings.slow_query_log_path = args.slow_query_log
     server = Server(db, settings)
     tcp = TCPServer(server, host=args.host, port=args.port)
     tcp.start()

@@ -15,14 +15,23 @@ concurrently, gated only by admission control.  Dispatch per statement:
   END`` every read in the session sees exactly the rows committed at
   the pin, no matter what other sessions commit meanwhile.
 
-Control statements (BEGIN/COMMIT/ROLLBACK/SNAPSHOT BEGIN/SNAPSHOT END)
-are accepted through :meth:`Session.execute` too, so a wire client
-speaks one uniform statement channel.
+Control statements (BEGIN/COMMIT/ROLLBACK/SNAPSHOT BEGIN/SNAPSHOT END/
+SHOW STATEMENTS/STATS RESET) are accepted through
+:meth:`Session.execute` too, so a wire client speaks one uniform
+statement channel.
+
+Every statement feeds the server's per-fingerprint
+:class:`~repro.obs.statstats.StatementStats` and — past the configured
+threshold — the slow-query log; when the server's
+:class:`~repro.obs.spans.SpanRecorder` samples a request, the whole
+journey (admission wait, routing, gate/snapshot waits, compile phases,
+execution, worker fragments) lands in one span tree.
 """
 
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 from typing import Any, Optional, Sequence
 
 from repro import errors as errors_module
@@ -43,6 +52,26 @@ def rebuild_error(class_name: str, message: str) -> ReproError:
     if isinstance(cls, type) and issubclass(cls, ReproError):
         return cls(message)
     return ExecutionError("%s: %s" % (class_name, message))
+
+
+class _RequestNote:
+    """Mutable routing detail threaded through one statement's dispatch
+    so the recording epilogue can feed :class:`StatementStats` and the
+    slow-query log without re-deriving how the statement traveled."""
+
+    __slots__ = ("route", "source", "cache_hit", "degraded")
+
+    def __init__(self):
+        #: Route kind ("read"/"write"/"ddl"/"meta") or "control".
+        self.route: Optional[str] = None
+        #: Where it ran: "snapshot", "live", "txn", "write", "ddl",
+        #: "control".
+        self.source: Optional[str] = None
+        #: Worker-side plan-cache hit (snapshot reads only; None when
+        #: unknown).
+        self.cache_hit: Optional[bool] = None
+        #: Why a snapshot read degraded to a live read, when it did.
+        self.degraded: Optional[str] = None
 
 
 class Session:
@@ -182,69 +211,169 @@ class Session:
         "rollback": "rollback",
         "snapshot begin": "begin_snapshot",
         "snapshot end": "end_snapshot",
+        "show statements": "show_statements",
+        "stats reset": "stats_reset",
     }
 
-    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+    def show_statements(self) -> Result:
+        """``SHOW STATEMENTS``: the per-fingerprint aggregate report."""
+        columns, rows = self.server.statements.result_rows()
+        return Result(columns, rows, rowcount=len(rows))
+
+    def stats_reset(self) -> None:
+        """``STATS RESET``: zero counters, histograms, and the
+        per-statement aggregates (gauges keep their live values)."""
+        self.server.reset_stats()
+
+    def execute(self, sql: str, params: Sequence[Any] = (),
+                trace=None, managed: bool = False) -> Result:
         """Run one statement (or control command) and return its result.
 
         Thread-safe: a session serializes its own statements; different
         sessions run concurrently up to the admission limits.
+
+        ``trace`` is an already-open :class:`~repro.obs.spans.
+        RequestTrace` whose lifecycle the caller owns (the wire loop
+        passes one so its write span is part of the tree); ``managed``
+        says the caller owns the sampling decision and slow-query
+        logging even when its decision was "don't trace" — otherwise a
+        None trace would make the session re-sample and double-log.
+        When neither is given, the session asks the server's recorder
+        itself and owns finish + slow-query logging.  Either way the
+        statement lands in the per-fingerprint stats.
         """
         stripped = sql.strip().rstrip(";").strip()
-        control = self._CONTROL.get(stripped.lower())
+        owns_trace = trace is None and not managed
+        if owns_trace:
+            trace = self.server.tracing.maybe_start()
+        note = _RequestNote()
+        started = perf_counter()
+        error: Optional[BaseException] = None
+        result: Optional[Result] = None
+        try:
+            result = self._statement(stripped, params, trace, note)
+            if trace is not None:
+                # A dynamic attribute: Result stays oblivious, callers
+                # (wire encoding, EXPLAIN ANALYZE correlation) getattr.
+                result.trace_id = trace.trace_id
+            return result
+        except BaseException as exc:
+            error = exc
+            raise
+        finally:
+            latency_ms = (perf_counter() - started) * 1e3
+            self.server.statements.record(
+                stripped, latency_ms,
+                rows=result.rowcount if result is not None else 0,
+                cache_hit=note.cache_hit, source=note.source,
+                degraded=note.degraded, error=error is not None)
+            if owns_trace:
+                if trace is not None:
+                    self.server.tracing.finish(trace)
+                self.server.maybe_slowlog(
+                    statement=stripped, latency_ms=latency_ms,
+                    trace=trace, route=note.route, source=note.source,
+                    error=error)
+
+    def _statement(self, sql: str, params, trace, note) -> Result:
+        control = self._CONTROL.get(sql.lower())
         if control is not None:
-            getattr(self, control)()
-            return Result([], [], rowcount=0)
+            note.route = note.source = "control"
+            if trace is not None:
+                trace.root.set(route="control")
+                # The span covers e.g. SNAPSHOT BEGIN's pin (which may
+                # fork a pool) — real time a client waits on.
+                with trace.span("control", command=sql.lower()):
+                    out = getattr(self, control)()
+            else:
+                out = getattr(self, control)()
+            return out if isinstance(out, Result) \
+                else Result([], [], rowcount=0)
         with self._lock:
             self._check_open()
-            with self.server.admission.admitted():
-                return self._dispatch(stripped, params)
+            if trace is not None:
+                with trace.span("admission.wait") as span:
+                    waited = self.server.admission.acquire()
+                    span.set(queued=waited > 0.0)
+            else:
+                self.server.admission.acquire()
+            try:
+                return self._dispatch(sql, params, trace, note)
+            finally:
+                self.server.admission.release()
 
-    def _dispatch(self, sql: str, params: Sequence[Any]) -> Result:
+    def _dispatch(self, sql: str, params: Sequence[Any], trace=None,
+                  note=None) -> Result:
+        if note is None:
+            note = _RequestNote()
         route = self.server.route_for(sql)
+        note.route = route.kind
+        if trace is not None:
+            trace.current().set(route=route.kind)
         if self._txn is not None:
             # Explicit transaction: everything runs live under the
             # engine transaction's own 2PL scope.
+            note.source = "txn"
             if route.kind in ("write", "ddl"):
                 self._enter_txn_gate()
-                result = self.db.execute(sql, params, txn=self._txn)
+                result = self.db.execute(sql, params, txn=self._txn,
+                                         tracer=trace)
                 self.server._c_writes.inc()
                 return result
             self.server._c_live_reads.inc()
             with self.server.read_gate.shared():
-                return self.db.execute(sql, params, txn=self._txn)
+                return self.db.execute(sql, params, txn=self._txn,
+                                       tracer=trace)
         if route.kind == "write":
-            return self._write(sql, params, route)
+            note.source = "write"
+            return self._write(sql, params, route, trace)
         if route.kind == "ddl":
-            return self._ddl(sql, params)
+            note.source = "ddl"
+            return self._ddl(sql, params, trace)
         if route.kind == "read":
-            return self._read(sql, params)
+            return self._read(sql, params, trace, note)
         # meta: EXPLAIN and unparseable text, live in the server.
+        note.source = "live"
         self.server._c_live_reads.inc()
         with self.server.read_gate.shared():
-            return self.db.execute(sql, params)
+            return self.db.execute(sql, params, tracer=trace)
 
     # -- write path ----------------------------------------------------------
 
-    def _write(self, sql: str, params, route) -> Result:
+    def _write(self, sql: str, params, route, trace=None) -> Result:
         gate = self.server.write_gate
-        with gate.held(gate.stripe_indexes(route)):
-            result = self.db.execute(sql, params)
+        indexes = gate.stripe_indexes(route)
+        gate_span = None
+        if trace is not None:
+            # Opened before, closed right after stripe entry: the span
+            # is the wait, not the write.
+            gate_span = trace.begin("gate.wait", stripes=len(indexes))
+        with gate.held(indexes):
+            if gate_span is not None:
+                trace.end(gate_span)
+            result = self.db.execute(sql, params, tracer=trace)
         self._last_write_clock = self.db.catalog.dml_clock
         self.server._c_writes.inc()
         return result
 
-    def _ddl(self, sql: str, params) -> Result:
+    def _ddl(self, sql: str, params, trace=None) -> Result:
+        gate_span = None
+        if trace is not None:
+            gate_span = trace.begin("gate.wait", stripes="all")
         with self.server.write_gate.quiesced():
-            result = self.db.execute(sql, params)
+            if gate_span is not None:
+                trace.end(gate_span)
+            result = self.db.execute(sql, params, tracer=trace)
         self._last_write_clock = self.db.catalog.dml_clock
         self.server._c_writes.inc()
         return result
 
     # -- read path -----------------------------------------------------------
 
-    def _read(self, sql: str, params) -> Result:
+    def _read(self, sql: str, params, trace=None, note=None) -> Result:
         pool = self._pinned
+        pinned = pool is not None
+        reason = None
         if pool is None and self.server.snapshots is not None:
             candidate = self.server.snapshots.current_pool()
             # Read-your-writes: only serve from a pool that already
@@ -252,34 +381,74 @@ class Session:
             if (candidate is not None
                     and candidate.version[2] >= self._last_write_clock):
                 pool = candidate
+            elif candidate is None:
+                reason = "no fresh snapshot pool"
+            else:
+                reason = ("read-your-writes: pool lags this session's "
+                          "last committed write")
+        elif pool is None:
+            reason = (self.server.snapshot_fallback_reason
+                      or "snapshots disabled")
+        if trace is not None:
+            with trace.span("snapshot.pick") as span:
+                span.set(source="snapshot" if pool is not None
+                         else "live", pinned=pinned)
+                if pool is not None:
+                    span.set(version=list(pool.version))
+                if reason:
+                    span.set(reason=reason)
         if pool is not None:
-            result = self._pool_read(pool, sql, params)
+            result = self._pool_read(pool, sql, params, trace, note)
             if result is not None:
+                if note is not None:
+                    note.source = "snapshot"
                 return result
-        return self._live_read(sql, params)
+        if note is not None:
+            note.source = "live"
+        return self._live_read(sql, params, trace)
 
-    def _pool_read(self, pool, sql, params) -> Optional[Result]:
+    def _pool_read(self, pool, sql, params, trace=None,
+                   note=None) -> Optional[Result]:
         options = self.db.settings.compile_options()
         if options.parallelism != "off":
             # Snapshot workers are processes already; forking a morsel
             # pool per worker would stack process trees.
             options = options.replace(parallelism="off")
+        span = None
+        if trace is not None:
+            span = trace.begin("snapshot.execute", workers=len(pool))
         try:
-            reply = pool.execute(sql, params, options)
-        except ServeError:
+            reply = pool.execute(sql, params, options,
+                                 trace_on=trace is not None)
+        except ServeError as exc:
+            if note is not None:
+                note.degraded = str(exc)
+            if span is not None:
+                span.set(degraded=str(exc))
+                trace.end(span)
             if self._pinned is pool:
                 # The pinned image is gone; losing the pin is worse
                 # than a live read is — surface it.
                 raise
             return None
         if reply[0] == "ok":
-            _, columns, rows, rowcount = reply
+            _, columns, rows, rowcount, cached, fragment = reply
+            if note is not None:
+                note.cache_hit = cached
+            if span is not None:
+                span.set(cached=cached)
+                if fragment is not None:
+                    trace.attach_worker_fragments(span, [fragment])
+                trace.end(span)
             self.server._c_snapshot_reads.inc()
             return Result(columns, rows, rowcount=rowcount)
+        if span is not None:
+            span.set(error=True)
+            trace.end(span)
         _, class_name, message = reply
         raise rebuild_error(class_name, message)
 
-    def _live_read(self, sql: str, params) -> Result:
+    def _live_read(self, sql: str, params, trace=None) -> Result:
         """Read in the server process under a short shared-lock
         transaction: consistent against concurrent writers (their
         exclusive locks exclude us mid-statement) at the cost of
@@ -289,7 +458,8 @@ class Session:
         with self.server.read_gate.shared():
             txn = self.db.begin()
             try:
-                result = self.db.execute(sql, params, txn=txn)
+                result = self.db.execute(sql, params, txn=txn,
+                                         tracer=trace)
             except BaseException:
                 self.db.rollback(txn)
                 raise

@@ -61,11 +61,27 @@ def _snapshot_worker_main(conn) -> None:
             break
         if message is None:
             break
-        sql, params, options = message
+        sql, params, options, trace_on = message
         try:
-            result = db.execute(sql, params, options=options)
+            wtrace = None
+            if trace_on:
+                from repro.obs.spans import RequestTrace
+
+                # Monotonic-ns timestamps are system-wide, so this
+                # fragment slots straight into the parent's tree.
+                wtrace = RequestTrace("worker", name="snapshot.worker")
+                wtrace.root.set(pid=os.getpid())
+            result = db.execute(sql, params, options=options,
+                                tracer=wtrace)
+            cached = False
+            fragment = None
+            if wtrace is not None:
+                wtrace.finish()
+                fragment = wtrace.root.export()
+            if result.timings is not None:
+                cached = result.timings.pipeline == "cached"
             conn.send(("ok", result.columns, result.rows,
-                       result.rowcount))
+                       result.rowcount, cached, fragment))
         except BaseException as exc:  # ship the error, keep serving
             conn.send(("err", type(exc).__name__, str(exc)))
     conn.close()
@@ -118,12 +134,15 @@ class SnapshotPool:
         self._leases = 0
         self._terminating = False
 
-    def execute(self, sql: str, params, options) -> Tuple:
-        """Run one read in a snapshot worker.  Returns
-        ``(columns, rows, rowcount)``; engine errors surface as
-        ``(error_class_name, message)`` wrapped in ServeError by the
-        caller.  Raises :class:`ServeError` if the pool is retired or
-        its workers died."""
+    def execute(self, sql: str, params, options,
+                trace_on: bool = False) -> Tuple:
+        """Run one read in a snapshot worker.  Returns ``("ok", columns,
+        rows, rowcount, cached, fragment)`` — ``cached`` flags a worker
+        plan-cache hit, ``fragment`` is the worker's span export when
+        ``trace_on`` (None otherwise) — or ``("err", error_class_name,
+        message)``, which the caller wraps in the rebuilt engine error.
+        Raises :class:`ServeError` if the pool is retired or its workers
+        died."""
         with self._state_lock:
             if self.closed or self._terminating:
                 raise ServeError("snapshot pool is retired")
@@ -131,7 +150,7 @@ class SnapshotPool:
         try:
             worker = self._free.get()
             try:
-                worker.conn.send((sql, tuple(params), options))
+                worker.conn.send((sql, tuple(params), options, trace_on))
                 reply = worker.conn.recv()
             except (EOFError, BrokenPipeError, OSError) as exc:
                 # A dead worker poisons only itself; the session retries
@@ -195,6 +214,10 @@ class SnapshotManager:
         self._g_pools = (metrics.gauge(
             "serve_snapshot_pools", "Snapshot pools alive (current + "
             "pinned retirees)") if metrics is not None else None)
+        self._h_fork = (metrics.histogram(
+            "serve_snapshot_fork_ms",
+            "Milliseconds spent quiesced while forking a snapshot pool")
+            if metrics is not None else None)
 
     # -- version bookkeeping -------------------------------------------------
 
@@ -206,11 +229,16 @@ class SnapshotManager:
     def _fork_pool(self) -> SnapshotPool:
         """Fork a pool at the *committed now*: quiesce writers and live
         readers, stamp the version, fork.  Caller holds self._lock."""
+        from time import monotonic
+
+        started = monotonic()
         with self._fork_gate():
             version = self.data_version()
             pool = SnapshotPool(self.db, self.workers, version)
         if self._c_forks is not None:
             self._c_forks.inc()
+        if self._h_fork is not None:
+            self._h_fork.observe((monotonic() - started) * 1e3)
         self._publish()
         return pool
 
@@ -218,6 +246,11 @@ class SnapshotManager:
         if self._g_pools is not None:
             alive = len(self._retired) + (1 if self._current else 0)
             self._g_pools.set(alive)
+
+    def republish(self) -> None:
+        """Re-publish the live gauge (after a registry-wide reset)."""
+        with self._lock:
+            self._publish()
 
     # -- the serving surface -------------------------------------------------
 

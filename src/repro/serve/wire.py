@@ -60,7 +60,13 @@ def unescape_value(field: str) -> Optional[str]:
 
 
 def encode_result(result) -> str:
-    lines = ["OK %d" % result.rowcount,
+    status = "OK %d" % result.rowcount
+    trace_id = getattr(result, "trace_id", None)
+    if trace_id:
+        # Sampled requests advertise their trace so a client can
+        # correlate its own latency with the server-side span tree.
+        status += " trace=%s" % trace_id
+    lines = [status,
              "*" + "\t".join(escape_value(name)
                              for name in result.columns)]
     for row in result.rows:
@@ -127,12 +133,32 @@ class TCPServer:
                     writer.write("OK 0\n.\n")
                     writer.flush()
                     return
+                # The wire loop owns the trace so the response
+                # write/flush is inside the tree; the session records
+                # statement stats either way.
+                trace = self.server.tracing.maybe_start()
+                started = time.perf_counter()
+                error = None
                 try:
-                    result = session.execute(line)
-                    writer.write(encode_result(result))
+                    result = session.execute(line, trace=trace,
+                                             managed=True)
+                    payload = encode_result(result)
                 except Exception as exc:
-                    writer.write(encode_error(exc))
-                writer.flush()
+                    error = exc
+                    payload = encode_error(exc)
+                if trace is not None:
+                    with trace.span("wire.write",
+                                    bytes=len(payload)):
+                        writer.write(payload)
+                        writer.flush()
+                    self.server.tracing.finish(trace)
+                else:
+                    writer.write(payload)
+                    writer.flush()
+                self.server.maybe_slowlog(
+                    statement=line,
+                    latency_ms=(time.perf_counter() - started) * 1e3,
+                    trace=trace, error=error)
         except (BrokenPipeError, ConnectionResetError, OSError,
                 ValueError):
             pass  # client went away mid-statement
@@ -154,16 +180,25 @@ class TCPServer:
 
     def _serve_http(self, writer, request_line: str) -> None:
         """Minimal one-shot HTTP: ``GET /metrics`` gets the Prometheus
-        exposition, anything else a 404.  The connection closes after
-        the response (HTTP/1.0 semantics)."""
+        exposition, ``GET /statements`` the per-fingerprint aggregates
+        as JSON, anything else a 404.  The connection closes after the
+        response (HTTP/1.0 semantics)."""
+        import json
+
         path = request_line.split()[1] if len(
             request_line.split()) > 1 else "/"
-        if path.split("?")[0] == "/metrics":
+        path = path.split("?")[0]
+        if path == "/metrics":
             body = self.server.metrics_exposition()
             status = "200 OK"
             content_type = "text/plain; version=0.0.4"
+        elif path == "/statements":
+            body = json.dumps(self.server.statements.report(),
+                              default=repr) + "\n"
+            status = "200 OK"
+            content_type = "application/json"
         else:
-            body = "only /metrics lives here\n"
+            body = "only /metrics and /statements live here\n"
             status = "404 Not Found"
             content_type = "text/plain"
         writer.write(

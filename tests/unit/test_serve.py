@@ -562,3 +562,301 @@ class TestWireEscaping:
         assert lines[2].split("\t") == ["x\\ty", "\\N"]
         assert lines[3] == "."
         assert lines[4] == ""  # trailing newline terminates the frame
+
+
+# ---------------------------------------------------------------------------
+# Request tracing, statement stats, and the slow-query log
+# ---------------------------------------------------------------------------
+
+
+class TestStatementObservability:
+    def test_stats_aggregate_by_fingerprint(self, server):
+        with server.session() as session:
+            session.execute("SELECT count(*) FROM t WHERE v = 1")
+            session.execute("SELECT count(*) FROM t WHERE v = 5")
+        entry = server.statements.get("SELECT count(*) FROM t WHERE v = 2")
+        assert entry is not None
+        assert entry.calls == 2
+        assert "?" in entry.statement
+
+    def test_show_statements_over_the_session(self, server):
+        with server.session() as session:
+            session.execute("SELECT id FROM t WHERE v = 3")
+            result = session.execute("SHOW STATEMENTS")
+        assert "fingerprint" in result.columns
+        assert "p95_ms" in result.columns
+        statements = [row[1] for row in result.rows]
+        assert any("select id from t" in text for text in statements)
+
+    def test_stats_reset_clears_everything(self, server):
+        with server.session() as session:
+            session.execute("SELECT id FROM t WHERE v = 4")
+            before = server.db.metrics.snapshot()["serve_admitted_total"]
+            assert before >= 1
+            session.execute("STATS RESET")
+            after = server.db.metrics.snapshot()
+        assert after["serve_admitted_total"] == 0
+        # Only STATS RESET itself (recorded post-reset) remains.
+        assert len(server.statements) == 1
+        # Live-state gauges were republished, not left at zero.
+        assert after["serve_sessions"] == 1
+
+    def test_errors_counted(self, server):
+        with server.session() as session:
+            with pytest.raises(SemanticError):
+                session.execute("SELECT nope FROM t")
+        entry = server.statements.get("SELECT nope FROM t")
+        assert entry.errors == 1
+
+    def test_untraced_by_default(self, server):
+        assert not server.tracing.enabled
+        with server.session() as session:
+            result = session.execute("SELECT count(*) FROM t")
+        assert getattr(result, "trace_id", None) is None
+        assert server.tracing.completed() == []
+
+    def test_slow_query_log_via_session(self):
+        srv = make_server(snapshots_enabled=False, slow_query_ms=0.0,
+                          trace_sample="always")
+        try:
+            with srv.session() as session:
+                session.execute("SELECT count(*) FROM t WHERE v = 9")
+            records = srv.slowlog.records()
+            assert len(records) >= 1
+            record = records[-1]
+            assert "9" not in record["statement"]  # literal-free
+            assert record["trace_id"]
+            assert record["spans"]["children"]
+        finally:
+            srv.close()
+            srv.db.close()
+
+
+class TestTracedSession:
+    def _server(self, **overrides):
+        overrides.setdefault("trace_sample", "always")
+        return make_server(**overrides)
+
+    def test_live_read_span_tree(self):
+        srv = self._server(snapshots_enabled=False)
+        try:
+            with srv.session() as session:
+                result = session.execute("SELECT count(*) FROM t")
+            trace = srv.tracing.find(result.trace_id)
+            assert trace is not None
+            root = trace.root
+            assert root.attrs["route"] == "read"
+            names = [span.name for span in root.children]
+            assert names[:2] == ["admission.wait", "snapshot.pick"]
+            pick = root.find("snapshot.pick")
+            assert pick.attrs["source"] == "live"
+            assert pick.attrs["reason"]
+            assert root.find("execute") is not None
+            assert root.find("plancache.lookup") is not None
+            # Spans nest within the root's bounds.
+            for span in root.children:
+                assert span.start_ns >= root.start_ns
+                assert span.end_ns <= root.end_ns
+        finally:
+            srv.close()
+            srv.db.close()
+
+    def test_write_gate_span(self):
+        srv = self._server(snapshots_enabled=False)
+        try:
+            with srv.session() as session:
+                result = session.execute("INSERT INTO t VALUES (997, 1)")
+            trace = srv.tracing.find(result.trace_id)
+            gate = trace.root.find("gate.wait")
+            assert gate is not None
+            assert gate.attrs["stripes"] == 1
+            assert trace.root.attrs["route"] == "write"
+        finally:
+            srv.close()
+            srv.db.close()
+
+    def test_compile_phases_bridged(self):
+        srv = self._server(snapshots_enabled=False)
+        try:
+            with srv.session() as session:
+                result = session.execute(
+                    "SELECT sum(v) FROM t WHERE id < 40")
+            trace = srv.tracing.find(result.trace_id)
+            compile_span = trace.root.find("compile")
+            assert compile_span is not None
+            phases = [span.name for span in compile_span.children]
+            assert phases[0] == "parse"
+            assert "optimize" in phases
+        finally:
+            srv.close()
+            srv.db.close()
+
+    def test_cached_plan_skips_compile_span(self):
+        # Identical text both times: the default compile options key the
+        # cache on the literal-bearing fingerprint (auto-parameterization
+        # is opt-in), so only a repeat of the same text can hit.
+        srv = self._server(snapshots_enabled=False)
+        try:
+            with srv.session() as session:
+                session.execute("SELECT max(v) FROM t WHERE id = 7")
+                result = session.execute(
+                    "SELECT max(v) FROM t WHERE id = 7")
+            trace = srv.tracing.find(result.trace_id)
+            lookup = trace.root.find("plancache.lookup")
+            assert lookup.attrs["hit"] is True
+            assert trace.root.find("compile") is None
+        finally:
+            srv.close()
+            srv.db.close()
+
+    @fork_only
+    def test_snapshot_read_has_worker_fragment(self):
+        srv = self._server()
+        try:
+            with srv.session() as session:
+                result = session.execute("SELECT count(*) FROM t")
+            trace = srv.tracing.find(result.trace_id)
+            execute = trace.root.find("snapshot.execute")
+            assert execute is not None
+            worker = execute.find("worker")
+            assert worker is not None
+            assert worker.attrs["pid"] != 0
+            inner = worker.find("snapshot.worker")
+            assert inner is not None
+            assert inner.find("execute") is not None
+            # System-wide monotonic clock: the fragment's bounds sit
+            # inside the parent span that awaited it.
+            assert worker.start_ns >= execute.start_ns
+            assert worker.end_ns <= execute.end_ns
+        finally:
+            srv.close()
+            srv.db.close()
+
+    @fork_only
+    def test_pool_loss_degrades_to_live_with_reason(self, monkeypatch):
+        srv = self._server()
+        try:
+            pool = srv.snapshots.current_pool()
+            assert pool is not None
+
+            def dying(sql, params, options, trace_on=False):
+                raise ServeError("snapshot worker died: test")
+
+            monkeypatch.setattr(pool, "execute", dying)
+            with srv.session() as session:
+                result = session.execute("SELECT count(*) FROM t")
+            assert result.scalar() == 50  # live fallback, no hang
+            trace = srv.tracing.find(result.trace_id)
+            execute = trace.root.find("snapshot.execute")
+            assert "died" in execute.attrs["degraded"]
+            assert execute.find("worker") is None  # parent-only
+            # The live fallback still produced a full execute span.
+            assert trace.root.find("execute") is not None
+            entry = srv.statements.get("SELECT count(*) FROM t")
+            assert any("died" in reason
+                       for reason in entry.degradations)
+        finally:
+            srv.close()
+            srv.db.close()
+
+    @fork_only
+    def test_dead_worker_processes_degrade_not_hang(self):
+        srv = self._server()
+        try:
+            pool = srv.snapshots.current_pool()
+            for worker in pool._workers:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            with srv.session() as session:
+                result = session.execute("SELECT count(*) FROM t")
+            assert result.scalar() == 50
+            trace = srv.tracing.find(result.trace_id)
+            degraded = trace.root.find("snapshot.execute").attrs.get(
+                "degraded")
+            assert degraded and "died" in degraded
+        finally:
+            srv.close()
+            srv.db.close()
+
+    def test_wire_owned_trace_is_not_double_logged(self):
+        srv = self._server(snapshots_enabled=False, slow_query_ms=0.0)
+        try:
+            trace = srv.tracing.maybe_start()
+            with srv.session() as session:
+                session.execute("SELECT count(*) FROM t", trace=trace,
+                                managed=True)
+            # The session must not finish or slow-log a managed trace.
+            assert srv.tracing.find(trace.trace_id) is None
+            assert srv.slowlog.records() == []
+            # ...but the statement stats were still recorded.
+            assert srv.statements.get("SELECT count(*) FROM t") is not None
+        finally:
+            srv.close()
+            srv.db.close()
+
+
+@fork_only
+class TestParallelWorkerFragments:
+    """Cross-process span merging for the morsel-parallel runtime."""
+
+    def _parallel_db(self):
+        db = Database(pool_capacity=256)
+        db.execute("CREATE TABLE big (id INTEGER, v INTEGER)")
+        txn = db.begin()
+        for i in range(4000):
+            db.engine.insert(txn, "big", (i, i % 13))
+        db.commit(txn)
+        db.analyze()
+        return db
+
+    def _traced_run(self, db):
+        from repro.core.database import CompileOptions
+        from repro.obs.spans import SpanRecorder
+
+        recorder = SpanRecorder("always")
+        trace = recorder.maybe_start()
+        options = CompileOptions.from_settings(db.settings).replace(
+            parallelism="on", dop=4)
+        result = db.execute("SELECT count(*) FROM big WHERE v > 2",
+                            options=options, tracer=trace)
+        recorder.finish(trace)
+        return result, trace
+
+    def test_fragments_land_under_execute_span(self):
+        db = self._parallel_db()
+        try:
+            result, trace = self._traced_run(db)
+            assert result.scalar() == 4000 - (4000 // 13 + 1) * 3
+            execute = trace.root.find("execute")
+            assert execute is not None
+            workers = [span for span in execute.children
+                       if span.name == "worker"]
+            assert workers, "no worker fragment under the execute span"
+            morsels = sum(len(group.children) for group in workers)
+            assert morsels >= 2  # the table fans out to many morsels
+            for group in workers:
+                for task in group.children:
+                    assert task.name == "worker.morsel"
+                    assert task.attrs["pid"] == group.attrs["pid"]
+                    assert task.start_ns >= execute.start_ns
+                    assert task.end_ns <= execute.end_ns
+        finally:
+            db.close()
+
+    def test_pool_failure_degrades_with_reason(self, monkeypatch):
+        db = self._parallel_db()
+        try:
+            runtime = db.parallel_runtime()
+
+            def broken(dop, queue_count=0):
+                raise OSError("no forks today")
+
+            monkeypatch.setattr(runtime, "_ensure_pool", broken)
+            result, trace = self._traced_run(db)
+            assert result.scalar() == 4000 - (4000 // 13 + 1) * 3
+            execute = trace.root.find("execute")
+            assert "parallel_degraded" in execute.attrs
+            assert "no forks today" in execute.attrs["parallel_degraded"]
+            assert execute.find("worker") is None  # parent-only trace
+        finally:
+            db.close()
